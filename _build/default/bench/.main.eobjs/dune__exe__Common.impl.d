@@ -1,0 +1,1 @@
+bench/common.ml: Baselines Deployment Dfs_intf Engine Hw Ivar Libfs Linefs List Params Printf Sim Stats String Time Workloads

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Common Data Deployment Dfs_intf Engine Hw Libfs Linefs List Nicfs Params Printf Sim Storage Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Common Deployment Engine Kworker Libfs Linefs List Nicfs Printf Sim Stats Time Workloads

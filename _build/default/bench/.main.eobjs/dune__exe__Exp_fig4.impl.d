@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Common Hw List Printf Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Common Deployment Libfs Linefs List Nicfs Params Printf Sim Stats Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Common Engine Hw Ivar List Printf Sim Time Workloads

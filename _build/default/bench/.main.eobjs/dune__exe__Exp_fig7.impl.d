@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Common Deployment Engine Hw Ivar Kworker Libfs Linefs List Printf Sim Time Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Common Hw List Printf Sim Stats Time Workloads

@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Common Hw List Printf Sim Stats Time Workloads

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Baselines Common Hw List Printf Sim Stats Workloads

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Common Engine Rng Sim Workloads

@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Common Hw List Sim Stats Workloads

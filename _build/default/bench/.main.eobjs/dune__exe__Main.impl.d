@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Exp_ablation Exp_fig10 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 Exp_table1 Exp_table2 Exp_table3 List Micro Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Common Compress Hashtbl Instance List Measure Printf Sim Staged Storage Test Time Toolkit

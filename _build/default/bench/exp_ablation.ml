@@ -1,0 +1,121 @@
+(* Ablations beyond the paper's figures, covering design choices
+   DESIGN.md calls out:
+   - chunk size sweep (PCIe amortization vs pipeline latency);
+   - coalescing on/off under a create-then-delete-heavy workload;
+   - NIC memory flow-control watermark sweep;
+   - dynamic stage scaling threshold. *)
+
+open Sim
+open Storage
+open Linefs
+open Common
+
+let io_bytes = 16 * 1024
+
+let throughput_with ~params_patch =
+  in_sim (fun () ->
+      let d = Deployment.create ~params:(params_patch (params ())) ~nodes:3 () in
+      let ops = Libfs.ops (Deployment.add_client d ~id:1) in
+      let file_bytes = !current_scale.file_bytes / 4 in
+      let t0 = Engine.now () in
+      Workloads.Microbench.seq_write ~ops ~path:"/abl" ~file_bytes ~io_bytes ();
+      let tput = gbps file_bytes (Engine.now () - t0) in
+      Deployment.stop d;
+      tput)
+
+let chunk_size_sweep () =
+  subheading "chunk size sweep (single client write throughput)";
+  let rows =
+    List.map
+      (fun mb ->
+        let tput =
+          throughput_with ~params_patch:(fun p ->
+              { p with Params.chunk_bytes = mb * 1024 * 1024 })
+        in
+        [ Printf.sprintf "%d MB" mb; f2 tput ])
+      [ 1; 2; 4; 8 ]
+  in
+  print_table ~header:[ "chunk size"; "GB/s" ] ~rows
+
+let coalescing_ablation () =
+  subheading "coalescing on temporary-file churn (create/write/delete)";
+  let run coalescing =
+    in_sim (fun () ->
+        let d = Deployment.create ~params:(params ()) ~coalescing ~nodes:3 () in
+        let ops = Libfs.ops (Deployment.add_client d ~id:1) in
+        for i = 0 to 299 do
+          let path = Printf.sprintf "/tmp%d" (i mod 10) in
+          let fd = ops.Dfs_intf.create path in
+          ops.Dfs_intf.append fd (Data.synthetic ~seed:i ~len:(64 * 1024));
+          ops.Dfs_intf.close fd;
+          ops.Dfs_intf.unlink path
+        done;
+        Deployment.flush_all d;
+        let nicfs = (Deployment.primary d).Deployment.nicfs in
+        let published = Nicfs.published_bytes nicfs in
+        let removed = Nicfs.coalesced_entries nicfs in
+        Deployment.stop d;
+        (published, removed))
+  in
+  let pub_off, _ = run false in
+  let pub_on, removed = run true in
+  print_table
+    ~header:[ "coalescing"; "published bytes"; "entries removed"; "write amp saved" ]
+    ~rows:
+      [
+        [ "off"; string_of_int pub_off; "0"; "-" ];
+        [
+          "on";
+          string_of_int pub_on;
+          string_of_int removed;
+          Printf.sprintf "%.0f%%"
+            ((1.0 -. (float_of_int pub_on /. float_of_int pub_off)) *. 100.0);
+        ];
+      ]
+
+let watermark_sweep () =
+  subheading "flow-control watermark sweep (tiny 8 MB NIC memory)";
+  let cfg =
+    { Hw.Config.testbed_25gbe with Hw.Config.nic_mem_capacity = 8 * 1024 * 1024 }
+  in
+  let rows =
+    List.map
+      (fun (hi, lo) ->
+        let tput =
+          in_sim (fun () ->
+              let p = { (params ()) with Params.hi_watermark = hi; lo_watermark = lo } in
+              let d = Deployment.create ~cfg ~params:p ~nodes:3 () in
+              let ops = Libfs.ops (Deployment.add_client d ~id:1) in
+              let file_bytes = !current_scale.file_bytes / 8 in
+              let t0 = Engine.now () in
+              Workloads.Microbench.seq_write ~ops ~path:"/wm" ~file_bytes
+                ~io_bytes ();
+              let tput = gbps file_bytes (Engine.now () - t0) in
+              Deployment.stop d;
+              tput)
+        in
+        [ Printf.sprintf "%.0f%%/%.0f%%" (hi *. 100.) (lo *. 100.); f2 tput ])
+      [ (0.9, 0.5); (0.7, 0.3); (0.5, 0.2); (0.3, 0.1) ]
+  in
+  print_table ~header:[ "hi/lo watermark"; "GB/s" ] ~rows
+
+let scale_threshold_sweep () =
+  subheading "pipeline stage scale-up threshold";
+  let rows =
+    List.map
+      (fun threshold ->
+        let tput =
+          throughput_with ~params_patch:(fun p ->
+              { p with Params.scale_queue_threshold = threshold })
+        in
+        [ string_of_int threshold; f2 tput ])
+      [ 1; 5; 20 ]
+  in
+  print_table ~header:[ "queue threshold"; "GB/s" ] ~rows
+
+let run () =
+  heading "Ablations (beyond the paper's figures)";
+  chunk_size_sweep ();
+  coalescing_ablation ();
+  watermark_sweep ();
+  scale_threshold_sweep ()

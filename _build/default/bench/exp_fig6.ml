@@ -1,0 +1,107 @@
+(* Figure 6: performance interference under aggressive consolidation.
+   streamcluster runs on ALL nodes (including the primary) at the same
+   priority as the DFS, while two DFS clients continuously run the
+   write microbenchmark for the whole co-execution window. We report
+   streamcluster execution time on the primary and on a replica, plus
+   DFS throughput over that window. *)
+
+open Sim
+open Common
+
+let sc_iterations = 8
+let sc_work = Time.ms 60
+let io_bytes = 16 * 1024
+let clients = 2
+
+(* Keep writing files until [until] is filled; returns bytes written. *)
+let write_until ~ops ~client ~until =
+  let file_bytes = 16 * 1024 * 1024 in
+  let written = ref 0 in
+  let round = ref 0 in
+  while not (Ivar.is_filled until) do
+    Workloads.Microbench.seq_write ~ops
+      ~path:(Printf.sprintf "/fig6-%d-%d" client !round)
+      ~file_bytes ~io_bytes ();
+    incr round;
+    written := !written + file_bytes
+  done;
+  !written
+
+let solo_time () =
+  in_sim (fun () ->
+      let topo = Hw.Topology.create ~nodes:1 () in
+      Workloads.Streamcluster.run ~iterations:sc_iterations
+        ~work_per_iter:sc_work
+        ~node:(Hw.Topology.primary topo)
+        ())
+
+let run_one which =
+  in_sim (fun () ->
+      let sys = make_system ~dfs_prio:Hw.Cpu.prio_normal which in
+      let opses = List.init clients (fun i -> sys.client (i + 1)) in
+      (* streamcluster everywhere, same priority as the DFS. *)
+      let sc_primary = ref 0 and sc_replica = ref 0 in
+      let sc_done = Ivar.create () in
+      let live = ref 2 in
+      let finish r v =
+        r := v;
+        decr live;
+        if !live = 0 then Ivar.fill sc_done ()
+      in
+      Engine.spawn (fun () ->
+          finish sc_primary
+            (Workloads.Streamcluster.run ~iterations:sc_iterations
+               ~work_per_iter:sc_work ~node:(sys.node_of 0) ()));
+      Engine.spawn (fun () ->
+          finish sc_replica
+            (Workloads.Streamcluster.run ~iterations:sc_iterations
+               ~work_per_iter:sc_work ~node:(sys.node_of 1) ()));
+      let t0 = Engine.now () in
+      let written = ref 0 in
+      let elapsed =
+        parallel_clients clients (fun i ->
+            let w =
+              write_until ~ops:(List.nth opses (i - 1)) ~client:i
+                ~until:sc_done
+            in
+            written := !written + w)
+      in
+      ignore t0;
+      let tput = mbps !written elapsed in
+      sys.teardown ();
+      (!sc_primary, !sc_replica, tput))
+
+let run () =
+  heading "Figure 6: co-execution with streamcluster (same priority)";
+  let solo = solo_time () in
+  let rows =
+    ("streamcluster solo", Time.to_sec_f solo, Time.to_sec_f solo, 0.0)
+    :: List.map
+         (fun which ->
+           let p, r, tput = run_one which in
+           (sysname_to_string which, Time.to_sec_f p, Time.to_sec_f r, tput))
+         [ Sys_assise; Sys_assise_bg; Sys_linefs ]
+  in
+  let solo_s = Time.to_sec_f solo in
+  print_table
+    ~header:
+      [
+        "system";
+        "sc primary (s)";
+        "slowdown";
+        "sc replica (s)";
+        "slowdown";
+        "DFS MB/s";
+      ]
+    ~rows:
+      (List.map
+         (fun (name, p, r, tput) ->
+           [
+             name;
+             f2 p;
+             Printf.sprintf "%+.0f%%" ((p -. solo_s) /. solo_s *. 100.0);
+             f2 r;
+             Printf.sprintf "%+.0f%%" ((r -. solo_s) /. solo_s *. 100.0);
+             (if tput = 0.0 then "-" else f1 tput);
+           ])
+         rows)

@@ -1,0 +1,81 @@
+(* Figure 7: impact of the kernel worker's copying method on a
+   co-running application and on LineFS throughput. Four LineFS
+   clients continuously run the write microbenchmark while
+   streamcluster runs on the primary at equal priority; the copy
+   method is swept. *)
+
+open Sim
+open Linefs
+open Common
+
+let sc_iterations = 8
+let sc_work = Time.ms 60
+let io_bytes = 16 * 1024
+let clients = 4
+
+let modes =
+  [
+    Kworker.Cpu_memcpy;
+    Kworker.Dma_polling;
+    Kworker.Dma_polling_batch;
+    Kworker.Dma_interrupt_batch;
+    Kworker.No_copy;
+  ]
+
+let write_until ~ops ~client ~until =
+  let file_bytes = 16 * 1024 * 1024 in
+  let written = ref 0 in
+  let round = ref 0 in
+  while not (Ivar.is_filled until) do
+    Workloads.Microbench.seq_write ~ops
+      ~path:(Printf.sprintf "/fig7-%d-%d" client !round)
+      ~file_bytes ~io_bytes ();
+    incr round;
+    written := !written + file_bytes
+  done;
+  !written
+
+let run_one mode =
+  in_sim (fun () ->
+      let d =
+        Deployment.create ~params:(params ()) ~kworker_mode:mode
+          ~dfs_prio:Hw.Cpu.prio_normal ~nodes:3 ()
+      in
+      let sc_time = ref 0 in
+      let sc_done = Ivar.create () in
+      Engine.spawn (fun () ->
+          sc_time :=
+            Workloads.Streamcluster.run ~iterations:sc_iterations
+              ~work_per_iter:sc_work
+              ~node:(Deployment.primary d).Deployment.node
+              ();
+          Ivar.fill sc_done ());
+      let opses =
+        List.init clients (fun i ->
+            Libfs.ops (Deployment.add_client d ~id:(i + 1)))
+      in
+      let written = ref 0 in
+      let elapsed =
+        parallel_clients clients (fun i ->
+            let w =
+              write_until ~ops:(List.nth opses (i - 1)) ~client:i
+                ~until:sc_done
+            in
+            written := !written + w)
+      in
+      let tput = mbps !written elapsed in
+      Deployment.stop d;
+      (Time.to_sec_f !sc_time, tput))
+
+let run () =
+  heading "Figure 7: kernel-worker copy methods under co-execution";
+  let rows =
+    List.map
+      (fun mode ->
+        let sc, tput = run_one mode in
+        [ Kworker.copy_mode_name mode; f2 sc; f1 tput ])
+      modes
+  in
+  print_table
+    ~header:[ "copy method"; "streamcluster time (s)"; "LineFS MB/s" ]
+    ~rows

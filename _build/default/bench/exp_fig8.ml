@@ -1,0 +1,79 @@
+(* Figure 8a: LevelDB db_bench average latency (us), replicas busy.
+   Figure 8b: Filebench throughput (kops/s), replicas busy. *)
+
+open Sim
+open Common
+
+let db_n () = if !current_scale == Common.full then 100_000 else 8_000
+
+let run_db which workload =
+  in_sim (fun () ->
+      let sys = make_system ~dfs_prio:Hw.Cpu.prio_high which in
+      let stop_bg = busy_replicas sys ~nodes:[ 1; 2 ] in
+      let ops = sys.client 1 in
+      let series =
+        Workloads.Leveldb.db_bench ~ops ~dir:"/db" ~workload ~n:(db_n ()) ()
+      in
+      stop_bg ();
+      sys.teardown ();
+      Stats.Series.mean series)
+
+let run_fb which profile =
+  in_sim (fun () ->
+      let sys = make_system ~dfs_prio:Hw.Cpu.prio_high which in
+      let stop_bg = busy_replicas sys ~nodes:[ 1; 2 ] in
+      let ops = sys.client 1 in
+      let files = if !current_scale == Common.full then 10_000 else 1_500 in
+      let r =
+        Workloads.Filebench.run ~ops ~profile ~files ~threads:48
+          ~duration:(Time.sec 2) ~seed:3 ()
+      in
+      stop_bg ();
+      sys.teardown ();
+      r.Workloads.Filebench.kops_per_sec)
+
+let run_8a () =
+  heading "Figure 8a: LevelDB db_bench average latency (us), replicas busy";
+  let workloads =
+    Workloads.Leveldb.
+      [ Fillseq; Fillrandom; Fillsync; Readseq; Readrandom; Readhot ]
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let a = run_db Sys_assise w in
+        let l = run_db Sys_linefs w in
+        [
+          Workloads.Leveldb.workload_name w;
+          f1 a;
+          f1 l;
+          Printf.sprintf "%+.0f%%" ((a -. l) /. a *. 100.0);
+        ])
+      workloads
+  in
+  print_table
+    ~header:[ "workload"; "Assise (us)"; "LineFS (us)"; "LineFS better by" ]
+    ~rows
+
+let run_8b () =
+  heading "Figure 8b: Filebench throughput (kops/s), replicas busy";
+  let rows =
+    List.map
+      (fun profile ->
+        let a = run_fb Sys_assise profile in
+        let l = run_fb Sys_linefs profile in
+        [
+          Workloads.Filebench.profile_name profile;
+          f2 a;
+          f2 l;
+          Printf.sprintf "%+.0f%%" ((l -. a) /. a *. 100.0);
+        ])
+      Workloads.Filebench.[ Fileserver; Varmail ]
+  in
+  print_table
+    ~header:[ "profile"; "Assise kops/s"; "LineFS kops/s"; "LineFS vs Assise" ]
+    ~rows
+
+let run () =
+  run_8a ();
+  run_8b ()

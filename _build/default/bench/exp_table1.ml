@@ -1,0 +1,87 @@
+(* Table 1: CPU utilization of Assise and Ceph for different numbers of
+   benchmark processes and network speeds. Each client writes a file
+   with 4 KB IOs; we report aggregate throughput and client-node DFS
+   CPU utilization (100% = 1 core). *)
+
+open Sim
+open Common
+
+let io_bytes = 4096
+
+let run_assise ~cfg ~procs ~file_bytes =
+  in_sim (fun () ->
+      let sys = make_system ~cfg Sys_assise in
+      let opses = List.init procs (fun i -> sys.client (i + 1)) in
+      let elapsed =
+        parallel_clients procs (fun i ->
+            let ops = List.nth opses (i - 1) in
+            Workloads.Microbench.seq_write ~ops
+              ~path:(Printf.sprintf "/t1-%d" i)
+              ~file_bytes ~io_bytes ())
+      in
+      let tput = gbps (procs * file_bytes) elapsed in
+      let cpu = Stats.Busy.utilization (sys.dfs_cpu 0) ~over:elapsed in
+      sys.teardown ();
+      (tput, cpu))
+
+let run_ceph ~cfg ~procs ~file_bytes =
+  in_sim (fun () ->
+      let sys = Baselines.Cephlike.create ~cfg ~nodes:3 () in
+      let opses =
+        List.init procs (fun i ->
+            Baselines.Cephlike.ops (Baselines.Cephlike.add_client sys ~id:(i + 1)))
+      in
+      let elapsed =
+        parallel_clients procs (fun i ->
+            let ops = List.nth opses (i - 1) in
+            Workloads.Microbench.seq_write ~ops
+              ~path:(Printf.sprintf "/t1-%d" i)
+              ~file_bytes ~io_bytes ())
+      in
+      let tput = gbps (procs * file_bytes) elapsed in
+      let cpu =
+        Stats.Busy.utilization (Baselines.Cephlike.client_host_cpu sys)
+          ~over:elapsed
+      in
+      (tput, cpu))
+
+let run () =
+  heading
+    "Table 1: client CPU utilization, Assise vs Ceph (100% = 1 core)";
+  (* The paper writes 24 GB per client; scale keeps the 3:1 ratio to the
+     per-client file of the other benchmarks. *)
+  let file_bytes = !current_scale.file_bytes / 4 in
+  Printf.printf "per-client file: %d MB, 4 KB IOs\n" (file_bytes / (1024 * 1024));
+  let rows = ref [] in
+  List.iter
+    (fun (netname, cfg) ->
+      List.iter
+        (fun procs ->
+          let a_tput, a_cpu = run_assise ~cfg ~procs ~file_bytes in
+          let c_tput, c_cpu = run_ceph ~cfg ~procs ~file_bytes in
+          rows :=
+            [
+              netname;
+              string_of_int procs;
+              f2 a_tput;
+              f2 c_tput;
+              pct a_cpu;
+              pct c_cpu;
+            ]
+            :: !rows)
+        [ 1; 2; 4; 8 ])
+    [
+      ("25GbE", Hw.Config.testbed_25gbe);
+      ("100GbE", Hw.Config.testbed_100gbe);
+    ];
+  print_table
+    ~header:
+      [
+        "net";
+        "procs";
+        "Assise GB/s";
+        "Ceph GB/s";
+        "Assise CPU";
+        "Ceph CPU";
+      ]
+    ~rows:(List.rev !rows)

@@ -1,0 +1,38 @@
+(* Table 2: read throughput (MB/s) of Assise and LineFS. A single
+   client reads a pre-written file locally with 16 KB IOs, sequentially
+   and at random. Reads never touch the SmartNIC in LineFS, so the two
+   systems should tie. *)
+
+open Sim
+open Common
+
+let io_bytes = 16 * 1024
+
+let run_one which =
+  in_sim (fun () ->
+      let sys = make_system which in
+      let ops = sys.client 1 in
+      let file_bytes = !current_scale.file_bytes / 2 in
+      Workloads.Microbench.seq_write ~ops ~path:"/t2" ~file_bytes ~io_bytes ();
+      sys.flush ();
+      let t0 = Engine.now () in
+      let n = Workloads.Microbench.seq_read ~ops ~path:"/t2" ~io_bytes () in
+      let seq = mbps n (Engine.now () - t0) in
+      let rng = Rng.create 5 in
+      let t0 = Engine.now () in
+      let n = Workloads.Microbench.rand_read ~ops ~path:"/t2" ~io_bytes ~rng () in
+      let rand = mbps n (Engine.now () - t0) in
+      sys.teardown ();
+      (seq, rand))
+
+let run () =
+  heading "Table 2: read throughput (MB/s), single local client";
+  let a_seq, a_rand = run_one Sys_assise in
+  let l_seq, l_rand = run_one Sys_linefs in
+  print_table
+    ~header:[ "workload"; "Assise"; "LineFS" ]
+    ~rows:
+      [
+        [ "sequential read"; f1 a_seq; f1 l_seq ];
+        [ "random read"; f1 a_rand; f1 l_rand ];
+      ]

@@ -1,0 +1,60 @@
+(* Table 3: operation latency (us) — each op writes 16 KB then calls
+   fsync, so every op pays a full replication round trip. Measured
+   with replicas idle and busy. *)
+
+open Sim
+open Common
+
+let io_bytes = 16 * 1024
+let n_ops = 2000
+
+let run_one which ~busy =
+  in_sim (fun () ->
+      let dfs_prio = if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal in
+      let sys = make_system ~dfs_prio which in
+      let stop_bg =
+        if busy then busy_replicas sys ~nodes:[ 1; 2 ] else fun () -> ()
+      in
+      let ops = sys.client 1 in
+      let series =
+        Workloads.Microbench.write_fsync_latency ~ops ~path:"/t3" ~n_ops
+          ~io_bytes ()
+      in
+      stop_bg ();
+      sys.teardown ();
+      ( Stats.Series.mean series,
+        Stats.Series.percentile series 99.0,
+        Stats.Series.percentile series 99.9 ))
+
+let systems = [ Sys_assise; Sys_hyperloop; Sys_linefs ]
+
+let run () =
+  heading "Table 3: write+fsync latency (us), 16 KB ops";
+  let rows =
+    List.map
+      (fun which ->
+        let ia, i99, i999 = run_one which ~busy:false in
+        let ba, b99, b999 = run_one which ~busy:true in
+        [
+          sysname_to_string which;
+          f1 ia;
+          f1 i99;
+          f1 i999;
+          f1 ba;
+          f1 b99;
+          f1 b999;
+        ])
+      systems
+  in
+  print_table
+    ~header:
+      [
+        "system";
+        "idle avg";
+        "idle 99th";
+        "idle 99.9th";
+        "busy avg";
+        "busy 99th";
+        "busy 99.9th";
+      ]
+    ~rows

@@ -1,0 +1,65 @@
+(* Benchmark harness: regenerates every table and figure of the LineFS
+   paper's evaluation (§5) on the simulated testbed, plus ablations and
+   bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, scaled
+     dune exec bench/main.exe -- table1 fig4  # a subset
+     dune exec bench/main.exe -- --full ...   # paper-scale sizes (slow!)
+
+   See EXPERIMENTS.md for paper-vs-measured commentary. *)
+
+let experiments =
+  [
+    ("table1", "Assise vs Ceph CPU utilization", Exp_table1.run);
+    ("fig4", "write throughput scalability", Exp_fig4.run);
+    ("table2", "read throughput", Exp_table2.run);
+    ("fig5", "pipeline latency breakdown", Exp_fig5.run);
+    ("fig6", "streamcluster co-execution", Exp_fig6.run);
+    ("fig7", "kernel-worker copy methods", Exp_fig7.run);
+    ("table3", "write+fsync latency", Exp_table3.run);
+    ("fig8", "LevelDB + Filebench", Exp_fig8.run);
+    ("fig9", "Tencent Sort + compression", Exp_fig9.run);
+    ("fig10", "availability across host failure", Exp_fig10.run);
+    ("ablation", "design-choice ablations", Exp_ablation.run);
+    ("micro", "bechamel micro-benchmarks", Micro.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--full] [experiment ...]";
+  print_endline "experiments:";
+  List.iter
+    (fun (name, descr, _) -> Printf.printf "  %-10s %s\n" name descr)
+    experiments;
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let requested =
+    List.filter (fun a -> a <> "--full" && a <> "" && a.[0] <> '-') args
+  in
+  if List.exists (fun a -> a = "--help" || a = "-h") args then usage ();
+  if full then Common.current_scale := Common.full;
+  Printf.printf "LineFS reproduction harness — %s\n%!"
+    !Common.current_scale.Common.label;
+  let to_run =
+    match requested with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.find_opt (fun (name, _, _) -> name = n) experiments with
+            | Some e -> e
+            | None ->
+                Printf.printf "unknown experiment %S\n" n;
+                usage ())
+          names
+  in
+  List.iter
+    (fun (name, _, run) ->
+      let t0 = Unix.gettimeofday () in
+      run ();
+      Printf.printf "\n[%s done in %.1fs wall]\n%!" name
+        (Unix.gettimeofday () -. t0))
+    to_run

@@ -1,0 +1,153 @@
+(* Command-line driver: run a configurable write workload against any of
+   the DFS implementations and report throughput, latency and resource
+   usage. Examples:
+
+     dune exec bin/linefs_sim.exe -- --system linefs --clients 4
+     dune exec bin/linefs_sim.exe -- --system assise --file-mb 64 --busy
+     dune exec bin/linefs_sim.exe -- --system linefs-np --io-kb 4 --latency
+*)
+
+open Sim
+open Linefs
+open Cmdliner
+
+type system = Linefs | Linefs_np | Assise | Assise_bg | Hyperloop
+
+let system_conv =
+  Arg.enum
+    [
+      ("linefs", Linefs);
+      ("linefs-np", Linefs_np);
+      ("assise", Assise);
+      ("assise-bg", Assise_bg);
+      ("hyperloop", Hyperloop);
+    ]
+
+let run_bench system clients file_mb io_kb log_mb busy latency_mode =
+  let params =
+    { Params.default with Params.log_bytes = log_mb * 1024 * 1024 }
+  in
+  let file_bytes = file_mb * 1024 * 1024 in
+  let io_bytes = io_kb * 1024 in
+  let eng = Engine.create () in
+  Engine.spawn_root eng (fun () ->
+      let name, client_ops, node_of, total_dfs_cpu, teardown =
+        match system with
+        | Linefs | Linefs_np ->
+            let d =
+              Deployment.create ~params
+                ~pipeline_parallelism:(system = Linefs)
+                ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
+                ~nodes:3 ()
+            in
+            ( (if system = Linefs then "LineFS" else "LineFS-NotParallel"),
+              (fun id -> Libfs.ops (Deployment.add_client d ~id)),
+              (fun i -> (Deployment.node d i).Deployment.node),
+              (fun () -> Deployment.total_host_dfs_cpu d),
+              fun () -> Deployment.stop d )
+        | Assise | Assise_bg | Hyperloop ->
+            let variant =
+              match system with
+              | Assise -> Baselines.Assise.Pessimistic
+              | Assise_bg -> Baselines.Assise.Bg_repl
+              | _ -> Baselines.Assise.Hyperloop
+            in
+            let a =
+              Baselines.Assise.create ~params ~variant
+                ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
+                ~nodes:3 ()
+            in
+            ( Baselines.Assise.variant_name variant,
+              (fun id ->
+                Baselines.Assise.ops (Baselines.Assise.add_client a ~id)),
+              (fun i -> Baselines.Assise.node a i),
+              (fun () -> Baselines.Assise.total_host_dfs_cpu a),
+              fun () -> Baselines.Assise.stop a )
+      in
+      let stop_bg =
+        if busy then begin
+          let bgs =
+            List.map
+              (fun i ->
+                Workloads.Streamcluster.start_background ~node:(node_of i) ())
+              [ 1; 2 ]
+          in
+          fun () -> List.iter Workloads.Streamcluster.stop bgs
+        end
+        else fun () -> ()
+      in
+      Fmt.pr "system: %s, %d client(s), %d MB file, %d KB IOs%s@." name clients
+        file_mb io_kb
+        (if busy then ", replicas busy" else "");
+      if latency_mode then begin
+        let ops = client_ops 1 in
+        let series =
+          Workloads.Microbench.write_fsync_latency ~ops ~path:"/lat"
+            ~n_ops:(file_bytes / io_bytes) ~io_bytes ()
+        in
+        Fmt.pr "write+fsync latency: avg %.1f us, p50 %.1f, p99 %.1f, p99.9 %.1f@."
+          (Stats.Series.mean series)
+          (Stats.Series.percentile series 50.0)
+          (Stats.Series.percentile series 99.0)
+          (Stats.Series.percentile series 99.9)
+      end
+      else begin
+        let opses = List.init clients (fun i -> client_ops (i + 1)) in
+        let t0 = Engine.now () in
+        let live = ref clients in
+        let all_done = Ivar.create () in
+        List.iteri
+          (fun i ops ->
+            Engine.spawn ~name:(Printf.sprintf "cli%d" i) (fun () ->
+                Workloads.Microbench.seq_write ~ops
+                  ~path:(Printf.sprintf "/bench%d" i)
+                  ~file_bytes:(file_bytes / clients) ~io_bytes ();
+                decr live;
+                if !live = 0 then Ivar.fill all_done ()))
+          opses;
+        Ivar.read all_done;
+        let elapsed = Engine.now () - t0 in
+        Fmt.pr "wrote %d MB in %a of simulated time: %.2f GB/s@." file_mb
+          Time.pp elapsed
+          (float_of_int file_bytes /. Time.to_sec_f elapsed /. 1e9);
+        Fmt.pr "host DFS CPU consumed across the cluster: %a (%.2f cores avg)@."
+          Time.pp (total_dfs_cpu ())
+          (float_of_int (total_dfs_cpu ()) /. float_of_int elapsed)
+      end;
+      stop_bg ();
+      teardown ());
+  Engine.run eng
+
+let cmd =
+  let system =
+    Arg.(
+      value
+      & opt system_conv Linefs
+      & info [ "system"; "s" ] ~doc:"DFS to run: $(docv)."
+          ~docv:"linefs|linefs-np|assise|assise-bg|hyperloop")
+  in
+  let clients =
+    Arg.(value & opt int 1 & info [ "clients"; "c" ] ~doc:"Concurrent clients.")
+  in
+  let file_mb =
+    Arg.(value & opt int 64 & info [ "file-mb" ] ~doc:"Total MB to write.")
+  in
+  let io_kb = Arg.(value & opt int 16 & info [ "io-kb" ] ~doc:"IO size in KB.") in
+  let log_mb =
+    Arg.(value & opt int 32 & info [ "log-mb" ] ~doc:"Client log size in MB.")
+  in
+  let busy =
+    Arg.(value & flag & info [ "busy" ] ~doc:"Run streamcluster on replicas.")
+  in
+  let latency =
+    Arg.(
+      value & flag
+      & info [ "latency" ] ~doc:"Measure per-op write+fsync latency instead.")
+  in
+  Cmd.v
+    (Cmd.info "linefs_sim" ~doc:"LineFS simulation workbench")
+    Term.(
+      const run_bench $ system $ clients $ file_mb $ io_kb $ log_mb $ busy
+      $ latency)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/batch_compression.ml: Deployment Engine Fmt Libfs Linefs List Option Printf Sim Time Workloads

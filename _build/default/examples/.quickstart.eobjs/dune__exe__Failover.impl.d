@@ -1,0 +1,1 @@
+examples/failover.ml: Data Deployment Dfs_intf Engine Fmt Kworker Libfs Linefs Nicfs Params Sim Storage Time

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Baselines Data Deployment Dfs_intf Engine Fmt Libfs Linefs Printf Rng Sim Storage Time Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Data Deployment Dfs_intf Engine Fmt Libfs Linefs List Nicfs Sim Storage Time

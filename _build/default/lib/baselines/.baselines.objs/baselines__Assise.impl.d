@@ -1,0 +1,1 @@
+lib/baselines/assise.ml: Array Cond Data Dfs_intf Engine Extent_map Format Fs_state Hashtbl Hw Ivar Linefs List Mailbox Net Oplog Params Printf Semaphore Sim Stats Storage Time

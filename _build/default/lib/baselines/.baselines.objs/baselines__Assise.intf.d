@@ -1,0 +1,1 @@
+lib/baselines/assise.mli: Hw Linefs Sim Stats Storage Time

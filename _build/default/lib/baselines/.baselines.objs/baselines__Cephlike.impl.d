@@ -1,0 +1,1 @@
+lib/baselines/cephlike.ml: Cond Data Dfs_intf Engine Format Fs_state Hashtbl Hw Ivar Linefs List Net Oplog Printf Semaphore Sim Stats Storage Time

@@ -1,0 +1,1 @@
+lib/baselines/cephlike.mli: Hw Linefs Sim Stats

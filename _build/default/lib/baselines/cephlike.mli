@@ -1,0 +1,29 @@
+(** Client-server DFS in the style of Ceph (Table 1 comparator).
+
+    Clients have no local storage management: every write crosses the
+    kernel network stack to a storage daemon on a server node, which
+    persists it and replicates to a secondary.  Client CPU goes to
+    syscalls and TCP; server CPU to the daemon.  Per-client CPU is much
+    flatter than Assise's as client count grows — the contrast Table 1
+    shows — at the cost of higher latency and a server bottleneck. *)
+
+open Sim
+
+type t
+type client
+
+val create :
+  ?cfg:Hw.Config.t -> ?dfs_prio:Hw.Cpu.prio -> nodes:int -> unit -> t
+(** [nodes >= 2]: node 0 hosts clients, node 1 the primary daemon,
+    node 2 (if present) the replica daemon. *)
+
+val add_client : t -> id:int -> client
+val ops : client -> Linefs.Dfs_intf.ops
+
+val flush_all : t -> unit
+(** Wait for all in-flight writes to be acknowledged. *)
+
+val client_host_cpu : t -> Stats.Busy.t
+(** DFS CPU burned on the client node (the number Table 1 reports). *)
+
+val server_cpu : t -> Stats.Busy.t

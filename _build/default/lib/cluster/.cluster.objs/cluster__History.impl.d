@@ -1,0 +1,1 @@
+lib/cluster/history.ml: Int List Map Set

@@ -1,0 +1,1 @@
+lib/cluster/manager.ml: Engine Hashtbl List Sim Time

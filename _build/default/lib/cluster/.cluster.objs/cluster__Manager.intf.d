@@ -1,0 +1,1 @@
+lib/cluster/manager.mli: Sim Time

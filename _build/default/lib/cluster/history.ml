@@ -1,0 +1,25 @@
+module Iset = Set.Make (Int)
+
+type t = { mutable per_epoch : Iset.t Map.Make(Int).t }
+
+module Emap = Map.Make (Int)
+
+let create () = { per_epoch = Emap.empty }
+
+let record t ~epoch ~inum =
+  let cur =
+    match Emap.find_opt epoch t.per_epoch with
+    | Some s -> s
+    | None -> Iset.empty
+  in
+  t.per_epoch <- Emap.add epoch (Iset.add inum cur) t.per_epoch
+
+let inodes_since t ~epoch =
+  Emap.fold
+    (fun e inums acc -> if e > epoch then Iset.union inums acc else acc)
+    t.per_epoch Iset.empty
+  |> Iset.elements
+
+let epochs t = Emap.fold (fun e _ acc -> e :: acc) t.per_epoch [] |> List.rev
+
+let copy t = { per_epoch = t.per_epoch }

@@ -1,0 +1,22 @@
+(** Replicated history bitmap (§3.6 "Recovery").
+
+    Records which inodes were updated during each epoch so a recovering
+    NICFS can fetch exactly the inodes touched between its persisted
+    epoch and the current one. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> epoch:int -> inum:int -> unit
+(** Mark [inum] as updated during [epoch]. Idempotent. *)
+
+val inodes_since : t -> epoch:int -> int list
+(** All inodes recorded in epochs strictly greater than [epoch],
+    deduplicated, ascending. *)
+
+val epochs : t -> int list
+(** Epochs with at least one recorded update, ascending. *)
+
+val copy : t -> t
+(** Deep copy: what a replica hands to a recovering peer. *)

@@ -1,0 +1,99 @@
+open Sim
+
+type member_state = Alive | Dead
+
+type member = {
+  id : int;
+  ping : unit -> bool;
+  on_epoch : int -> unit;
+  mutable state : member_state;
+}
+
+type t = {
+  interval : Time.t;
+  members : (int, member) Hashtbl.t;
+  mutable epoch : int;
+  mutable running : bool;
+  lease_roots : (int, int) Hashtbl.t; (* subtree root inum -> node id *)
+}
+
+let create ?(heartbeat_interval = Time.sec 1) () =
+  {
+    interval = heartbeat_interval;
+    members = Hashtbl.create 8;
+    epoch = 1;
+    running = false;
+    lease_roots = Hashtbl.create 8;
+  }
+
+let register t ~id ~ping ~on_epoch =
+  Hashtbl.replace t.members id { id; ping; on_epoch; state = Alive }
+
+let epoch t = t.epoch
+
+let broadcast_epoch t =
+  Hashtbl.iter
+    (fun _ m -> if m.state = Alive then m.on_epoch t.epoch)
+    t.members
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  broadcast_epoch t;
+  t.epoch
+
+let heartbeat_round t =
+  Hashtbl.iter
+    (fun _ m ->
+      if m.state = Alive then begin
+        let ok = try m.ping () with _ -> false in
+        if not ok then begin
+          m.state <- Dead;
+          (* Expire the failed node's lease delegations so a live NICFS
+             can take them over. *)
+          Hashtbl.iter
+            (fun root holder ->
+              if holder = m.id then Hashtbl.remove t.lease_roots root)
+            (Hashtbl.copy t.lease_roots);
+          ignore (bump_epoch t : int)
+        end
+      end)
+    t.members
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    Engine.spawn ~name:"cluster-manager" (fun () ->
+        while t.running do
+          Engine.sleep t.interval;
+          if t.running then heartbeat_round t
+        done)
+  end
+
+let stop t = t.running <- false
+
+let member_state t id =
+  match Hashtbl.find_opt t.members id with
+  | Some m -> m.state
+  | None -> Dead
+
+let alive_members t =
+  Hashtbl.fold
+    (fun id m acc -> if m.state = Alive then id :: acc else acc)
+    t.members []
+  |> List.sort compare
+
+let mark_recovered t ~id =
+  (match Hashtbl.find_opt t.members id with
+  | Some m -> m.state <- Alive
+  | None -> ());
+  ignore (bump_epoch t : int)
+
+let delegate_lease_root t ~inum ~node =
+  match Hashtbl.find_opt t.lease_roots inum with
+  | Some holder when holder <> node && member_state t holder = Alive -> false
+  | _ ->
+      Hashtbl.replace t.lease_roots inum node;
+      true
+
+let lease_root_holder t ~inum = Hashtbl.find_opt t.lease_roots inum
+let revoke_lease_root t ~inum = Hashtbl.remove t.lease_roots inum

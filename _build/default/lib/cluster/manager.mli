@@ -1,0 +1,56 @@
+(** Cluster manager (the ZooKeeper role, §3 / §3.6).
+
+    Tracks DFS node membership, sends heartbeats to each registered
+    NICFS every second, detects NICFS failures, maintains the cluster
+    epoch (incremented on node failure and recovery, pushed to every
+    alive member), and arbitrates root-lease delegation. *)
+
+open Sim
+
+type t
+
+type member_state = Alive | Dead
+
+val create : ?heartbeat_interval:Time.t -> unit -> t
+(** Default heartbeat interval: 1 s. *)
+
+val register :
+  t ->
+  id:int ->
+  ping:(unit -> bool) ->
+  on_epoch:(int -> unit) ->
+  unit
+(** Add a NICFS member. [ping] is the heartbeat probe ([false] or an
+    exception means no response); [on_epoch] is invoked (for alive
+    members) whenever the epoch changes, so each NICFS can persist it. *)
+
+val start : t -> unit
+(** Spawn the heartbeat loop (must run inside a simulation process). *)
+
+val stop : t -> unit
+(** Stop heartbeating (lets simulations quiesce). *)
+
+val epoch : t -> int
+(** Current epoch; starts at 1. *)
+
+val bump_epoch : t -> int
+(** Increment and broadcast the epoch (called on failure/recovery
+    events); returns the new value. *)
+
+val member_state : t -> int -> member_state
+(** [Dead] for unknown ids. *)
+
+val alive_members : t -> int list
+
+val mark_recovered : t -> id:int -> unit
+(** Re-admit a member after it restarts and re-registers; bumps the
+    epoch per the recovery protocol. *)
+
+(** {1 Root lease arbitration} *)
+
+val delegate_lease_root : t -> inum:int -> node:int -> bool
+(** Delegate lease management of a subtree root to a node's NICFS.
+    Returns [false] if currently delegated to a different alive node. *)
+
+val lease_root_holder : t -> inum:int -> int option
+val revoke_lease_root : t -> inum:int -> unit

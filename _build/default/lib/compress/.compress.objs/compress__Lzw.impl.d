@@ -1,0 +1,1 @@
+lib/compress/lzw.ml: Array Buffer Bytes Char Hashtbl Int64 Storage

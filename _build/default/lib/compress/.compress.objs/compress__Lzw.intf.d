@@ -1,0 +1,1 @@
+lib/compress/lzw.mli: Bytes Storage

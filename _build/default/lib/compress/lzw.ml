@@ -1,0 +1,160 @@
+(* Classic LZW with 12-bit codes. The dictionary freezes when it
+   reaches 4096 entries (no reset), which keeps encoder and decoder
+   trivially in lock-step; chunk-sized inputs (<= 4 MB) rarely benefit
+   from resets anyway. *)
+
+let max_code = 4096
+let first_free = 256
+
+(* -------------------- bit packing -------------------- *)
+
+module Bitwriter = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable bits : int }
+
+  let create () = { buf = Buffer.create 1024; acc = 0; bits = 0 }
+
+  let put t code =
+    t.acc <- t.acc lor (code lsl t.bits);
+    t.bits <- t.bits + 12;
+    while t.bits >= 8 do
+      Buffer.add_uint8 t.buf (t.acc land 0xFF);
+      t.acc <- t.acc lsr 8;
+      t.bits <- t.bits - 8
+    done
+
+  let finish t =
+    if t.bits > 0 then Buffer.add_uint8 t.buf (t.acc land 0xFF);
+    Buffer.to_bytes t.buf
+end
+
+module Bitreader = struct
+  type t = { buf : Bytes.t; mutable pos : int; mutable acc : int; mutable bits : int }
+
+  let create buf ~pos = { buf; pos; acc = 0; bits = 0 }
+
+  let get t =
+    while t.bits < 12 && t.pos < Bytes.length t.buf do
+      t.acc <- t.acc lor (Bytes.get_uint8 t.buf t.pos lsl t.bits);
+      t.pos <- t.pos + 1;
+      t.bits <- t.bits + 8
+    done;
+    if t.bits < 12 then None
+    else begin
+      let code = t.acc land 0xFFF in
+      t.acc <- t.acc lsr 12;
+      t.bits <- t.bits - 12;
+      Some code
+    end
+end
+
+(* -------------------- encode -------------------- *)
+
+let encode input =
+  let n = Bytes.length input in
+  let out = Bitwriter.create () in
+  let header = Bytes.create 8 in
+  Bytes.set_int64_le header 0 (Int64.of_int n);
+  if n = 0 then Bytes.cat header (Bitwriter.finish out)
+  else begin
+    (* dict: (prefix_code << 8 | byte) -> code *)
+    let dict = Hashtbl.create 4096 in
+    let next = ref first_free in
+    let w = ref (Char.code (Bytes.get input 0)) in
+    for i = 1 to n - 1 do
+      let c = Char.code (Bytes.get input i) in
+      let key = (!w lsl 8) lor c in
+      match Hashtbl.find_opt dict key with
+      | Some code -> w := code
+      | None ->
+          Bitwriter.put out !w;
+          if !next < max_code then begin
+            Hashtbl.add dict key !next;
+            incr next
+          end;
+          w := c
+    done;
+    Bitwriter.put out !w;
+    Bytes.cat header (Bitwriter.finish out)
+  end
+
+(* -------------------- decode -------------------- *)
+
+let decode input =
+  if Bytes.length input < 8 then invalid_arg "Lzw.decode: missing header";
+  let n = Int64.to_int (Bytes.get_int64_le input 0) in
+  if n < 0 then invalid_arg "Lzw.decode: bad length";
+  let out = Buffer.create n in
+  if n > 0 then begin
+    let r = Bitreader.create input ~pos:8 in
+    (* Chain representation: each code has a prefix code and a suffix
+       byte; base codes 0..255 are their own byte. *)
+    let prefix = Array.make max_code (-1) in
+    let suffix = Array.make max_code '\000' in
+    let next = ref first_free in
+    let scratch = Bytes.create max_code in
+    (* Expand a code into [scratch], returning (start, len); scratch is
+       filled from the end backwards following the prefix chain. *)
+    let expand code =
+      let pos = ref max_code in
+      let c = ref code in
+      while !c >= 0 do
+        decr pos;
+        if !c < 256 then begin
+          Bytes.set scratch !pos (Char.chr !c);
+          c := -1
+        end
+        else begin
+          if !c >= !next then invalid_arg "Lzw.decode: corrupt stream";
+          Bytes.set scratch !pos suffix.(!c);
+          c := prefix.(!c)
+        end
+      done;
+      (!pos, max_code - !pos)
+    in
+    let first_char (start, _len) = Bytes.get scratch start in
+    (match Bitreader.get r with
+    | None -> invalid_arg "Lzw.decode: empty stream"
+    | Some code0 ->
+        if code0 >= 256 then invalid_arg "Lzw.decode: bad first code";
+        Buffer.add_char out (Char.chr code0);
+        let prev = ref code0 in
+        let prev_first = ref (Char.chr code0) in
+        let continue = ref true in
+        while !continue && Buffer.length out < n do
+          match Bitreader.get r with
+          | None -> continue := false
+          | Some code ->
+              let span =
+                if code < !next then expand code
+                else if code = !next then begin
+                  (* The cScSc special case: w + first char of w. *)
+                  let start, len = expand !prev in
+                  let moved = start - 1 in
+                  if moved < 0 then invalid_arg "Lzw.decode: overflow";
+                  Bytes.blit scratch start scratch moved len;
+                  Bytes.set scratch (moved + len) !prev_first;
+                  (moved, len + 1)
+                end
+                else invalid_arg "Lzw.decode: code out of range"
+              in
+              let start, len = span in
+              Buffer.add_subbytes out scratch start len;
+              if !next < max_code then begin
+                prefix.(!next) <- !prev;
+                suffix.(!next) <- first_char span;
+                incr next
+              end;
+              prev := code;
+              prev_first := first_char span
+        done)
+  end;
+  let result = Buffer.to_bytes out in
+  if Bytes.length result <> n then invalid_arg "Lzw.decode: length mismatch";
+  result
+
+let encode_data d = Storage.Data.real (encode (Storage.Data.to_bytes d))
+let decode_data d = Storage.Data.real (decode (Storage.Data.to_bytes d))
+
+let ratio ~original ~compressed =
+  if original <= 0 then 0.0
+  else 1.0 -. (float_of_int compressed /. float_of_int original)

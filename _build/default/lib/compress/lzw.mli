@@ -1,0 +1,26 @@
+(** Lempel-Ziv-Welch compression (12-bit codes, packed).
+
+    This is the algorithm NICFS runs in the optional compression stage
+    of the replication pipeline (§5.4): real bytes in, real bytes out,
+    so the Tencent Sort experiment measures genuine compressibility of
+    its input records.
+
+    The dictionary holds up to 4096 entries and is reset when full,
+    which bounds memory and keeps the codec streaming-friendly. *)
+
+val encode : Bytes.t -> Bytes.t
+(** Compress. Output starts with an 8-byte little-endian original
+    length. *)
+
+val decode : Bytes.t -> Bytes.t
+(** Decompress; inverse of {!encode}. Raises [Invalid_argument] on
+    malformed input. *)
+
+val encode_data : Storage.Data.t -> Storage.Data.t
+(** Compress a payload (synthetic payloads are materialized first). *)
+
+val decode_data : Storage.Data.t -> Storage.Data.t
+
+val ratio : original:int -> compressed:int -> float
+(** Space saved as a fraction: [1 - compressed/original]; 0 when the
+    original is empty. *)

@@ -1,0 +1,1 @@
+lib/hw/bandwidth.ml: Engine Float List Semaphore Sim Stats Time

@@ -1,0 +1,1 @@
+lib/hw/bandwidth.mli: Sim Stats Time

@@ -1,0 +1,1 @@
+lib/hw/config.ml: Float Sim Time

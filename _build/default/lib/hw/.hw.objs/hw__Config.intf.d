@@ -1,0 +1,1 @@
+lib/hw/config.mli: Sim Time

@@ -1,0 +1,1 @@
+lib/hw/dma.ml: Bandwidth Engine Sim Time

@@ -1,0 +1,1 @@
+lib/hw/netlink.ml: Bandwidth Engine Sim Time

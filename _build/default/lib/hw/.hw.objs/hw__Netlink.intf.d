@@ -1,0 +1,1 @@
+lib/hw/netlink.mli: Bandwidth Sim Time

@@ -1,0 +1,1 @@
+lib/hw/node.ml: Config Cpu Dma Format Netlink Pcie Pm Smartnic

@@ -1,0 +1,1 @@
+lib/hw/node.mli: Config Cpu Dma Format Netlink Pcie Pm Sim Smartnic Time

@@ -1,0 +1,1 @@
+lib/hw/pcie.ml: Bandwidth Engine Sim Time

@@ -1,0 +1,1 @@
+lib/hw/pcie.mli: Bandwidth Sim Time

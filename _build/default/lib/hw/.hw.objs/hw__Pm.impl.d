@@ -1,0 +1,1 @@
+lib/hw/pm.ml: Bandwidth Engine Sim Time

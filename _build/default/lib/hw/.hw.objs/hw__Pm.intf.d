@@ -1,0 +1,1 @@
+lib/hw/pm.mli: Sim Time

@@ -1,0 +1,1 @@
+lib/hw/smartnic.ml: Bandwidth Config Cpu Netlink

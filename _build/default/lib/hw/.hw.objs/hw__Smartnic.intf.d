@@ -1,0 +1,1 @@
+lib/hw/smartnic.mli: Config Cpu Netlink Sim Time

@@ -1,0 +1,1 @@
+lib/hw/topology.ml: Array Config List Netlink Node

@@ -1,0 +1,50 @@
+open Sim
+
+type t = {
+  bps : float;
+  segment : int;
+  server : Semaphore.t;
+  mutable total : int;
+  busy : Stats.Busy.t;
+  mutable observers : (at:Time.t -> bytes:int -> unit) list;
+}
+
+let create ?(segment = 64 * 1024) ~bytes_per_sec () =
+  assert (bytes_per_sec > 0.0 && segment > 0);
+  {
+    bps = bytes_per_sec;
+    segment;
+    server = Semaphore.create 1;
+    total = 0;
+    busy = Stats.Busy.create ();
+    observers = [];
+  }
+
+let bytes_per_sec t = t.bps
+
+let time_for t n =
+  if n <= 0 then 0
+  else int_of_float (Float.round (float_of_int n /. t.bps *. 1e9))
+
+let notify t bytes =
+  let at = Engine.now () in
+  List.iter (fun f -> f ~at ~bytes) t.observers
+
+let transfer t n =
+  if n > 0 then begin
+    let remaining = ref n in
+    while !remaining > 0 do
+      let seg = min t.segment !remaining in
+      Semaphore.with_permit t.server (fun () ->
+          let start = Engine.now () in
+          Engine.sleep (time_for t seg);
+          Stats.Busy.record t.busy ~start ~stop:(Engine.now ()));
+      t.total <- t.total + seg;
+      notify t seg;
+      remaining := !remaining - seg
+    done
+  end
+
+let total_bytes t = t.total
+let busy t = t.busy
+let on_transfer t f = t.observers <- f :: t.observers

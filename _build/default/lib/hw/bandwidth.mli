@@ -1,0 +1,32 @@
+(** Shared bandwidth resource (memory channel, PCIe lane, network port).
+
+    Transfers are served in segments through a FIFO server, so
+    concurrent transfers interleave at segment granularity — an
+    approximation of fair sharing that also yields realistic queueing
+    when the resource saturates. *)
+
+open Sim
+
+type t
+
+val create : ?segment:int -> bytes_per_sec:float -> unit -> t
+(** [segment] is the interleaving granularity in bytes (default 64 KiB). *)
+
+val bytes_per_sec : t -> float
+
+val time_for : t -> int -> Time.t
+(** Uncontended service time for a transfer of the given size. *)
+
+val transfer : t -> int -> unit
+(** Move [n] bytes through the resource, blocking the calling process
+    for the service time plus any queueing delay. *)
+
+val total_bytes : t -> int
+(** Bytes transferred since creation. *)
+
+val busy : t -> Stats.Busy.t
+(** Busy-time accounting for utilization reports. *)
+
+val on_transfer : t -> (at:Time.t -> bytes:int -> unit) -> unit
+(** Register an observer called as each segment completes — used to
+    build bandwidth-over-time series. *)

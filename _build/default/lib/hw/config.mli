@@ -1,0 +1,49 @@
+(** Calibrated hardware constants for the evaluation testbed (§5.1).
+
+    Single source of truth for the platform model: 3x dual-socket Xeon
+    Gold 5220R (48 cores, 2.2 GHz), 768 GB Optane PM, Mellanox BlueField
+    MBF1M332A (16x A72 @ 800 MHz, 16 GB DRAM), 25 GbE RoCE (2.2 GB/s
+    measured goodput), Intel I/OAT DMA. *)
+
+open Sim
+
+type t = {
+  host_cores : int;
+  host_speed : float;  (** Reference speed: 1.0. *)
+  nic_cores : int;
+  nic_speed : float;
+      (** Per-core SmartNIC speed relative to a host core: clock ratio
+          (800 MHz / 2.2 GHz) degraded further by the 2x slower NIC
+          memory the paper measured. *)
+  host_copy_bps : float;
+      (** Single host core streaming-copy throughput into PM, used to
+          convert copied bytes into CPU work. *)
+  pm_latency : Time.t;
+  pm_read_bps : float;
+  pm_write_bps : float;
+  pcie_latency : Time.t;
+  pcie_bps : float;
+  dma_setup : Time.t;
+  dma_bps : float;
+  net_bps : float;  (** Per-port goodput (bytes/sec). *)
+  net_latency : Time.t;
+  nic_mem_bps : float;  (** Aggregate SmartNIC DRAM bandwidth. *)
+  nic_mem_capacity : int;  (** SmartNIC DRAM size in bytes. *)
+}
+
+val testbed_25gbe : t
+(** The paper's main configuration. *)
+
+val testbed_100gbe : t
+(** Same hosts with 100 GbE ports (Table 1 only). *)
+
+val copy_work : t -> int -> Time.t
+(** [copy_work cfg n] is the reference CPU work for copying [n] bytes
+    with a single core ([n / host_copy_bps]); a wimpy pool executes the
+    same work proportionally slower. *)
+
+val mib : int -> int
+(** [mib n] is [n] MiB in bytes. *)
+
+val gib : int -> int
+val kib : int -> int

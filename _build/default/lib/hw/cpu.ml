@@ -1,0 +1,168 @@
+open Sim
+
+type prio = int
+
+let prio_high = 0
+let prio_normal = 1
+let prio_low = 2
+let n_prios = 3
+
+type t = {
+  total_cores : int;
+  speed : float;
+  quantum : Time.t;
+  ctx_switch : Time.t;
+  mutable free : int;
+  mutable reserved : int;
+  queues : (unit -> unit) Queue.t array;
+  busy : Stats.Busy.t;
+}
+
+let create ?(speed = 1.0) ?(quantum = Time.us 300) ?(ctx_switch = Time.us 2)
+    ~cores () =
+  assert (cores > 0 && speed > 0.0);
+  {
+    total_cores = cores;
+    speed;
+    quantum;
+    ctx_switch;
+    free = cores;
+    reserved = 0;
+    queues = Array.init n_prios (fun _ -> Queue.create ());
+    busy = Stats.Busy.create ();
+  }
+
+let cores t = t.total_cores
+let speed t = t.speed
+let available t = t.free
+let busy t = t.busy
+
+let runnable_waiters t =
+  Array.fold_left (fun n q -> n + Queue.length q) 0 t.queues
+
+let acquire_core t prio =
+  if t.free > 0 then t.free <- t.free - 1
+  else Engine.suspend (fun wake -> Queue.add (fun () -> wake ()) t.queues.(prio))
+
+let release_core t =
+  (* Hand the core to the highest-priority waiter, FIFO within level. *)
+  let rec find i =
+    if i >= n_prios then begin
+      t.free <- t.free + 1;
+      None
+    end
+    else
+      match Queue.take_opt t.queues.(i) with
+      | Some wake -> Some wake
+      | None -> find (i + 1)
+  in
+  match find 0 with Some wake -> wake () | None -> ()
+
+let run ?(prio = prio_normal) ?account t work =
+  if work <= 0 then ()
+  else begin
+    let remaining = ref work in
+    let dispatches = ref 0 in
+    while !remaining > 0 do
+      acquire_core t prio;
+      (* Dispatch overhead: every placement after the first spends
+         scheduler/context-switch time on the core before useful work. *)
+      if !dispatches > 0 then remaining := !remaining + t.ctx_switch;
+      incr dispatches;
+      (* Keep the core across quanta while nobody else is waiting; yield
+         to the back of the queue otherwise (round-robin). *)
+      let keep_going = ref true in
+      while !keep_going do
+        let quantum_work =
+          int_of_float (float_of_int t.quantum *. t.speed)
+        in
+        let slice = min !remaining (max 1 quantum_work) in
+        let elapsed =
+          int_of_float (Float.round (float_of_int slice /. t.speed))
+        in
+        let start = Engine.now () in
+        Engine.sleep elapsed;
+        let stop = Engine.now () in
+        Stats.Busy.record t.busy ~start ~stop;
+        (match account with
+        | Some acct -> Stats.Busy.record acct ~start ~stop
+        | None -> ());
+        remaining := !remaining - slice;
+        if !remaining <= 0 then begin
+          keep_going := false;
+          release_core t
+        end
+        else if runnable_waiters t > 0 then begin
+          keep_going := false;
+          release_core t
+        end
+      done
+    done
+  end
+
+type task = {
+  pool : t;
+  tprio : prio;
+  taccount : Stats.Busy.t option;
+  mutable holding : bool;
+  mutable since_yield : Time.t; (* work consumed since last (re)acquire *)
+}
+
+let task ?(prio = prio_normal) ?account t =
+  { pool = t; tprio = prio; taccount = account; holding = false; since_yield = 0 }
+
+let task_release tk =
+  if tk.holding then begin
+    tk.holding <- false;
+    tk.since_yield <- 0;
+    release_core tk.pool
+  end
+
+let task_run tk work =
+  if work > 0 then begin
+    let t = tk.pool in
+    if not tk.holding then begin
+      acquire_core t tk.tprio;
+      tk.holding <- true;
+      tk.since_yield <- 0
+    end;
+    let remaining = ref work in
+    while !remaining > 0 do
+      let quantum_work = int_of_float (float_of_int t.quantum *. t.speed) in
+      let budget = max 1 (quantum_work - tk.since_yield) in
+      let slice = min !remaining budget in
+      let elapsed =
+        int_of_float (Float.round (float_of_int slice /. t.speed))
+      in
+      let start = Engine.now () in
+      Engine.sleep elapsed;
+      let stop = Engine.now () in
+      Stats.Busy.record t.busy ~start ~stop;
+      (match tk.taccount with
+      | Some acct -> Stats.Busy.record acct ~start ~stop
+      | None -> ());
+      remaining := !remaining - slice;
+      tk.since_yield <- tk.since_yield + slice;
+      (* Timeslice boundary: yield the core to waiters (round-robin)
+         and get back in line. *)
+      if tk.since_yield >= quantum_work && runnable_waiters t > 0 then begin
+        release_core t;
+        acquire_core t tk.tprio;
+        tk.since_yield <- 0
+      end
+      else if tk.since_yield >= quantum_work then tk.since_yield <- 0
+    done
+  end
+
+let task_holding tk = tk.holding
+
+let reserve_core t =
+  if t.free = 0 then
+    invalid_arg "Cpu.reserve_core: no idle core available to reserve";
+  t.free <- t.free - 1;
+  t.reserved <- t.reserved + 1
+
+let unreserve_core t =
+  if t.reserved = 0 then invalid_arg "Cpu.unreserve_core: none reserved";
+  t.reserved <- t.reserved - 1;
+  release_core t

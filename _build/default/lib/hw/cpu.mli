@@ -1,0 +1,87 @@
+(** CPU pool model.
+
+    A pool has a fixed number of cores and a relative [speed] (1.0 is
+    the reference: one nanosecond of work takes one nanosecond on a
+    reference core).  Work is executed in quantum-sized timeslices with
+    strict priority between levels and round-robin within a level, so
+    oversubscribed pools exhibit the proportional slowdown and queueing
+    delays that drive the paper's interference results.
+
+    Work amounts are expressed in {e reference nanoseconds}; a pool with
+    [speed = 0.3] (a wimpy SmartNIC core) takes [work /. 0.3] wall
+    nanoseconds to execute [work]. *)
+
+open Sim
+
+type t
+
+type prio = int
+(** Priority level: 0 is highest. *)
+
+val prio_high : prio
+val prio_normal : prio
+val prio_low : prio
+
+val create :
+  ?speed:float ->
+  ?quantum:Time.t ->
+  ?ctx_switch:Time.t ->
+  cores:int ->
+  unit ->
+  t
+(** [create ~cores ()] builds a pool.
+    - [speed]: relative per-core speed (default 1.0);
+    - [quantum]: timeslice length in wall time (default 300 us);
+    - [ctx_switch]: overhead charged each time a task is (re)dispatched
+      onto a core after waiting (default 2 us of reference work). *)
+
+val cores : t -> int
+val speed : t -> float
+
+val run : ?prio:prio -> ?account:Sim.Stats.Busy.t -> t -> Time.t -> unit
+(** [run t work] executes [work] reference-nanoseconds of computation,
+    blocking the calling process for the wall time this takes including
+    queueing for a core.  [account] additionally charges the busy
+    intervals to a caller-supplied accounting bucket (e.g. "DFS cycles"
+    vs "application cycles"). *)
+
+val reserve_core : t -> unit
+(** Permanently remove one core from the schedulable set — models a
+    dedicated busy-polling thread pinned to a core. Raises
+    [Invalid_argument] if no core is left. *)
+
+val unreserve_core : t -> unit
+(** Return a previously reserved core to the pool. *)
+
+val available : t -> int
+(** Cores currently idle and schedulable. *)
+
+val runnable_waiters : t -> int
+(** Tasks queued waiting for a core. *)
+
+val busy : t -> Sim.Stats.Busy.t
+(** Pool-wide busy-time accounting (reserved cores are not counted;
+    callers model their spinning explicitly). *)
+
+(** {1 Sticky task contexts}
+
+    A long-lived thread (a DFS client loop, a poller) does not release
+    its core between the small work items it executes back-to-back; it
+    is descheduled only at timeslice granularity, or when it blocks.
+    A [task] models that: it lazily acquires a core on first use and
+    keeps it across {!task_run} calls, yielding to waiters once per
+    quantum of accumulated work (round-robin), and releasing only at
+    explicit {!task_release} points (before long blocking waits). *)
+
+type task
+
+val task : ?prio:prio -> ?account:Sim.Stats.Busy.t -> t -> task
+
+val task_run : task -> Time.t -> unit
+(** Execute work on the task's (held) core; acquires one if needed. *)
+
+val task_release : task -> unit
+(** Give the core up (call before blocking on IO/RPC); the next
+    {!task_run} re-acquires. No-op when not holding. *)
+
+val task_holding : task -> bool

@@ -1,0 +1,13 @@
+open Sim
+
+type t = { setup : Time.t; bw : Bandwidth.t }
+
+let create ?(setup = Time.us 1) ?(bytes_per_sec = 6e9) () =
+  { setup; bw = Bandwidth.create ~bytes_per_sec () }
+
+let copy t n =
+  Engine.sleep t.setup;
+  Bandwidth.transfer t.bw n
+
+let copy_time t n = t.setup + Bandwidth.time_for t.bw n
+let total_bytes t = Bandwidth.total_bytes t.bw

@@ -1,0 +1,23 @@
+(** Host DMA copy engine (Intel I/OAT).
+
+    Performs host-memory-to-host-memory copies without occupying host
+    CPU cores; the kernel worker uses it to publish client logs to
+    public PM (§4 of the paper).  Completion is signalled either by
+    polling (caller burns CPU elsewhere) or interrupt — both are policy
+    of the caller; this module only models engine occupancy. *)
+
+open Sim
+
+type t
+
+val create : ?setup:Time.t -> ?bytes_per_sec:float -> unit -> t
+(** Defaults: 1 us per-request setup, 6 GB/s engine throughput. *)
+
+val copy : t -> int -> unit
+(** Block until the engine has copied [n] bytes (queueing included).
+    No CPU time is charged. *)
+
+val copy_time : t -> int -> Time.t
+(** Uncontended copy duration for [n] bytes. *)
+
+val total_bytes : t -> int

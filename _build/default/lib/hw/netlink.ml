@@ -1,0 +1,39 @@
+open Sim
+
+type t = { lat : Time.t; id : int }
+
+type port = {
+  switch : t;
+  egress : Bandwidth.t;
+  ingress : Bandwidth.t;
+  mutable received : int;
+}
+
+let switch_counter = ref 0
+
+let create_switch ?(latency = Time.of_us_f 1.5) () =
+  incr switch_counter;
+  { lat = latency; id = !switch_counter }
+
+let create_port sw ~bytes_per_sec =
+  {
+    switch = sw;
+    egress = Bandwidth.create ~bytes_per_sec ();
+    ingress = Bandwidth.create ~bytes_per_sec ();
+    received = 0;
+  }
+
+let send ~src ~dst n =
+  if src == dst then invalid_arg "Netlink.send: src and dst are the same port";
+  if src.switch.id <> dst.switch.id then
+    invalid_arg "Netlink.send: ports on different switches";
+  Bandwidth.transfer src.egress n;
+  Engine.sleep src.switch.lat;
+  (* Ingress is accounted but not serialized (see interface note). *)
+  dst.received <- dst.received + n
+
+let latency t = t.lat
+let egress p = p.egress
+let ingress p = p.ingress
+let bytes_sent p = Bandwidth.total_bytes p.egress
+let bytes_received p = p.received

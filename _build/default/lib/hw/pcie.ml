@@ -1,0 +1,17 @@
+open Sim
+
+type t = { lat : Time.t; bw : Bandwidth.t }
+
+let create ?(latency = Time.us 2) ?(bytes_per_sec = 8e9) () =
+  { lat = latency; bw = Bandwidth.create ~bytes_per_sec () }
+
+let latency t = t.lat
+
+let transfer t n =
+  Engine.sleep t.lat;
+  Bandwidth.transfer t.bw n
+
+let rpc_round_trip t = Engine.sleep (2 * t.lat)
+let transfer_time t n = t.lat + Bandwidth.time_for t.bw n
+let total_bytes t = Bandwidth.total_bytes t.bw
+let link t = t.bw

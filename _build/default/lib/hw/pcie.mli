@@ -1,0 +1,27 @@
+(** PCIe interconnect between host memory and the SmartNIC.
+
+    The defining property (§2.2 of the paper): several microseconds of
+    latency per access versus ~100 ns over DDR, plus limited bandwidth
+    that bulk transfers must share. *)
+
+open Sim
+
+type t
+
+val create : ?latency:Time.t -> ?bytes_per_sec:float -> unit -> t
+(** Defaults: 2 us latency, 8 GB/s (PCIe 3.0 x8, BlueField 1). *)
+
+val latency : t -> Time.t
+
+val transfer : t -> int -> unit
+(** Bulk-move [n] bytes across the link: one latency plus bandwidth
+    share. *)
+
+val rpc_round_trip : t -> unit
+(** Charge a small control round trip (2x latency, negligible bytes). *)
+
+val transfer_time : t -> int -> Time.t
+(** Uncontended transfer time. *)
+
+val total_bytes : t -> int
+val link : t -> Bandwidth.t

@@ -1,0 +1,29 @@
+open Sim
+
+type t = {
+  latency : Time.t;
+  read_bw : Bandwidth.t;
+  write_bw : Bandwidth.t;
+}
+
+let create ?(latency = Time.ns 100) ?(read_bytes_per_sec = 38e9)
+    ?(write_bytes_per_sec = 12e9) () =
+  {
+    latency;
+    read_bw = Bandwidth.create ~bytes_per_sec:read_bytes_per_sec ();
+    write_bw = Bandwidth.create ~bytes_per_sec:write_bytes_per_sec ();
+  }
+
+let read t n =
+  Engine.sleep t.latency;
+  Bandwidth.transfer t.read_bw n
+
+let write t n =
+  Engine.sleep t.latency;
+  Bandwidth.transfer t.write_bw n
+
+let latency t = t.latency
+let read_time t n = t.latency + Bandwidth.time_for t.read_bw n
+let write_time t n = t.latency + Bandwidth.time_for t.write_bw n
+let bytes_read t = Bandwidth.total_bytes t.read_bw
+let bytes_written t = Bandwidth.total_bytes t.write_bw

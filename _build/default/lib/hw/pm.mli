@@ -1,0 +1,34 @@
+(** Persistent-memory device model (Intel Optane DC, App-Direct mode).
+
+    Captures the traits the paper's design leans on: DDR-like access
+    latency (~100 ns, an order of magnitude below PCIe) and asymmetric
+    read/write bandwidth.  Device time is charged here; CPU time spent
+    copying into PM is charged separately by callers on their CPU pool. *)
+
+open Sim
+
+type t
+
+val create :
+  ?latency:Time.t ->
+  ?read_bytes_per_sec:float ->
+  ?write_bytes_per_sec:float ->
+  unit ->
+  t
+(** Defaults: 100 ns latency, 38 GB/s read, 12 GB/s write (6 DIMMs). *)
+
+val read : t -> int -> unit
+(** Charge a read of [n] bytes: latency + bandwidth share. *)
+
+val write : t -> int -> unit
+(** Charge a persisted write of [n] bytes. *)
+
+val latency : t -> Time.t
+
+val read_time : t -> int -> Time.t
+(** Uncontended read service time (latency included). *)
+
+val write_time : t -> int -> Time.t
+
+val bytes_read : t -> int
+val bytes_written : t -> int

@@ -1,0 +1,13 @@
+type t = { switch : Netlink.t; nodes : Node.t array }
+
+let create ?(cfg = Config.testbed_25gbe) ~nodes () =
+  assert (nodes > 0);
+  let switch = Netlink.create_switch ~latency:cfg.net_latency () in
+  {
+    switch;
+    nodes = Array.init nodes (fun id -> Node.create cfg ~switch ~id);
+  }
+
+let node t i = t.nodes.(i)
+let primary t = t.nodes.(0)
+let replicas t = List.tl (Array.to_list t.nodes)

@@ -1,0 +1,14 @@
+(** Cluster construction helper: [n] nodes on one switch, matching the
+    paper's 3-node testbed (primary, replica-1, replica-2). *)
+
+type t = { switch : Netlink.t; nodes : Node.t array }
+
+val create : ?cfg:Config.t -> nodes:int -> unit -> t
+(** Defaults to {!Config.testbed_25gbe}. *)
+
+val node : t -> int -> Node.t
+val primary : t -> Node.t
+(** [node t 0]. *)
+
+val replicas : t -> Node.t list
+(** All nodes except the primary, in chain order. *)

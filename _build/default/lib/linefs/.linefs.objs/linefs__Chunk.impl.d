@@ -1,0 +1,1 @@
+lib/linefs/chunk.ml: Format List Oplog Sim Storage

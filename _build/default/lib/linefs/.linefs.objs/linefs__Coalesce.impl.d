@@ -1,0 +1,1 @@
+lib/linefs/coalesce.ml: Array Data Extent_map Hashtbl List Oplog Storage

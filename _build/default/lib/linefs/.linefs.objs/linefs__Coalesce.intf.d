@@ -1,0 +1,1 @@
+lib/linefs/coalesce.mli: Storage

@@ -1,0 +1,1 @@
+lib/linefs/deployment.ml: Array Hw Kworker Libfs List Nicfs Params Sim Stats Storage

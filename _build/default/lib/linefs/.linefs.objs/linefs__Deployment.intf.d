@@ -1,0 +1,1 @@
+lib/linefs/deployment.mli: Hw Kworker Libfs Nicfs Params Sim Stats Storage Time

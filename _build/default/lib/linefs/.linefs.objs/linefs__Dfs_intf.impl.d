@@ -1,0 +1,1 @@
+lib/linefs/dfs_intf.ml: Printexc Printf Storage String

@@ -1,0 +1,1 @@
+lib/linefs/kworker.ml: Engine Float Hw Ivar Net Params Printf Sim Stats

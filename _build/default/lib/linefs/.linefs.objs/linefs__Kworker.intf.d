@@ -1,0 +1,1 @@
+lib/linefs/kworker.mli: Hw Net Params Sim Stats

@@ -1,0 +1,1 @@
+lib/linefs/lease.ml: Cond Engine Hashtbl Hw List Params Sim Time

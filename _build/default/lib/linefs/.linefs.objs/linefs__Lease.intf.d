@@ -1,0 +1,1 @@
+lib/linefs/lease.mli: Hw Params

@@ -1,0 +1,1 @@
+lib/linefs/libfs.ml: Cond Data Dfs_intf Engine Extent_map Format Fs_state Hashtbl Hw Lease List Net Nicfs Oplog Params Printf Semaphore Sim Stats Storage Time

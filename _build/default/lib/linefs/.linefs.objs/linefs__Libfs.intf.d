@@ -1,0 +1,1 @@
+lib/linefs/libfs.mli: Dfs_intf Hw Nicfs Params Sim Stats Storage

@@ -1,0 +1,1 @@
+lib/linefs/nicfs.ml: Bytes Chunk Cluster Coalesce Compress Cond Data Engine Fs_state Hashtbl Hw Ivar Kworker Lazy Lease List Net Oplog Params Pipeline Printf Sim Stats Storage Time

@@ -1,0 +1,1 @@
+lib/linefs/nicfs.mli: Cluster Hw Kworker Lease Net Params Sim Stats Storage

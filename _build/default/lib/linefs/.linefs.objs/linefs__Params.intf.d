@@ -1,0 +1,1 @@
+lib/linefs/params.mli: Sim Time

@@ -1,0 +1,1 @@
+lib/linefs/pipeline.ml: Array Engine Hashtbl List Mailbox Params Printf Sim Stats Time

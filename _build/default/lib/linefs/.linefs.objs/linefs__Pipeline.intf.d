@@ -1,0 +1,1 @@
+lib/linefs/pipeline.mli: Sim

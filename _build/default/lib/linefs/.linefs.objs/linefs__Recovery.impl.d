@@ -1,0 +1,1 @@
+lib/linefs/recovery.ml: Cluster Engine Fs_state Hw List Net Nicfs Oplog Sim Storage Time

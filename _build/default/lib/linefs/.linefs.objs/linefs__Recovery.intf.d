@@ -1,0 +1,1 @@
+lib/linefs/recovery.mli: Cluster Nicfs Sim Storage Time

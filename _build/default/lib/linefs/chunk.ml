@@ -1,0 +1,57 @@
+(** A LineFS chunk: the unit of pipelined publication and replication
+    (§3.1).  LibFS groups consecutive log entries into ~4 MB chunks;
+    NICFS processes chunks through the pipeline stages in per-client
+    order. *)
+
+open Storage
+
+type t = {
+  client : int;
+  idx : int;  (** Per-client chunk counter, 0-based; defines order. *)
+  first_seq : int;
+  last_seq : int;
+  entries : Oplog.entry list;
+  bytes : int;  (** On-log size of all entries. *)
+  payload_bytes : int;  (** File-data bytes carried. *)
+  urgent : bool;  (** True for fsync-driven synchronous replication. *)
+  mutable wire_bytes : int;  (** Size sent over the network (after the
+                                 optional compression stage). *)
+  mutable coalesced_away : int;  (** Entries removed by coalescing. *)
+  mutable mem_refs : int;
+      (** NIC-memory references (publish + transfer); the chunk's NIC
+          buffer is freed when this reaches zero. *)
+  replicated : unit Sim.Ivar.t;  (** Filled when all replicas acked. *)
+  published : unit Sim.Ivar.t;  (** Filled when publication completed. *)
+}
+
+let of_entries ~client ~idx ~urgent entries =
+  match entries with
+  | [] -> invalid_arg "Chunk.of_entries: empty"
+  | first :: _ ->
+      let last = List.nth entries (List.length entries - 1) in
+      let bytes = List.fold_left (fun n e -> n + Oplog.size e) 0 entries in
+      let payload_bytes =
+        List.fold_left (fun n e -> n + Oplog.payload_size e.Oplog.op) 0 entries
+      in
+      {
+        client;
+        idx;
+        first_seq = first.Oplog.seq;
+        last_seq = last.Oplog.seq;
+        entries;
+        bytes;
+        payload_bytes;
+        urgent;
+        wire_bytes = bytes;
+        coalesced_away = 0;
+        mem_refs = 0;
+        replicated = Sim.Ivar.create ();
+        published = Sim.Ivar.create ();
+      }
+
+let entry_count t = List.length t.entries
+
+let pp fmt t =
+  Format.fprintf fmt "chunk[c%d #%d seq %d-%d, %d entries, %dB%s]" t.client
+    t.idx t.first_seq t.last_seq (entry_count t) t.bytes
+    (if t.urgent then ", urgent" else "")

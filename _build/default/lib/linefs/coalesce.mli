@@ -1,0 +1,17 @@
+(** Semantic-aware log coalescing (§3.3.1 "Data-path processing
+    opportunities").
+
+    Scans a fetched chunk for temporarily-durable patterns and removes
+    log entries whose effects are cancelled within the same chunk,
+    shrinking the published (and copied) volume:
+    - a [Create] followed by an [Unlink] of the same inode drops both
+      (plus every intervening entry touching that inode);
+    - a [Write] fully overwritten by a later [Write] in the same chunk
+      drops the earlier one;
+    - a [Write] entirely beyond a later [Truncate] point drops.
+
+    Runs in the validation stage's core to exploit cache locality. *)
+
+val run : Storage.Oplog.entry list -> Storage.Oplog.entry list * int
+(** [run entries] returns the surviving entries (order preserved) and
+    the number of entries removed. *)

@@ -1,0 +1,81 @@
+open Sim
+
+type node_rt = {
+  node : Hw.Node.t;
+  fs : Storage.Fs_state.t;
+  kworker : Kworker.t;
+  nicfs : Nicfs.t;
+  dfs_host_cpu : Stats.Busy.t;
+}
+
+type t = {
+  prm : Params.t;
+  topo : Hw.Topology.t;
+  rts : node_rt array;
+  dfs_prio : Hw.Cpu.prio;
+  mutable cls : Libfs.t list;
+  monitoring : bool;
+}
+
+let create ?(cfg = Hw.Config.testbed_25gbe) ?(params = Params.default)
+    ?(pipeline_parallelism = true) ?(kworker_mode = Kworker.Dma_interrupt_batch)
+    ?(dfs_prio = Hw.Cpu.prio_normal) ?(compression = false)
+    ?(coalescing = false) ?(monitor = false) ~nodes () =
+  let params = { params with Params.replicas = nodes } in
+  let topo = Hw.Topology.create ~cfg ~nodes () in
+  let rts =
+    Array.map
+      (fun node ->
+        let fs = Storage.Fs_state.create () in
+        let dfs_host_cpu = Stats.Busy.create () in
+        let kworker =
+          Kworker.create ~mode:kworker_mode ~prio:dfs_prio
+            ~account:dfs_host_cpu ~params ~node ()
+        in
+        let nicfs =
+          Nicfs.create ~pipeline_parallelism ~coalescing ~compression ~params
+            ~node ~fs ~kworker ()
+        in
+        { node; fs; kworker; nicfs; dfs_host_cpu })
+      topo.Hw.Topology.nodes
+  in
+  (* Wire the replication chain 0 -> 1 -> ... -> n-1. *)
+  Array.iteri
+    (fun i rt ->
+      let next = if i + 1 < Array.length rts then Some rts.(i + 1).nicfs else None in
+      Nicfs.set_next_hop rt.nicfs next)
+    rts;
+  if monitor then Array.iter (fun rt -> Nicfs.start_monitor rt.nicfs) rts;
+  { prm = params; topo; rts; dfs_prio; cls = []; monitoring = monitor }
+
+let params t = t.prm
+let node_count t = Array.length t.rts
+let node t i = t.rts.(i)
+let primary t = t.rts.(0)
+let replicas t = List.tl (Array.to_list t.rts)
+
+let add_client t ~id =
+  let p = primary t in
+  let c =
+    Libfs.create ~prio:t.dfs_prio ~account:p.dfs_host_cpu ~params:t.prm
+      ~node:p.node ~nicfs:p.nicfs ~fs:p.fs ~id ()
+  in
+  t.cls <- c :: t.cls;
+  c
+
+let clients t = List.rev t.cls
+
+let flush_all t =
+  List.iter
+    (fun c -> Nicfs.flush (primary t).nicfs ~client:(Libfs.id c))
+    t.cls
+
+let stop t =
+  if t.monitoring then Array.iter (fun rt -> Nicfs.stop_monitor rt.nicfs) t.rts
+
+let replication_wire_bytes t = Nicfs.replicated_wire_bytes (primary t).nicfs
+
+let total_host_dfs_cpu t =
+  Array.fold_left
+    (fun acc rt -> acc + Stats.Busy.busy_time rt.dfs_host_cpu)
+    0 t.rts

@@ -1,0 +1,64 @@
+(** Host kernel worker (§4 "Asynchronous DMA").
+
+    A small host-kernel component that publishes client logs to public
+    PM on behalf of NICFS, using the I/OAT DMA engine so host cores
+    stay free.  NICFS batches copy requests into a copy list and sends
+    one RPC per batch; the worker issues the DMAs in list order.
+
+    The copy method is switchable — the Figure 7 ablation compares all
+    of them:
+    - [No_copy]: skip publication entirely (analysis only);
+    - [Cpu_memcpy]: host cores do the copy;
+    - [Dma_polling]: one DMA per copy-list entry, host busy-polls
+      completion (SPDK style);
+    - [Dma_polling_batch]: batched DMA, host busy-polls;
+    - [Dma_interrupt_batch]: batched DMA, host blocks until the
+      completion interrupt (the paper's default). *)
+
+open Sim
+
+type copy_mode =
+  | No_copy
+  | Cpu_memcpy
+  | Dma_polling
+  | Dma_polling_batch
+  | Dma_interrupt_batch
+
+val copy_mode_name : copy_mode -> string
+
+type request = {
+  total_bytes : int;  (** Bytes to move log -> public PM. *)
+  list_entries : int;  (** Copy-list length (DMA requests if unbatched). *)
+}
+
+type t
+
+val create :
+  ?mode:copy_mode ->
+  ?prio:Hw.Cpu.prio ->
+  ?account:Stats.Busy.t ->
+  params:Params.t ->
+  node:Hw.Node.t ->
+  unit ->
+  t
+(** Start the worker (an Event-kind RPC server on the host; process
+    context required).  [account] receives the host CPU time the worker
+    burns (the interference Figure 7 measures).  Default mode:
+    [Dma_interrupt_batch]. *)
+
+val submit : t -> from:Net.Loc.t -> request -> [ `Ok | `Dead ]
+(** Synchronous publish request from NICFS; [`Dead] when the host has
+    crashed (the caller falls back to isolated operation). *)
+
+val set_mode : t -> copy_mode -> unit
+val mode : t -> copy_mode
+
+val alive : t -> bool
+val crash : t -> unit
+(** Host OS failure: the worker stops servicing requests. *)
+
+val recover : t -> unit
+(** Host restart: the worker is stateless and resumes immediately
+    (§3.5). *)
+
+val bytes_copied : t -> int

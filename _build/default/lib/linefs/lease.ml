@@ -1,0 +1,120 @@
+open Sim
+
+type ltype = Read | Write
+
+type lease = {
+  mutable writer : int option;
+  mutable readers : int list;
+  mutable expires : Time.t;
+}
+
+type t = {
+  params : Params.t;
+  node : Hw.Node.t;
+  replicate : bytes:int -> unit;
+  table : (int, lease) Hashtbl.t;
+  mutable pending : int;
+  persisted : Cond.t;
+}
+
+let lease_record_bytes = 64
+
+let create ~params ~node ~replicate () =
+  {
+    params;
+    node;
+    replicate;
+    table = Hashtbl.create 64;
+    pending = 0;
+    persisted = Cond.create ();
+  }
+
+let valid _t l =
+  l.expires > Engine.now () || l.writer <> None || l.readers <> []
+
+let persist_in_background t =
+  t.pending <- t.pending + 1;
+  Engine.spawn ~name:"lease.persist" (fun () ->
+      (* Record the grant in host PM and ship it to the replicas. *)
+      Hw.Pm.write t.node.Hw.Node.pm lease_record_bytes;
+      t.replicate ~bytes:lease_record_bytes;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Cond.broadcast t.persisted)
+
+let acquire t ~client ~inum ltype =
+  let l =
+    match Hashtbl.find_opt t.table inum with
+    | Some l when valid t l -> l
+    | _ ->
+        let l = { writer = None; readers = []; expires = 0 } in
+        Hashtbl.replace t.table inum l;
+        l
+  in
+  let grant () =
+    l.expires <- Engine.now () + t.params.Params.lease_duration;
+    persist_in_background t;
+    `Granted
+  in
+  match ltype with
+  | Write -> (
+      match l.writer with
+      | Some w when w <> client -> `Conflict
+      | _ ->
+          if List.exists (fun r -> r <> client) l.readers then `Conflict
+          else begin
+            l.writer <- Some client;
+            l.readers <- List.filter (fun r -> r <> client) l.readers;
+            grant ()
+          end)
+  | Read -> (
+      match l.writer with
+      | Some w when w <> client -> `Conflict
+      | _ ->
+          if not (List.mem client l.readers) then
+            l.readers <- client :: l.readers;
+          grant ())
+
+let release t ~client ~inum =
+  match Hashtbl.find_opt t.table inum with
+  | None -> ()
+  | Some l ->
+      if l.writer = Some client then l.writer <- None;
+      l.readers <- List.filter (fun r -> r <> client) l.readers;
+      if l.writer = None && l.readers = [] then Hashtbl.remove t.table inum
+
+let holders t ~inum =
+  match Hashtbl.find_opt t.table inum with
+  | None -> []
+  | Some l -> (
+      match l.writer with
+      | Some w -> w :: List.filter (fun r -> r <> w) l.readers
+      | None -> l.readers)
+
+let check_access t ~client ~inum ~write =
+  match Hashtbl.find_opt t.table inum with
+  | None -> true
+  | Some l -> (
+      match l.writer with
+      | Some w when w <> client -> false
+      | _ ->
+          if write then not (List.exists (fun r -> r <> client) l.readers)
+          else true)
+
+let expire_client t ~client =
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun inum l ->
+      if l.writer = Some client then l.writer <- None;
+      l.readers <- List.filter (fun r -> r <> client) l.readers;
+      if l.writer = None && l.readers = [] then stale := inum :: !stale)
+    t.table;
+  List.iter (Hashtbl.remove t.table) !stale
+
+let pending_persists t = t.pending
+
+let wait_persisted t =
+  while t.pending > 0 do
+    Cond.await t.persisted
+  done
+
+let active_leases t = Hashtbl.length t.table

@@ -1,0 +1,48 @@
+(** NICFS lease manager (§3.4).
+
+    Leases give single-writer / multiple-reader access to files and
+    directories.  Grants update SmartNIC memory immediately; persistence
+    to host PM and replication to peer NICFSes happen asynchronously in
+    the background, off the critical path.  [wait_persisted] is the
+    fsync barrier that restores crash consistency. *)
+
+
+type ltype = Read | Write
+
+type t
+
+val create :
+  params:Params.t ->
+  node:Hw.Node.t ->
+  replicate:(bytes:int -> unit) ->
+  unit ->
+  t
+(** [replicate] ships a small lease record to the replica NICFSes
+    (injected to avoid a dependency on the replication chain). *)
+
+val acquire :
+  t -> client:int -> inum:int -> ltype -> [ `Granted | `Conflict ]
+(** Grant if compatible: a writer excludes everyone else; readers share.
+    Re-acquisition by the holder refreshes the expiry. The grant itself
+    is NIC-memory-only; persistence is queued in the background. *)
+
+val release : t -> client:int -> inum:int -> unit
+
+val holders : t -> inum:int -> int list
+(** Clients currently holding the inode's lease (writer first). *)
+
+val check_access : t -> client:int -> inum:int -> write:bool -> bool
+(** Validation-stage test: does this client's access conflict with a
+    lease held by someone else?  Unleased inodes are accessible (the
+    holder-of-record is the issuing client's node). *)
+
+val expire_client : t -> client:int -> unit
+(** Drop all leases of a client (fail-over path). *)
+
+val pending_persists : t -> int
+(** Grants whose persistence/replication has not completed yet. *)
+
+val wait_persisted : t -> unit
+(** Block until every outstanding grant is persisted and replicated. *)
+
+val active_leases : t -> int

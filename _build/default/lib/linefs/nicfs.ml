@@ -1,0 +1,806 @@
+open Sim
+open Storage
+
+type client_state = {
+  cid : int;
+  log : Oplog.Log.t;
+  on_published : upto_seq:int -> unit;
+  on_revoke : inum:int -> unit;
+  grandfather : (int, int) Hashtbl.t;
+      (* inum -> last log seq written under a since-revoked lease;
+         validation accepts those entries (they were legal when
+         logged, and revocation ordered after them). *)
+  mutable fetched_seq : int; (* last seq already placed in a chunk *)
+  mutable chunk_count : int;
+  mutable replicated_seq : int; (* contiguous prefix acked by all replicas *)
+  mutable published_seq : int;
+  repl_progress : Cond.t;
+  publish_progress : Cond.t;
+  completed_repl : (int, int) Hashtbl.t; (* chunk idx -> last_seq *)
+  mutable next_repl_idx : int;
+  acks : (int, int ref) Hashtbl.t; (* chunk idx -> acks still missing *)
+  mutable shared_pl : Chunk.t Pipeline.t option;
+  mutable publish_pl : Chunk.t Pipeline.t option;
+  mutable repl_pl : Chunk.t Pipeline.t option;
+  mutable seq_pl : Chunk.t Pipeline.t option; (* NotParallel mode *)
+}
+
+type t = {
+  params : Params.t;
+  node : Hw.Node.t;
+  fs : Fs_state.t;
+  kworker : Kworker.t;
+  lease : Lease.t;
+  parallel : bool;
+  apply_on_publish : bool;
+  mutable coalescing : bool;
+  mutable compression : bool;
+  mutable next_hop : t option;
+  clients : (int, client_state) Hashtbl.t;
+  mutable kworker_ok : bool;
+  mutable is_isolated : bool;
+  mutable monitor_running : bool;
+  flow : Cond.t;
+  mutable flow_blocked : bool;
+  mutable dserver : (dmsg, unit) Net.Rpc.t option;
+  mutable cserver : (cmsg, cresp) Net.Rpc.t option;
+  mutable repl_wire : int;
+  mutable pub_bytes : int;
+  mutable coalesced : int;
+  ack_lat : Stats.Series.t;
+  (* Recovery state (SS3.6): the cluster epoch this NICFS has persisted,
+     and the replicated history bitmap of inode updates per epoch. *)
+  mutable epoch : int;
+  history : Cluster.History.t;
+}
+
+and dmsg =
+  | Start of { client : int }
+  | Repl_chunk of { chunk : Chunk.t; origin : t; wire : int }
+  | Repl_direct of { chunk : Chunk.t; origin : t }
+  | Repl_ack of { client : int; idx : int; last_seq : int; sent_at : Time.t }
+
+and cmsg =
+  | C_fsync of { client : int; upto : int }
+  | C_lease of { client : int; inum : int; lt : Lease.ltype }
+  | C_open of { client : int; inum : int; write : bool }
+
+and cresp =
+  | R_done of unit Ivar.t
+  | R_lease of [ `Granted | `Conflict ]
+  | R_check of (unit, Fs_state.error) result
+
+let node t = t.node
+let lease_mgr t = t.lease
+let nic_loc t = Net.Loc.Nic t.node
+let nic_pool t = Hw.Smartnic.cpu t.node.Hw.Node.nic
+let nic_run t work = Hw.Cpu.run (nic_pool t) work
+
+(* Work executed inline on the reserved busy-poll core: wall time is
+   work scaled by NIC core speed, with no pool queueing. *)
+let poll_core_work t work =
+  Engine.sleep
+    (int_of_float (float_of_int work /. Hw.Cpu.speed (nic_pool t)))
+
+let is_last t = t.next_hop = None
+
+let dserver t =
+  match t.dserver with Some s -> s | None -> failwith "nicfs: not started"
+
+let client_state t cid =
+  match Hashtbl.find_opt t.clients cid with
+  | Some cs -> cs
+  | None -> invalid_arg (Printf.sprintf "nicfs: unknown client %d" cid)
+
+(* ------------------------------------------------------------------ *)
+(* NIC memory flow control (§4 "Replication flow control")             *)
+(* ------------------------------------------------------------------ *)
+
+let nic_mem_acquire t bytes =
+  let nic = t.node.Hw.Node.nic in
+  let frac () = Hw.Smartnic.mem_frac nic in
+  if frac () >= t.params.Params.hi_watermark then t.flow_blocked <- true;
+  while t.flow_blocked && frac () > t.params.Params.lo_watermark do
+    Cond.await t.flow
+  done;
+  t.flow_blocked <- false;
+  Hw.Smartnic.alloc nic bytes
+
+let nic_mem_release t bytes =
+  Hw.Smartnic.free t.node.Hw.Node.nic bytes;
+  Cond.broadcast t.flow
+
+let chunk_mem_unref t (c : Chunk.t) =
+  c.Chunk.mem_refs <- c.Chunk.mem_refs - 1;
+  if c.Chunk.mem_refs = 0 then nic_mem_release t c.Chunk.bytes
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline stages                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Fetch: pull the chunk from the host PM log into NIC memory over
+   PCIe (one-sided RDMA read). *)
+let fetch_work t (c : Chunk.t) =
+  nic_mem_acquire t c.Chunk.bytes;
+  c.Chunk.mem_refs <- 2;
+  Net.Rdma.move ~src_medium:`Pm
+    ~src:(Net.Loc.Host t.node)
+    ~dst:(nic_loc t) c.Chunk.bytes
+
+(* Validation (+ coalescing, same core for cache locality). *)
+let validate_work t (c : Chunk.t) =
+  let p = t.params in
+  let entries = Chunk.entry_count c in
+  let scan_work =
+    int_of_float
+      (float_of_int c.Chunk.bytes /. p.Params.validate_byte_bps *. 1e9)
+  in
+  nic_run t ((entries * p.Params.validate_entry_cost) + scan_work);
+  (* Real integrity + lease checks over the fetched entries. *)
+  List.iter
+    (fun (e : Oplog.entry) ->
+      (match e.op with
+      | Oplog.Write { data; _ } when Data.is_real data ->
+          if not (Oplog.check e) then
+            failwith "nicfs: corrupt log entry reached validation"
+      | _ -> ());
+      List.iter
+        (fun inum ->
+          let ok =
+            Lease.check_access t.lease ~client:e.Oplog.client ~inum
+              ~write:true
+            ||
+            match Hashtbl.find_opt t.clients e.Oplog.client with
+            | Some owner -> (
+                match Hashtbl.find_opt owner.grandfather inum with
+                | Some limit -> e.Oplog.seq <= limit
+                | None -> false)
+            | None ->
+                (* Forwarded chunk on a replica: the primary already
+                   validated lease ownership. *)
+                true
+          in
+          if not ok then failwith "nicfs: lease violation in validation")
+        (Oplog.touches e.op))
+    c.Chunk.entries;
+  if t.coalescing then begin
+    let survivors, removed = Coalesce.run c.Chunk.entries in
+    if removed > 0 then begin
+      ignore (survivors : Oplog.entry list);
+      c.Chunk.coalesced_away <- removed;
+      t.coalesced <- t.coalesced + removed
+    end
+  end
+
+(* Bytes that actually need publication (coalesced entries skipped). *)
+let publish_volume (c : Chunk.t) =
+  if c.Chunk.coalesced_away = 0 then c.Chunk.bytes
+  else begin
+    let total = Chunk.entry_count c in
+    let live = max 0 (total - c.Chunk.coalesced_away) in
+    c.Chunk.bytes * live / max 1 total
+  end
+
+let isolated_publish t bytes =
+  (* No kernel worker: NICFS itself moves log -> public PM across PCIe
+     (read + write), still without host CPU. *)
+  Hw.Pcie.transfer t.node.Hw.Node.pcie bytes;
+  Hw.Pm.read t.node.Hw.Node.pm bytes;
+  Hw.Pcie.transfer t.node.Hw.Node.pcie bytes;
+  Hw.Pm.write t.node.Hw.Node.pm bytes
+
+let publish_copy t ~bytes ~entries =
+  if bytes > 0 then begin
+    if t.kworker_ok && not t.is_isolated then begin
+      match
+        Kworker.submit t.kworker ~from:(nic_loc t)
+          { Kworker.total_bytes = bytes; list_entries = entries }
+      with
+      | `Ok -> ()
+      | `Dead ->
+          t.kworker_ok <- false;
+          t.is_isolated <- true;
+          isolated_publish t bytes
+    end
+    else isolated_publish t bytes
+  end;
+  t.pub_bytes <- t.pub_bytes + bytes
+
+(* Publication: build the copy list on the NIC, hand it to the kernel
+   worker (or do it over PCIe in isolated mode), then apply metadata. *)
+let record_history t (c : Chunk.t) =
+  List.iter
+    (fun (e : Oplog.entry) ->
+      List.iter
+        (fun inum -> Cluster.History.record t.history ~epoch:t.epoch ~inum)
+        (Oplog.touches e.Oplog.op))
+    c.Chunk.entries
+
+let publish_work t (c : Chunk.t) =
+  let entries = Chunk.entry_count c in
+  nic_run t (entries * t.params.Params.publish_entry_cost);
+  publish_copy t ~bytes:(publish_volume c) ~entries;
+  record_history t c;
+  if t.apply_on_publish then
+    List.iter
+      (fun (e : Oplog.entry) -> ignore (Fs_state.apply t.fs e.Oplog.op))
+      c.Chunk.entries
+
+(* The publication pipeline's sink: runs in order; acknowledge to
+   LibFS so it can reclaim the log. *)
+let publish_sink t cs (c : Chunk.t) =
+  chunk_mem_unref t c;
+  cs.published_seq <- c.Chunk.last_seq;
+  let t0 = Engine.now () in
+  (* ACK stage: small message back across PCIe to LibFS. *)
+  Net.Rdma.move ~src:(nic_loc t) ~dst:(Net.Loc.Host t.node) 64;
+  Stats.Series.add t.ack_lat (Time.to_us_f (Engine.now () - t0));
+  cs.on_published ~upto_seq:c.Chunk.last_seq;
+  Ivar.fill c.Chunk.published ();
+  Cond.broadcast cs.publish_progress
+
+(* Compression stage (optional, §3.3.2): real LZW over real payloads;
+   synthetic payloads are treated as incompressible. *)
+(* Compression stage (optional, SS3.3.2): real LZW over real payloads;
+   synthetic payloads are treated as incompressible. The chunk is
+   split across [compress_workers] SmartNIC threads so the stage never
+   bottlenecks the pipeline (SS5.4). *)
+let compress_work t (c : Chunk.t) =
+  if t.compression then begin
+    let total_work =
+      int_of_float
+        (float_of_int c.Chunk.bytes /. t.params.Params.compress_bps *. 1e9)
+    in
+    let k = max 1 t.params.Params.compress_workers in
+    let seg = max 1 (total_work / k) in
+    let live = ref k in
+    let all = Ivar.create () in
+    for _ = 1 to k do
+      Engine.spawn ~name:"nicfs.compress-seg" (fun () ->
+          nic_run t seg;
+          decr live;
+          if !live = 0 then Ivar.fill all ())
+    done;
+    Ivar.read all;
+    let payloads =
+      List.filter_map
+        (fun (e : Oplog.entry) ->
+          match e.op with
+          | Oplog.Write { data; _ } when Data.is_real data -> Some data
+          | _ -> None)
+        c.Chunk.entries
+    in
+    let real_payload =
+      List.fold_left (fun n d -> n + Data.length d) 0 payloads
+    in
+    if real_payload > 0 then begin
+      let joined = Data.concat payloads in
+      let compressed = Compress.Lzw.encode (Data.to_bytes joined) in
+      let meta = c.Chunk.bytes - real_payload in
+      c.Chunk.wire_bytes <-
+        min c.Chunk.bytes (meta + Bytes.length compressed)
+    end
+  end
+
+let mark_chunk_replicated t cs ~idx ~last_seq =
+  Hashtbl.replace cs.completed_repl idx last_seq;
+  let advanced = ref false in
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt cs.completed_repl cs.next_repl_idx with
+    | Some seq ->
+        Hashtbl.remove cs.completed_repl cs.next_repl_idx;
+        cs.replicated_seq <- seq;
+        cs.next_repl_idx <- cs.next_repl_idx + 1;
+        advanced := true
+    | None -> continue := false
+  done;
+  ignore t;
+  if !advanced then Cond.broadcast cs.repl_progress
+
+(* Transfer: ship the chunk to the chain successor. The penultimate
+   node writes directly into the last replica's host PM log, saving a
+   SmartNIC memory copy (§3.3.2, step 6'). *)
+let transfer_work t (c : Chunk.t) =
+  (match t.next_hop with
+  | None ->
+      (* Single-node deployment: nothing to replicate. *)
+      (match Hashtbl.find_opt t.clients c.Chunk.client with
+      | Some cs ->
+          mark_chunk_replicated t cs ~idx:c.Chunk.idx
+            ~last_seq:c.Chunk.last_seq
+      | None -> ());
+      Ivar.fill c.Chunk.replicated ()
+  | Some nxt ->
+      (* We are the chunk's primary: acks come back here. *)
+      let origin = t in
+      let wire = c.Chunk.wire_bytes in
+      t.repl_wire <- t.repl_wire + wire;
+      if is_last nxt && wire = c.Chunk.bytes then begin
+        (* Uncompressed direct placement into the last host's PM log. *)
+        Net.Rdma.move ~dst_medium:`Pm ~src:(nic_loc t)
+          ~dst:(Net.Loc.Host nxt.node) wire;
+        Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
+          (Repl_direct { chunk = c; origin })
+      end
+      else begin
+        Hw.Smartnic.alloc nxt.node.Hw.Node.nic wire;
+        Net.Rdma.move ~src:(nic_loc t) ~dst:(Net.Loc.Nic nxt.node) wire;
+        Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
+          (Repl_chunk { chunk = c; origin; wire })
+      end);
+  chunk_mem_unref t c
+
+(* ------------------------------------------------------------------ *)
+(* Replica-side handling                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Local publication on a replica: replicas also digest the chunks they
+   persisted (the kernel-worker load §5.2.1 measures on replicas). *)
+let replica_publish t (c : Chunk.t) =
+  Engine.spawn ~name:"nicfs.replica-publish" (fun () ->
+      let entries = Chunk.entry_count c in
+      nic_run t (entries * t.params.Params.publish_entry_cost);
+      publish_copy t ~bytes:(publish_volume c) ~entries;
+      record_history t c;
+      if t.apply_on_publish then
+        List.iter
+          (fun (e : Oplog.entry) -> ignore (Fs_state.apply t.fs e.Oplog.op))
+          c.Chunk.entries)
+
+let send_ack t (origin : t) (c : Chunk.t) =
+  Net.Rpc.post (dserver origin) ~from:(nic_loc t)
+    (Repl_ack
+       {
+         client = c.Chunk.client;
+         idx = c.Chunk.idx;
+         last_seq = c.Chunk.last_seq;
+         sent_at = Engine.now ();
+       })
+
+let handle_repl_chunk t ~chunk:(c : Chunk.t) ~origin ~wire =
+  (* Decompress if the wire form was compressed. *)
+  if wire < c.Chunk.bytes then
+    nic_run t
+      (int_of_float
+         (float_of_int c.Chunk.bytes
+         /. (2.0 *. t.params.Params.compress_bps)
+         *. 1e9));
+  let refs = ref (match t.next_hop with Some _ -> 2 | None -> 1) in
+  let release () =
+    decr refs;
+    if !refs = 0 then begin
+      Hw.Smartnic.free t.node.Hw.Node.nic wire;
+      Cond.broadcast t.flow
+    end
+  in
+  (* Forward to the next replica and persist locally, in parallel
+     (§3.3.2 steps 4 and 5 overlap). *)
+  (match t.next_hop with
+  | Some nxt ->
+      Engine.spawn ~name:"nicfs.forward" (fun () ->
+          if is_last nxt && wire = c.Chunk.bytes then begin
+            Net.Rdma.move ~dst_medium:`Pm ~src:(nic_loc t)
+              ~dst:(Net.Loc.Host nxt.node) wire;
+            Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
+              (Repl_direct { chunk = c; origin })
+          end
+          else begin
+            Hw.Smartnic.alloc nxt.node.Hw.Node.nic wire;
+            Net.Rdma.move ~src:(nic_loc t) ~dst:(Net.Loc.Nic nxt.node) wire;
+            Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
+              (Repl_chunk { chunk = c; origin; wire })
+          end;
+          t.repl_wire <- t.repl_wire + wire;
+          release ())
+  | None -> ());
+  (* Persist to the local host PM log across PCIe, then ack. *)
+  Hw.Pcie.transfer t.node.Hw.Node.pcie c.Chunk.bytes;
+  Hw.Pm.write t.node.Hw.Node.pm c.Chunk.bytes;
+  send_ack t origin c;
+  replica_publish t c;
+  release ()
+
+let handle_repl_direct t ~chunk:(c : Chunk.t) ~origin =
+  (* Data was placed directly in our host PM log by the sender; it is
+     already persistent. *)
+  send_ack t origin c;
+  replica_publish t c
+
+let handle_ack t ~client ~idx ~last_seq ~sent_at =
+  Stats.Series.add t.ack_lat (Time.to_us_f (Engine.now () - sent_at));
+  match Hashtbl.find_opt t.clients client with
+  | None -> ()
+  | Some cs -> (
+      match Hashtbl.find_opt cs.acks idx with
+      | None -> ()
+      | Some remaining ->
+          decr remaining;
+          if !remaining <= 0 then begin
+            Hashtbl.remove cs.acks idx;
+            mark_chunk_replicated t cs ~idx ~last_seq
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Chunking and the pipelines                                          *)
+(* ------------------------------------------------------------------ *)
+
+let submit_chunk t cs (c : Chunk.t) =
+  Hashtbl.replace cs.acks c.Chunk.idx
+    (ref (max 0 (t.params.Params.replicas - 1)));
+  match (cs.seq_pl, cs.shared_pl) with
+  | Some pl, _ -> Pipeline.submit pl c
+  | None, Some pl -> Pipeline.submit pl c
+  | None, None -> failwith "nicfs: client pipelines not built"
+
+(* Group log entries beyond [fetched_seq] into chunks. Non-urgent
+   submission only emits full chunks; urgent (fsync/flush) emits
+   everything up to [upto]. *)
+let submit_chunks t cs ~urgent ~upto =
+  let continue = ref true in
+  while !continue do
+    let entries =
+      Oplog.Log.entries_from cs.log ~seq:(cs.fetched_seq + 1)
+        ~max_bytes:t.params.Params.chunk_bytes
+    in
+    let entries =
+      match upto with
+      | None -> entries
+      | Some u -> List.filter (fun (e : Oplog.entry) -> e.Oplog.seq <= u) entries
+    in
+    match entries with
+    | [] -> continue := false
+    | _ ->
+        let bytes =
+          List.fold_left (fun n e -> n + Oplog.size e) 0 entries
+        in
+        let last_packed =
+          (List.nth entries (List.length entries - 1)).Oplog.seq
+        in
+        (* A batch is a full chunk when it hit the byte budget or when
+           more entries exist beyond it; a final partial batch waits
+           for more updates unless urgent. *)
+        let is_full =
+          bytes >= t.params.Params.chunk_bytes
+          || last_packed < Oplog.Log.last_seq cs.log
+        in
+        if (not urgent) && not is_full then continue := false
+        else begin
+          let c =
+            Chunk.of_entries ~client:cs.cid ~idx:cs.chunk_count ~urgent
+              entries
+          in
+          cs.chunk_count <- cs.chunk_count + 1;
+          cs.fetched_seq <- c.Chunk.last_seq;
+          submit_chunk t cs c
+        end
+  done
+
+let build_pipelines t cs =
+  if t.parallel then begin
+    let scale_threshold = t.params.Params.scale_queue_threshold in
+    let publish_pl =
+      Pipeline.create ~scale_threshold ~name:(Printf.sprintf "pub.c%d" cs.cid)
+        ~stages:[ Pipeline.stage "publication" (publish_work t) ]
+        ~sink:(publish_sink t cs) ()
+    in
+    let repl_stages =
+      [
+        Pipeline.stage ~initial_workers:1
+          ~max_workers:t.params.Params.compress_workers "compression"
+          (compress_work t);
+        Pipeline.stage "transfer" (transfer_work t);
+      ]
+    in
+    let repl_pl =
+      Pipeline.create ~scale_threshold ~name:(Printf.sprintf "repl.c%d" cs.cid)
+        ~stages:repl_stages
+        ~sink:(fun _ -> ())
+        ()
+    in
+    let shared_pl =
+      Pipeline.create ~scale_threshold ~name:(Printf.sprintf "shared.c%d" cs.cid)
+        ~stages:
+          [
+            Pipeline.stage ~max_workers:2 "fetching" (fetch_work t);
+            Pipeline.stage ~max_workers:4 "validation" (validate_work t);
+          ]
+        ~sink:(fun c ->
+          Pipeline.submit publish_pl c;
+          Pipeline.submit repl_pl c)
+        ()
+    in
+    cs.shared_pl <- Some shared_pl;
+    cs.publish_pl <- Some publish_pl;
+    cs.repl_pl <- Some repl_pl
+  end
+  else begin
+    (* LineFS-NotParallel: one chunk at a time through all stages. *)
+    let seq_pl =
+      Pipeline.create ~name:(Printf.sprintf "seq.c%d" cs.cid)
+        ~stages:
+          [
+            Pipeline.stage "sequential" (fun c ->
+                fetch_work t c;
+                validate_work t c;
+                publish_work t c;
+                compress_work t c;
+                transfer_work t c);
+          ]
+        ~sink:(publish_sink t cs) ()
+    in
+    cs.seq_pl <- Some seq_pl
+  end
+
+(* ------------------------------------------------------------------ *)
+(* RPC planes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let handle_dmsg t = function
+  | Start { client } ->
+      let cs = client_state t client in
+      submit_chunks t cs ~urgent:false ~upto:None
+  | Repl_chunk { chunk; origin; wire } ->
+      handle_repl_chunk t ~chunk ~origin ~wire
+  | Repl_direct { chunk; origin } -> handle_repl_direct t ~chunk ~origin
+  | Repl_ack { client; idx; last_seq; sent_at } ->
+      handle_ack t ~client ~idx ~last_seq ~sent_at
+
+let handle_cmsg t = function
+  | C_fsync { client; upto } ->
+      let cs = client_state t client in
+      poll_core_work t (Time.us 1);
+      submit_chunks t cs ~urgent:true ~upto:(Some upto);
+      let done_iv = Ivar.create () in
+      Engine.spawn ~name:"nicfs.fsync-wait" (fun () ->
+          while cs.replicated_seq < upto do
+            Cond.await cs.repl_progress
+          done;
+          (* Crash consistency: leases must be durable before fsync
+             returns (§3.4). *)
+          Lease.wait_persisted t.lease;
+          Ivar.fill done_iv ());
+      R_done done_iv
+  | C_lease { client; inum; lt } ->
+      poll_core_work t (Time.ns 500);
+      let result =
+        match Lease.acquire t.lease ~client ~inum lt with
+        | `Granted -> `Granted
+        | `Conflict ->
+            (* Revoke conflicting holders: notify each (they drop their
+               cached lease), release, and retry the grant. *)
+            List.iter
+              (fun holder ->
+                if holder <> client then begin
+                  Net.Rdma.move ~src:(nic_loc t)
+                    ~dst:(Net.Loc.Host t.node) 64;
+                  (match Hashtbl.find_opt t.clients holder with
+                  | Some hcs ->
+                      (* on_revoke blocks until the holder's in-flight
+                         append (if any) finishes, so the grandfather
+                         limit below covers everything it logged under
+                         the lease. *)
+                      hcs.on_revoke ~inum;
+                      Hashtbl.replace hcs.grandfather inum
+                        (Oplog.Log.last_seq hcs.log)
+                  | None -> ());
+                  Lease.release t.lease ~client:holder ~inum
+                end)
+              (Lease.holders t.lease ~inum);
+            Lease.acquire t.lease ~client ~inum lt
+      in
+      R_lease result
+  | C_open { client = _; inum; write } ->
+      poll_core_work t (Time.us 1);
+      let check =
+        if write then Fs_state.writable t.fs inum
+        else Fs_state.readable t.fs inum
+      in
+      if not check then R_check (Error Fs_state.Eacces)
+      else begin
+        (* Ask the kernel worker to mmap the file pages read-only into
+           the client (§3.6); costs a host RPC. *)
+        (match
+           Kworker.submit t.kworker ~from:(nic_loc t)
+             { Kworker.total_bytes = 0; list_entries = 0 }
+         with
+        | `Ok | `Dead -> ());
+        R_check (Ok ())
+      end
+
+let create ?(pipeline_parallelism = true) ?(coalescing = false)
+    ?(compression = false) ?(apply_on_publish = false) ~params ~node ~fs
+    ~kworker () =
+  let rec t =
+    lazy
+      {
+        params;
+        node;
+        fs;
+        kworker;
+        lease =
+          Lease.create ~params ~node
+            ~replicate:(fun ~bytes -> lease_replicate (Lazy.force t) ~bytes)
+            ();
+        parallel = pipeline_parallelism;
+        apply_on_publish;
+        coalescing;
+        compression;
+        next_hop = None;
+        clients = Hashtbl.create 8;
+        kworker_ok = true;
+        is_isolated = false;
+        monitor_running = false;
+        flow = Cond.create ();
+        flow_blocked = false;
+        dserver = None;
+        cserver = None;
+        repl_wire = 0;
+        pub_bytes = 0;
+        coalesced = 0;
+        ack_lat = Stats.Series.create ();
+        epoch = 1;
+        history = Cluster.History.create ();
+      }
+  and lease_replicate t ~bytes =
+    (* Ship the lease record down the replication chain. *)
+    let rec go cur =
+      match cur.next_hop with
+      | None -> ()
+      | Some nxt ->
+          Net.Rdma.move ~src:(nic_loc cur) ~dst:(Net.Loc.Nic nxt.node) bytes;
+          Hw.Pm.write nxt.node.Hw.Node.pm bytes;
+          go nxt
+    in
+    go t
+  in
+  let t = Lazy.force t in
+  t.dserver <-
+    Some
+      (Net.Rpc.create
+         ~name:(Printf.sprintf "nicfs%d.data" node.Hw.Node.id)
+         ~loc:(nic_loc t)
+         ~kind:(Net.Rpc.Event { workers = 4; prio = Hw.Cpu.prio_normal })
+         ~handler:(fun m ->
+           handle_dmsg t m)
+         ());
+  t.cserver <-
+    Some
+      (Net.Rpc.create
+         ~name:(Printf.sprintf "nicfs%d.ctrl" node.Hw.Node.id)
+         ~loc:(nic_loc t) ~kind:Net.Rpc.Busy_poll
+         ~handler:(fun m -> handle_cmsg t m)
+         ());
+  t
+
+let set_next_hop t nxt = t.next_hop <- nxt
+let set_compression t b = t.compression <- b
+let compression_enabled t = t.compression
+let set_coalescing t b = t.coalescing <- b
+let isolated t = t.is_isolated
+let ping _t = true
+
+let start_monitor t =
+  if not t.monitor_running then begin
+    t.monitor_running <- true;
+    Engine.spawn ~name:"nicfs.monitor" (fun () ->
+        while t.monitor_running do
+          Engine.sleep t.params.Params.hb_interval;
+          if t.monitor_running then begin
+            (* Probe the kernel worker across PCIe. *)
+            Hw.Pcie.rpc_round_trip t.node.Hw.Node.pcie;
+            let ok = Kworker.alive t.kworker in
+            if (not ok) && t.kworker_ok then begin
+              t.kworker_ok <- false;
+              t.is_isolated <- true
+            end
+            else if ok && not t.kworker_ok then begin
+              t.kworker_ok <- true;
+              t.is_isolated <- false
+            end
+          end
+        done)
+  end
+
+let stop_monitor t = t.monitor_running <- false
+
+let register_client t ~id ~log ~on_published ~on_revoke =
+  let cs =
+    {
+      cid = id;
+      log;
+      on_published;
+      on_revoke;
+      grandfather = Hashtbl.create 8;
+      fetched_seq = 0;
+      chunk_count = 0;
+      replicated_seq = 0;
+      published_seq = 0;
+      repl_progress = Cond.create ();
+      publish_progress = Cond.create ();
+      completed_repl = Hashtbl.create 8;
+      next_repl_idx = 0;
+      acks = Hashtbl.create 8;
+      shared_pl = None;
+      publish_pl = None;
+      repl_pl = None;
+      seq_pl = None;
+    }
+  in
+  build_pipelines t cs;
+  Hashtbl.replace t.clients id cs
+
+let start_pipeline t ~from ~client =
+  Net.Rpc.post (dserver t) ~from (Start { client })
+
+let cserver t =
+  match t.cserver with Some s -> s | None -> failwith "nicfs: not started"
+
+let fsync t ~from ~client ~upto_seq =
+  match Net.Rpc.call (cserver t) ~from (C_fsync { client; upto = upto_seq }) with
+  | R_done iv ->
+      Ivar.read iv;
+      (* Completion notification back to LibFS. *)
+      Net.Rdma.move ~src:(nic_loc t) ~dst:from 64
+  | R_lease _ | R_check _ -> failwith "nicfs: protocol mismatch"
+
+let open_check t ~from ~client ~inum ~write =
+  match Net.Rpc.call (cserver t) ~from (C_open { client; inum; write }) with
+  | R_check r -> r
+  | R_done _ | R_lease _ -> failwith "nicfs: protocol mismatch"
+
+let lease_acquire t ~from ~client ~inum lt =
+  match Net.Rpc.call (cserver t) ~from (C_lease { client; inum; lt }) with
+  | R_lease r -> r
+  | R_done _ | R_check _ -> failwith "nicfs: protocol mismatch"
+
+let flush t ~client =
+  let cs = client_state t client in
+  let upto = Oplog.Log.last_seq cs.log in
+  if upto > cs.fetched_seq then submit_chunks t cs ~urgent:true ~upto:None;
+  while cs.replicated_seq < upto do
+    Cond.await cs.repl_progress
+  done;
+  while cs.published_seq < upto do
+    Cond.await cs.publish_progress
+  done;
+  Lease.wait_persisted t.lease
+
+let replicated_wire_bytes t = t.repl_wire
+let published_bytes t = t.pub_bytes
+let coalesced_entries t = t.coalesced
+
+let stage_series t ~client =
+  let cs = client_state t client in
+  match (cs.seq_pl, cs.shared_pl, cs.publish_pl, cs.repl_pl) with
+  | Some pl, _, _, _ -> [ ("sequential", Pipeline.stage_latency pl ~stage:"sequential") ]
+  | None, Some sh, Some pub, Some rep ->
+      [
+        ("fetching", Pipeline.stage_latency sh ~stage:"fetching");
+        ("validation", Pipeline.stage_latency sh ~stage:"validation");
+        ("publication", Pipeline.stage_latency pub ~stage:"publication");
+        ("compression", Pipeline.stage_latency rep ~stage:"compression");
+        ("transfer", Pipeline.stage_latency rep ~stage:"transfer");
+      ]
+  | _ -> []
+
+let stage_mean_us t ~client =
+  List.map (fun (n, s) -> (n, Stats.Series.mean s)) (stage_series t ~client)
+
+let ack_latency t = t.ack_lat
+
+(* ------------------------------------------------------------------ *)
+(* Epoch / history (recovery support, SS3.6)                           *)
+(* ------------------------------------------------------------------ *)
+
+let epoch t = t.epoch
+
+let set_epoch t e =
+  if e <> t.epoch then begin
+    t.epoch <- e;
+    (* Persist the epoch number to host PM. *)
+    Hw.Pm.write t.node.Hw.Node.pm 8
+  end
+
+let history t = t.history
+let fs t = t.fs

@@ -1,0 +1,122 @@
+(** NICFS: the LineFS daemon running on the SmartNIC (§3.3).
+
+    Runs the publishing and replication pipelines (sharing their fetch
+    and validation stages), the lease manager, replication flow
+    control, the host failure detector and isolated-mode operation.
+
+    Two RPC planes serve requests, per the paper's connection split:
+    a busy-polled low-latency plane (fsync notification, lease and open
+    checks) and an event-driven high-throughput plane (pipeline kicks,
+    chunk transfers, replication acks). *)
+
+open Sim
+
+type t
+
+val create :
+  ?pipeline_parallelism:bool ->
+  ?coalescing:bool ->
+  ?compression:bool ->
+  ?apply_on_publish:bool ->
+  params:Params.t ->
+  node:Hw.Node.t ->
+  fs:Storage.Fs_state.t ->
+  kworker:Kworker.t ->
+  unit ->
+  t
+(** Start the daemon (process context required).
+    [pipeline_parallelism:false] builds the LineFS-NotParallel baseline:
+    each chunk runs fetch->validate->publish->transfer sequentially.
+    [apply_on_publish] additionally replays entry semantics into [fs]
+    at publication (used by tests; benchmark clients apply eagerly). *)
+
+val node : t -> Hw.Node.t
+val lease_mgr : t -> Lease.t
+
+val set_next_hop : t -> t option -> unit
+(** Wire the replication chain successor ([None] for the last node). *)
+
+val set_compression : t -> bool -> unit
+val compression_enabled : t -> bool
+val set_coalescing : t -> bool -> unit
+
+val start_monitor : t -> unit
+(** Spawn the kernel-worker failure detector (§3.5). *)
+
+val stop_monitor : t -> unit
+val isolated : t -> bool
+val ping : t -> bool
+(** Cluster-manager heartbeat probe. *)
+
+(** {1 Client plane (used by LibFS)} *)
+
+val register_client :
+  t ->
+  id:int ->
+  log:Storage.Oplog.Log.t ->
+  on_published:(upto_seq:int -> unit) ->
+  on_revoke:(inum:int -> unit) ->
+  unit
+(** Attach a LibFS instance: its private log (shared host PM), the
+    reclamation callback invoked as publication progresses, and the
+    lease-revocation callback (drop the client's cached lease). *)
+
+val start_pipeline : t -> from:Net.Loc.t -> client:int -> unit
+(** Asynchronous "chunk ready" kick (LibFS posts this when its log has
+    accumulated a chunk's worth of updates). *)
+
+val fsync : t -> from:Net.Loc.t -> client:int -> upto_seq:int -> unit
+(** Blocks until every entry up to [upto_seq] is replicated on all
+    replicas and all outstanding lease grants are persisted. *)
+
+val open_check :
+  t ->
+  from:Net.Loc.t ->
+  client:int ->
+  inum:int ->
+  write:bool ->
+  (unit, Storage.Fs_state.error) result
+(** Permission check + kernel-worker mmap request (§3.6). *)
+
+val lease_acquire :
+  t ->
+  from:Net.Loc.t ->
+  client:int ->
+  inum:int ->
+  Lease.ltype ->
+  [ `Granted | `Conflict ]
+
+val flush : t -> client:int -> unit
+(** Drain: force-chunk all remaining entries and wait until everything
+    is replicated and published (benchmark teardown). *)
+
+(** {1 Introspection} *)
+
+val replicated_wire_bytes : t -> int
+(** Bytes this node sent to its chain successor (post-compression). *)
+
+val published_bytes : t -> int
+val coalesced_entries : t -> int
+
+val stage_mean_us : t -> client:int -> (string * float) list
+(** Mean per-chunk stage latencies, in microseconds, pipeline order. *)
+
+val stage_series : t -> client:int -> (string * Stats.Series.t) list
+
+val ack_latency : t -> Stats.Series.t
+(** Replication-ack round trip as seen by the primary. *)
+
+(** {1 Recovery support (SS3.6)} *)
+
+val epoch : t -> int
+(** The cluster epoch this NICFS last persisted. *)
+
+val set_epoch : t -> int -> unit
+(** Persist a new epoch number (cluster-manager notification). *)
+
+val history : t -> Cluster.History.t
+(** Replicated history bitmap: inodes updated per epoch (recorded at
+    publication time). *)
+
+val fs : t -> Storage.Fs_state.t
+(** The node's public FS state. *)

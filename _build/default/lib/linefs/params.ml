@@ -1,0 +1,50 @@
+open Sim
+
+type t = {
+  chunk_bytes : int;
+  log_bytes : int;
+  hi_watermark : float;
+  lo_watermark : float;
+  scale_queue_threshold : int;
+  max_stage_workers : int;
+  fs_op_cost : Time.t;
+  read_index_cost : Time.t;
+  validate_entry_cost : Time.t;
+  validate_byte_bps : float;
+  publish_entry_cost : Time.t;
+  compress_bps : float;
+  compress_workers : int;
+  lease_duration : Time.t;
+  kworker_batch : int;
+  kworker_interrupt_cost : Time.t;
+  hb_interval : Time.t;
+  replicas : int;
+}
+
+let default =
+  {
+    chunk_bytes = 4 * 1024 * 1024;
+    log_bytes = 512 * 1024 * 1024;
+    hi_watermark = 0.7;
+    lo_watermark = 0.3;
+    scale_queue_threshold = 5;
+    max_stage_workers = 4;
+    fs_op_cost = Time.ns 1000;
+    read_index_cost = Time.ns 150;
+    validate_entry_cost = Time.ns 40;
+    (* Header-walk + checksum scan; calibrated so validating a 4 MB
+       chunk of 16 KB entries takes ~65 us of SmartNIC wall time
+       (Figure 5). *)
+    validate_byte_bps = 2e11;
+    publish_entry_cost = Time.ns 200;
+    (* 200 MB/s of wall throughput on a 0.3-speed NIC core. *)
+    compress_bps = 6.7e8;
+    compress_workers = 16;
+    lease_duration = Time.sec 10;
+    kworker_batch = 32;
+    kworker_interrupt_cost = Time.us 5;
+    hb_interval = Time.ms 100;
+    replicas = 3;
+  }
+
+let chunk_of t bytes = bytes / t.chunk_bytes

@@ -1,0 +1,42 @@
+(** LineFS tunables (defaults follow the paper, §3-§5). *)
+
+open Sim
+
+type t = {
+  chunk_bytes : int;  (** Pipeline chunk size (4 MB). *)
+  log_bytes : int;  (** Per-client private log (512 MB). *)
+  hi_watermark : float;  (** NIC memory flow-control stop mark (0.7). *)
+  lo_watermark : float;  (** Resume mark (0.3). *)
+  scale_queue_threshold : int;
+      (** Stage wait-queue length that triggers assigning another
+          SmartNIC thread to the stage (5). *)
+  max_stage_workers : int;  (** Cap on threads per stage. *)
+  fs_op_cost : Time.t;
+      (** Host CPU cost of a LibFS call: syscall interception, log
+          header, index update (per operation, excluding data copy). *)
+  read_index_cost : Time.t;
+      (** Host CPU cost per extent-tree level on the read path. *)
+  validate_entry_cost : Time.t;
+      (** SmartNIC CPU work per log entry in the validation stage
+          (header parse, lease check, namespace sanity). *)
+  validate_byte_bps : float;
+      (** SmartNIC checksum scan throughput (bytes/s of reference CPU
+          work; actual wall time scales with NIC core speed). *)
+  publish_entry_cost : Time.t;
+      (** SmartNIC CPU work per entry to build indexes/copy lists. *)
+  compress_bps : float;
+      (** Single-core LZW throughput measured on the SmartNIC
+          (~200 MB/s, §5.4) expressed as reference work. *)
+  compress_workers : int;  (** Threads for the compression stage (16). *)
+  lease_duration : Time.t;
+  kworker_batch : int;  (** Copy-list entries per kernel-worker RPC. *)
+  kworker_interrupt_cost : Time.t;
+      (** Host CPU time to service a DMA completion interrupt. *)
+  hb_interval : Time.t;  (** Kernel-worker liveness probe period. *)
+  replicas : int;  (** Chain length including primary (3). *)
+}
+
+val default : t
+
+val chunk_of : t -> int -> int
+(** [chunk_of t bytes] is how many whole chunks fit in [bytes]. *)

@@ -1,0 +1,132 @@
+open Sim
+
+type 'a stage_spec = {
+  sname : string;
+  work : 'a -> unit;
+  initial_workers : int;
+  max_workers : int;
+}
+
+let stage ?(initial_workers = 1) ?(max_workers = 1) sname work =
+  { sname; work; initial_workers; max_workers }
+
+type 'a stage_rt = {
+  spec : 'a stage_spec;
+  queue : (int * Time.t * 'a) Mailbox.t; (* (index, enqueue time, item) *)
+  mutable nworkers : int;
+  reorder : (int, 'a) Hashtbl.t; (* completed, awaiting in-order handoff *)
+  mutable next_out : int;
+  latency : Stats.Series.t;
+  wait : Stats.Series.t;
+}
+
+type 'a t = {
+  name : string;
+  scale_threshold : int;
+  stages : 'a stage_rt array;
+  sink : 'a -> unit;
+  mutable next_idx : int;
+  mutable completed : int;
+}
+
+let rec spawn_worker t si =
+  let st = t.stages.(si) in
+  st.nworkers <- st.nworkers + 1;
+  let wname = Printf.sprintf "%s.%s.w%d" t.name st.spec.sname st.nworkers in
+  Engine.spawn ~name:wname (fun () ->
+      let rec loop () =
+        let idx, enq_at, item = Mailbox.recv st.queue in
+        Stats.Series.add st.wait (Time.to_us_f (Engine.now () - enq_at));
+        let t0 = Engine.now () in
+        st.spec.work item;
+        Stats.Series.add st.latency (Time.to_us_f (Engine.now () - t0));
+        deliver t si idx item;
+        loop ()
+      in
+      loop ())
+
+(* Hand completed items downstream in index order. *)
+and deliver t si idx item =
+  let st = t.stages.(si) in
+  Hashtbl.replace st.reorder idx item;
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt st.reorder st.next_out with
+    | None -> continue := false
+    | Some it ->
+        Hashtbl.remove st.reorder st.next_out;
+        let out_idx = st.next_out in
+        st.next_out <- st.next_out + 1;
+        if si + 1 < Array.length t.stages then enqueue t (si + 1) out_idx it
+        else begin
+          t.completed <- t.completed + 1;
+          t.sink it
+        end
+  done
+
+and enqueue t si idx item =
+  let st = t.stages.(si) in
+  Mailbox.send st.queue (idx, Engine.now (), item);
+  (* Dynamic parallelism: a backed-up stage gets another SmartNIC
+     thread (§3.1). *)
+  if
+    Mailbox.length st.queue > t.scale_threshold
+    && st.nworkers < st.spec.max_workers
+  then spawn_worker t si
+
+let create ?(scale_threshold = Params.default.Params.scale_queue_threshold)
+    ~name ~stages ~sink () =
+  if stages = [] then invalid_arg "Pipeline.create: no stages";
+  let t =
+    {
+      name;
+      scale_threshold;
+      stages =
+        Array.of_list
+          (List.map
+             (fun spec ->
+               {
+                 spec;
+                 queue = Mailbox.create ();
+                 nworkers = 0;
+                 reorder = Hashtbl.create 8;
+                 next_out = 0;
+                 latency = Stats.Series.create ();
+                 wait = Stats.Series.create ();
+               })
+             stages);
+      sink;
+      next_idx = 0;
+      completed = 0;
+    }
+  in
+  Array.iteri
+    (fun si st ->
+      for _ = 1 to max 1 st.spec.initial_workers do
+        if st.nworkers < max 1 st.spec.initial_workers then spawn_worker t si
+      done)
+    t.stages;
+  t
+
+let submit t item =
+  let idx = t.next_idx in
+  t.next_idx <- t.next_idx + 1;
+  enqueue t 0 idx item
+
+let find_stage t name =
+  match
+    Array.to_list t.stages
+    |> List.find_opt (fun st -> st.spec.sname = name)
+  with
+  | Some st -> st
+  | None -> raise Not_found
+
+let queue_length t ~stage = Mailbox.length (find_stage t stage).queue
+let workers t ~stage = (find_stage t stage).nworkers
+
+let stage_names t =
+  Array.to_list t.stages |> List.map (fun st -> st.spec.sname)
+
+let stage_latency t ~stage = (find_stage t stage).latency
+let stage_wait t ~stage = (find_stage t stage).wait
+let in_flight t = t.next_idx - t.completed

@@ -1,0 +1,61 @@
+(** Parallel datapath execution pipeline (§3.1, §3.3).
+
+    A pipeline is a linear sequence of stages.  Each stage has a wait
+    queue and one or more worker threads; items (chunks) flow through
+    all stages.  Stages overlap in time — while chunk 1 is being
+    published, chunk 2 is validated and chunk 3 fetched — but handoff
+    between stages is {e in submission order}, preserving client log
+    order for linearizability and prefix crash consistency.
+
+    When a stage's wait queue grows past the scale threshold (5 in the
+    paper), an extra worker is assigned to it, up to its per-stage
+    maximum; the in-order handoff makes extra workers safe.
+
+    Workers block on empty queues (no busy events), so idle pipelines
+    let the simulation quiesce. *)
+
+type 'a t
+
+type 'a stage_spec = {
+  sname : string;
+  work : 'a -> unit;
+      (** Processes one item; may block on resources. Stage-local. *)
+  initial_workers : int;
+  max_workers : int;
+}
+
+val stage :
+  ?initial_workers:int -> ?max_workers:int -> string -> ('a -> unit) ->
+  'a stage_spec
+(** Convenience constructor (defaults: 1 initial, 1 max). *)
+
+val create :
+  ?scale_threshold:int ->
+  name:string ->
+  stages:'a stage_spec list ->
+  sink:('a -> unit) ->
+  unit ->
+  'a t
+(** Build and start the pipeline (spawns workers; process context
+    required).  [sink] receives items that completed the final stage,
+    in submission order — use it to chain pipelines (the publish and
+    replication pipelines share their first two stages this way). *)
+
+val submit : 'a t -> 'a -> unit
+(** Enqueue into the first stage; never blocks. *)
+
+val queue_length : 'a t -> stage:string -> int
+(** Items waiting (not yet picked up) at a stage; raises [Not_found]
+    for unknown stages. *)
+
+val workers : 'a t -> stage:string -> int
+val stage_names : 'a t -> string list
+
+val stage_latency : 'a t -> stage:string -> Sim.Stats.Series.t
+(** Per-item processing time (wall, excluding queue wait). *)
+
+val stage_wait : 'a t -> stage:string -> Sim.Stats.Series.t
+(** Per-item queue wait before processing. *)
+
+val in_flight : 'a t -> int
+(** Items submitted but not yet delivered to the sink. *)

@@ -1,0 +1,70 @@
+open Sim
+open Storage
+
+type stats = {
+  from_epoch : int;
+  to_epoch : int;
+  inodes_resynced : int;
+  bytes_fetched : int;
+  log_entries_invalidated : int;
+  elapsed : Time.t;
+}
+
+let inode_metadata_bytes = 512
+let history_entry_bytes = 16
+
+let run ?(invalidate_logs = []) ~manager ~recovering ~source () =
+  let t0 = Engine.now () in
+  let rec_node = Nicfs.node recovering and src_node = Nicfs.node source in
+  (* 1. Re-register: the cluster manager bumps the epoch and notifies
+     every alive NICFS, which persists it. *)
+  let from_epoch = Nicfs.epoch recovering in
+  Cluster.Manager.mark_recovered manager ~id:rec_node.Hw.Node.id;
+  let to_epoch = Cluster.Manager.epoch manager in
+  Nicfs.set_epoch recovering to_epoch;
+  (* 2. Fetch the history bitmap from the online replica. *)
+  let bitmap = Cluster.History.copy (Nicfs.history source) in
+  let touched = Cluster.History.inodes_since bitmap ~epoch:from_epoch in
+  Net.Rdma.move
+    ~src:(Net.Loc.Nic src_node)
+    ~dst:(Net.Loc.Nic rec_node)
+    (List.length touched * history_entry_bytes);
+  (* 3. Pull each inode updated while we were down: metadata plus file
+     contents from the replica's public PM into ours. *)
+  let bytes = ref 0 in
+  List.iter
+    (fun inum ->
+      let size = Fs_state.file_size (Nicfs.fs source) inum in
+      let n = inode_metadata_bytes + size in
+      Net.Rdma.move ~src_medium:`Pm ~dst_medium:`Pm
+        ~src:(Net.Loc.Host src_node)
+        ~dst:(Net.Loc.Host rec_node)
+        n;
+      Cluster.History.record (Nicfs.history recovering) ~epoch:to_epoch ~inum;
+      bytes := !bytes + n)
+    touched;
+  (* 4. Invalidate stale local log entries touching recovered inodes. *)
+  let touched_set = List.sort_uniq compare touched in
+  let invalidated = ref 0 in
+  List.iter
+    (fun log ->
+      let stale = ref false in
+      Oplog.Log.iter log (fun e ->
+          if
+            List.exists
+              (fun inum -> List.mem inum touched_set)
+              (Oplog.touches e.Oplog.op)
+          then stale := true);
+      if !stale then begin
+        Oplog.Log.iter log (fun _ -> incr invalidated);
+        ignore (Oplog.Log.reclaim_upto log ~seq:(Oplog.Log.last_seq log) : int)
+      end)
+    invalidate_logs;
+  {
+    from_epoch;
+    to_epoch;
+    inodes_resynced = List.length touched;
+    bytes_fetched = !bytes;
+    log_entries_invalidated = !invalidated;
+    elapsed = Engine.now () - t0;
+  }

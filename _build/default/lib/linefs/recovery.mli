@@ -1,0 +1,30 @@
+(** NICFS recovery (§3.6).
+
+    When a failed NICFS restarts, it registers with the cluster
+    manager, reads its persisted epoch number, fetches the replicated
+    history bitmap from an online replica, and pulls every inode
+    recorded between its persisted epoch and the current one.  Local
+    update logs touching recovered inodes are invalidated. *)
+
+open Sim
+
+type stats = {
+  from_epoch : int;  (** Epoch the node persisted before going down. *)
+  to_epoch : int;  (** Cluster epoch after re-registration. *)
+  inodes_resynced : int;
+  bytes_fetched : int;  (** Data + metadata pulled from the replica. *)
+  log_entries_invalidated : int;
+  elapsed : Time.t;
+}
+
+val run :
+  ?invalidate_logs:Storage.Oplog.Log.t list ->
+  manager:Cluster.Manager.t ->
+  recovering:Nicfs.t ->
+  source:Nicfs.t ->
+  unit ->
+  stats
+(** Execute the recovery protocol (process context required).
+    [source] must be an online replica holding the history bitmap.
+    [invalidate_logs] are local client logs to scan for entries
+    touching recovered inodes (dropped wholesale when stale). *)

@@ -1,0 +1,1 @@
+lib/net/loc.ml: Format Hw

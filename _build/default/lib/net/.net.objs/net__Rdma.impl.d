@@ -1,0 +1,1 @@
+lib/net/rdma.ml: Bandwidth Config Hw Loc Netlink Node Pcie Pm Sim

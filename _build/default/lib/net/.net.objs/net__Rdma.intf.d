@@ -1,0 +1,1 @@
+lib/net/rdma.mli: Loc Sim

@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Engine Hw Ivar Loc Mailbox Printf Rdma Sim Time

@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Hw Loc Sim

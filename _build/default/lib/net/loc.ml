@@ -1,0 +1,9 @@
+type t = Host of Hw.Node.t | Nic of Hw.Node.t
+
+let node = function Host n | Nic n -> n
+let same_node a b = (node a).Hw.Node.id = (node b).Hw.Node.id
+let is_host = function Host _ -> true | Nic _ -> false
+
+let pp fmt = function
+  | Host n -> Format.fprintf fmt "host%d" n.Hw.Node.id
+  | Nic n -> Format.fprintf fmt "nic%d" n.Hw.Node.id

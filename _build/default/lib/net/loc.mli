@@ -1,0 +1,14 @@
+(** Memory/agent locations in the cluster.
+
+    A location names where data lives or where an agent executes: in a
+    node's host memory (PM/DRAM behind the PCIe root complex) or in its
+    SmartNIC's memory.  Data-movement costs are derived from the pair
+    of endpoints (§2.2): crossing PCIe costs microseconds; crossing the
+    network costs port bandwidth plus fabric latency. *)
+
+type t = Host of Hw.Node.t | Nic of Hw.Node.t
+
+val node : t -> Hw.Node.t
+val same_node : t -> t -> bool
+val is_host : t -> bool
+val pp : Format.formatter -> t -> unit

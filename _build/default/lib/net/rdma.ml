@@ -1,0 +1,46 @@
+open Hw
+
+let pm_charge medium (node : Node.t) ~write n =
+  match medium with
+  | `Dram -> ()
+  | `Pm -> if write then Pm.write node.pm n else Pm.read node.pm n
+
+let move ?(src_medium = `Dram) ?(dst_medium = `Dram) ~src ~dst n =
+  let src_node = Loc.node src and dst_node = Loc.node dst in
+  pm_charge src_medium src_node ~write:false n;
+  if Loc.same_node src dst then begin
+    match (src, dst) with
+    | Loc.Host _, Loc.Nic _ | Loc.Nic _, Loc.Host _ ->
+        Pcie.transfer src_node.pcie n
+    | Loc.Host _, Loc.Host _ | Loc.Nic _, Loc.Nic _ ->
+        (* Same memory domain: the copy engine (CPU/DMA) is modelled by
+           the caller; RDMA adds nothing. *)
+        ()
+  end
+  else begin
+    (* Crossing host PCIe adds latency but its bandwidth (8 GB/s) never
+       binds behind the 2.2 GB/s port, so only latency is charged. *)
+    if Loc.is_host src then Sim.Engine.sleep (Pcie.latency src_node.pcie);
+    Netlink.send ~src:src_node.port ~dst:dst_node.port n;
+    if Loc.is_host dst then Sim.Engine.sleep (Pcie.latency dst_node.pcie)
+  end;
+  pm_charge dst_medium dst_node ~write:true n
+
+let move_time_estimate ~src ~dst n =
+  let src_node = Loc.node src and dst_node = Loc.node dst in
+  if Loc.same_node src dst then begin
+    match (src, dst) with
+    | Loc.Host _, Loc.Nic _ | Loc.Nic _, Loc.Host _ ->
+        Pcie.transfer_time src_node.pcie n
+    | _ -> 0
+  end
+  else begin
+    let pcie_hops =
+      (if Loc.is_host src then Pcie.latency src_node.pcie else 0)
+      + if Loc.is_host dst then Pcie.latency dst_node.pcie else 0
+    in
+    let _ = dst_node in
+    pcie_hops
+    + Bandwidth.time_for (Netlink.egress src_node.port) n
+    + src_node.cfg.Config.net_latency
+  end

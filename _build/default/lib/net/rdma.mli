@@ -1,0 +1,29 @@
+(** RDMA data movement between locations.
+
+    One-sided semantics: moving bytes between two locations costs the
+    interconnects crossed, with no CPU charged at either end (the
+    RDMA/DMA engines do the work):
+
+    - same node, host <-> NIC: a PCIe transfer;
+    - cross-node: the sender port's egress bandwidth + fabric latency,
+      plus a PCIe hop latency for each host-memory endpoint (the
+      BlueField's RDMA switch DMAs directly into host memory);
+    - same location: free (a real system would not issue RDMA at all;
+      intra-memory copies are modelled by their engine: CPU or I/OAT).
+
+    PM device time is charged when a host-memory endpoint is marked
+    persistent ([`Pm]), modelling placement of received data directly
+    into PM. *)
+
+val move :
+  ?src_medium:[ `Pm | `Dram ] ->
+  ?dst_medium:[ `Pm | `Dram ] ->
+  src:Loc.t ->
+  dst:Loc.t ->
+  int ->
+  unit
+(** Move [n] bytes; blocks the calling process for the full transfer.
+    Defaults: both media [`Dram] (no PM device time). *)
+
+val move_time_estimate : src:Loc.t -> dst:Loc.t -> int -> Sim.Time.t
+(** Uncontended estimate (no PM component), for planning decisions. *)

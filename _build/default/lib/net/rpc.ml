@@ -1,0 +1,104 @@
+open Sim
+
+type kind =
+  | Busy_poll
+  | Event of { workers : int; prio : Hw.Cpu.prio }
+
+type ('req, 'resp) msg = Req of 'req * 'resp Ivar.t option | Stop
+
+type ('req, 'resp) t = {
+  name : string;
+  loc : Loc.t;
+  inbox : ('req, 'resp) msg Mailbox.t;
+  kind : kind;
+  handler : 'req -> 'resp;
+  dispatch_cost : Time.t;
+  poll_overhead : Time.t;
+  n_workers : int;
+}
+
+let pool_of loc =
+  match loc with
+  | Loc.Host n -> n.Hw.Node.host
+  | Loc.Nic n -> Hw.Smartnic.cpu n.Hw.Node.nic
+
+let answer iv_opt resp =
+  match iv_opt with Some iv -> Ivar.fill iv resp | None -> ()
+
+let busy_poll_worker t pool =
+  let rec loop () =
+    match Mailbox.recv t.inbox with
+    | Stop -> Hw.Cpu.unreserve_core pool
+    | Req (req, iv) ->
+        (* Poll granularity: the spinner notices the request almost
+           immediately; no scheduler involvement. *)
+        Engine.sleep t.poll_overhead;
+        answer iv (t.handler req);
+        loop ()
+  in
+  loop ()
+
+let event_worker t pool prio =
+  let rec loop () =
+    match Mailbox.recv t.inbox with
+    | Stop -> ()
+    | Req (req, iv) ->
+        (* Wake-up: the worker must get CPU time to even look at the
+           request; under contention this queues. *)
+        Hw.Cpu.run ~prio pool t.dispatch_cost;
+        answer iv (t.handler req);
+        loop ()
+  in
+  loop ()
+
+let create ?(dispatch_cost = Time.us 5) ?(poll_overhead = Time.ns 200) ~name
+    ~loc ~kind ~handler () =
+  let n_workers =
+    match kind with Busy_poll -> 1 | Event { workers; _ } -> workers
+  in
+  let t =
+    {
+      name;
+      loc;
+      inbox = Mailbox.create ();
+      kind;
+      handler;
+      dispatch_cost;
+      poll_overhead;
+      n_workers;
+    }
+  in
+  let pool = pool_of loc in
+  (match kind with
+  | Busy_poll ->
+      Hw.Cpu.reserve_core pool;
+      Engine.spawn ~name:(name ^ ".poll") (fun () -> busy_poll_worker t pool)
+  | Event { workers; prio } ->
+      for i = 1 to workers do
+        Engine.spawn
+          ~name:(Printf.sprintf "%s.worker%d" name i)
+          (fun () -> event_worker t pool prio)
+      done);
+  t
+
+let loc t = t.loc
+let msg_bytes = 64
+
+let call t ~from ?(bytes = msg_bytes) req =
+  Rdma.move ~src:from ~dst:t.loc bytes;
+  let iv = Ivar.create () in
+  Mailbox.send t.inbox (Req (req, Some iv));
+  let resp = Ivar.read iv in
+  Rdma.move ~src:t.loc ~dst:from msg_bytes;
+  resp
+
+let post t ~from ?(bytes = msg_bytes) req =
+  Rdma.move ~src:from ~dst:t.loc bytes;
+  Mailbox.send t.inbox (Req (req, None))
+
+let queue_length t = Mailbox.length t.inbox
+
+let shutdown t =
+  for _ = 1 to t.n_workers do
+    Mailbox.send t.inbox Stop
+  done

@@ -1,0 +1,51 @@
+(** RPC between cluster agents, with the paper's two connection classes
+    (§3.3.2 "scalable, low latency RDMA request processing"):
+
+    - [`Busy_poll]: a dedicated thread pinned to a reserved core spins
+      on the completion queue.  Requests are picked up within the poll
+      granularity (sub-microsecond) regardless of CPU load — but one
+      core is permanently consumed.  All of the server's connections are
+      multiplexed onto this single thread (few QPs by design).
+    - [`Event]: a worker pool is woken per request; each dispatch pays
+      wake-up/context-switch time {e on the CPU pool}, so under host
+      contention dispatch queues behind application threads — the
+      mechanism behind Assise's inflated tail latencies when busy.
+
+    Handlers run in simulation-process context and may block (move
+    data, take locks, call further RPCs). *)
+
+type ('req, 'resp) t
+
+type kind =
+  | Busy_poll
+  | Event of { workers : int; prio : Hw.Cpu.prio }
+
+val create :
+  ?dispatch_cost:Sim.Time.t ->
+  ?poll_overhead:Sim.Time.t ->
+  name:string ->
+  loc:Loc.t ->
+  kind:kind ->
+  handler:('req -> 'resp) ->
+  unit ->
+  ('req, 'resp) t
+(** Start serving. [Busy_poll] reserves one core on [loc]'s CPU pool.
+    Defaults: [dispatch_cost] 5 us, [poll_overhead] 200 ns. *)
+
+val loc : _ t -> Loc.t
+
+val call : ('req, 'resp) t -> from:Loc.t -> ?bytes:int -> 'req -> 'resp
+(** Synchronous request: sends a message of [bytes] (default 64) to the
+    server location, waits for the handler, pays the response transfer
+    back. *)
+
+val post : ('req, 'resp) t -> from:Loc.t -> ?bytes:int -> 'req -> unit
+(** Fire-and-forget: pays the request transfer, does not wait for the
+    handler to finish. *)
+
+val queue_length : _ t -> int
+(** Requests waiting to be picked up (a load signal). *)
+
+val shutdown : _ t -> unit
+(** Stop workers after the current queue drains; frees the reserved
+    core for busy-poll servers. *)

@@ -1,0 +1,1 @@
+lib/sim/ivar.ml: Cond Engine Option

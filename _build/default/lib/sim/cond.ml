@@ -1,0 +1,37 @@
+type entry = { mutable cancelled : bool; wake : bool -> unit }
+type t = { waiting : entry Queue.t }
+
+let create () = { waiting = Queue.create () }
+
+let await t =
+  ignore
+    (Engine.suspend (fun wake ->
+         Queue.add { cancelled = false; wake } t.waiting)
+      : bool)
+
+let await_timeout t d =
+  let entry = ref None in
+  let register wake =
+    let e = { cancelled = false; wake } in
+    entry := Some e;
+    Queue.add e t.waiting
+  in
+  match Engine.suspend_cancellable register ~timeout:d with
+  | Some _ -> true
+  | None ->
+      (* Mark our queue entry dead so a later signal is not swallowed. *)
+      (match !entry with Some e -> e.cancelled <- true | None -> ());
+      false
+
+let rec signal t =
+  match Queue.take_opt t.waiting with
+  | None -> ()
+  | Some e -> if e.cancelled then signal t else e.wake true
+
+let broadcast t =
+  let all = Queue.copy t.waiting in
+  Queue.clear t.waiting;
+  Queue.iter (fun e -> if not e.cancelled then e.wake true) all
+
+let waiters t =
+  Queue.fold (fun n e -> if e.cancelled then n else n + 1) 0 t.waiting

@@ -1,0 +1,25 @@
+(** Condition variables for simulation processes.
+
+    Unlike POSIX condition variables there is no associated mutex:
+    processes are cooperative, so the check-then-wait sequence is atomic
+    as long as it performs no blocking operation in between. *)
+
+type t
+
+val create : unit -> t
+
+val await : t -> unit
+(** Park the calling process until {!signal} or {!broadcast}. *)
+
+val await_timeout : t -> Time.t -> bool
+(** [await_timeout c d] waits for at most [d]; returns [true] if woken
+    by a signal, [false] on timeout. *)
+
+val signal : t -> unit
+(** Wake one waiter (FIFO order); no-op if none are waiting. *)
+
+val broadcast : t -> unit
+(** Wake all current waiters. *)
+
+val waiters : t -> int
+(** Number of processes currently parked. *)

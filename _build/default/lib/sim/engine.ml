@@ -1,0 +1,156 @@
+open Effect
+open Effect.Deep
+
+type event = { name : string; fn : unit -> unit }
+
+type t = {
+  mutable now : Time.t;
+  mutable seq : int;
+  mutable events : event Heap.t;
+  mutable stopped : bool;
+  mutable current_name : string;
+  mutable live : int;
+  rng : Rng.t;
+}
+
+exception Process_failure of string * exn
+exception Not_in_process
+
+let () =
+  Printexc.register_printer (function
+    | Process_failure (name, e) ->
+        Some
+          (Printf.sprintf "Process_failure(%S, %s)" name (Printexc.to_string e))
+    | _ -> None)
+
+let create ?(seed = 42) () =
+  {
+    now = 0;
+    seq = 0;
+    events = Heap.create ();
+    stopped = false;
+    current_name = "<none>";
+    live = 0;
+    rng = Rng.create seed;
+  }
+
+let rng t = t.rng
+let current_time t = t.now
+
+let schedule t ~at ~name fn =
+  let at = if at < t.now then t.now else at in
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~key:at ~seq:t.seq { name; fn }
+
+(* Effects performed by processes; each engine installs a deep handler
+   around every process it runs, so the handler below closes over [t]. *)
+type _ Effect.t +=
+  | Now : Time.t Effect.t
+  | Sleep : Time.t -> unit Effect.t
+  | Yield : unit Effect.t
+  | Spawn : string * (unit -> unit) -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Suspend_timeout :
+      (('a -> unit) -> unit) * Time.t
+      -> 'a option Effect.t
+  | Name : string Effect.t
+
+let rec run_process t name f =
+  t.live <- t.live + 1;
+  match_with f ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun e ->
+          t.live <- t.live - 1;
+          match e with
+          | Process_failure _ -> raise e
+          | e -> raise (Process_failure (name, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Now -> Some (fun (k : (a, _) continuation) -> continue k t.now)
+          | Name -> Some (fun k -> continue k name)
+          | Sleep d ->
+              Some
+                (fun k ->
+                  schedule t ~at:(t.now + d) ~name (fun () -> continue k ()))
+          | Yield ->
+              Some
+                (fun k -> schedule t ~at:t.now ~name (fun () -> continue k ()))
+          | Spawn (child_name, g) ->
+              Some
+                (fun k ->
+                  schedule t ~at:t.now ~name:child_name (fun () ->
+                      run_process t child_name g);
+                  continue k ())
+          | Suspend register ->
+              Some
+                (fun k ->
+                  let fired = ref false in
+                  let waker v =
+                    if not !fired then begin
+                      fired := true;
+                      schedule t ~at:t.now ~name (fun () -> continue k v)
+                    end
+                  in
+                  register waker)
+          | Suspend_timeout (register, timeout) ->
+              Some
+                (fun k ->
+                  let fired = ref false in
+                  let waker v =
+                    if not !fired then begin
+                      fired := true;
+                      schedule t ~at:t.now ~name (fun () ->
+                          continue k (Some v))
+                    end
+                  in
+                  register waker;
+                  schedule t ~at:(t.now + timeout) ~name (fun () ->
+                      if not !fired then begin
+                        fired := true;
+                        continue k None
+                      end))
+          | _ -> None);
+    }
+
+let spawn_root ?(name = "root") t f =
+  schedule t ~at:t.now ~name (fun () -> run_process t name f)
+
+let run ?deadline t =
+  t.stopped <- false;
+  let running = ref true in
+  while !running && not t.stopped do
+    match Heap.pop t.events with
+    | None -> running := false
+    | Some (time, _seq, ev) -> (
+        match deadline with
+        | Some d when time > d ->
+            t.now <- d;
+            t.events <- Heap.create ();
+            running := false
+        | _ ->
+            if time > t.now then t.now <- time;
+            t.current_name <- ev.name;
+            ev.fn ())
+  done
+
+let stop t = t.stopped <- true
+
+let wrap_unhandled f =
+  try f () with Effect.Unhandled _ -> raise Not_in_process
+
+let now () = wrap_unhandled (fun () -> perform Now)
+let sleep d = wrap_unhandled (fun () -> perform (Sleep d))
+let yield () = wrap_unhandled (fun () -> perform Yield)
+
+let spawn ?(name = "proc") f =
+  wrap_unhandled (fun () -> perform (Spawn (name, f)))
+
+let suspend register = wrap_unhandled (fun () -> perform (Suspend register))
+
+let suspend_cancellable register ~timeout =
+  wrap_unhandled (fun () -> perform (Suspend_timeout (register, timeout)))
+
+let process_name () = wrap_unhandled (fun () -> perform Name)

@@ -1,0 +1,83 @@
+(** Discrete-event simulation engine.
+
+    The engine advances a virtual clock by executing events in timestamp
+    order.  Simulation code runs as cooperative {e processes}: ordinary
+    OCaml functions that perform effects ([sleep], [suspend], [spawn])
+    handled by the engine.  A process runs uninterrupted (in zero
+    simulated time) until it sleeps or suspends, which makes all
+    simulations single-threaded and deterministic.
+
+    Typical usage:
+    {[
+      let eng = Engine.create () in
+      Engine.spawn_root eng (fun () ->
+          Engine.sleep (Time.us 10);
+          Fmt.pr "now = %a@." Time.pp (Engine.now ()));
+      Engine.run eng
+    ]} *)
+
+type t
+(** An engine instance. Engines are independent; a process spawned on one
+    engine must not interact with primitives of another. *)
+
+exception Process_failure of string * exn
+(** Raised out of {!run} when a process raises: carries the process name
+    and the original exception. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ()] is a fresh engine with the clock at 0. [seed] seeds the
+    engine-level RNG stream (see {!rng}). *)
+
+val rng : t -> Rng.t
+(** Engine-level RNG; components should [Rng.split] their own stream. *)
+
+val current_time : t -> Time.t
+(** Clock value, readable from outside any process. *)
+
+val spawn_root : ?name:string -> t -> (unit -> unit) -> unit
+(** Schedule a top-level process to start at the current clock value.
+    Usable from outside process context (before or between [run] calls). *)
+
+val run : ?deadline:Time.t -> t -> unit
+(** Execute events until the queue drains or the clock would pass
+    [deadline].  When the deadline cuts the run short, pending events are
+    discarded; the clock is left at [deadline]. *)
+
+val stop : t -> unit
+(** Request that {!run} return after the current event; pending events
+    are kept (a subsequent [run] resumes them). Callable from processes. *)
+
+(** {1 Process-context operations}
+
+    The following functions must be called from inside a process (i.e.
+    under [run]); calling them elsewhere raises [Not_in_process]. *)
+
+exception Not_in_process
+
+val now : unit -> Time.t
+(** Current simulated time. *)
+
+val sleep : Time.t -> unit
+(** Suspend the calling process for the given duration. *)
+
+val yield : unit -> unit
+(** Re-schedule the calling process at the current time, letting other
+    ready processes run first. *)
+
+val spawn : ?name:string -> (unit -> unit) -> unit
+(** Start a new process at the current time. The spawner continues
+    immediately; the child runs when the spawner next suspends. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] parks the calling process and calls
+    [register waker].  Some other process (or timer) later calls
+    [waker v]; the parked process then resumes with [v].  Calling the
+    waker more than once is harmless: only the first call resumes. *)
+
+val suspend_cancellable :
+  (('a -> unit) -> unit) -> timeout:Time.t -> 'a option
+(** Like {!suspend} but resumes with [None] if the waker has not fired
+    within [timeout]. *)
+
+val process_name : unit -> string
+(** Name of the calling process (for diagnostics). *)

@@ -1,0 +1,26 @@
+(** Array-based binary min-heap used as the simulator's event queue.
+
+    Elements are ordered by a pair [(key, seq)]: the primary key is the
+    event timestamp; [seq] is a caller-supplied tie-breaker that makes
+    ordering of simultaneous events deterministic (FIFO by insertion). *)
+
+type 'a t
+(** A min-heap holding values of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [push h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+
+val pop : 'a t -> (int * int * 'a) option
+(** [pop h] removes and returns the minimum element as
+    [(key, seq, value)], or [None] when the heap is empty. *)
+
+val peek_key : 'a t -> int option
+(** [peek_key h] is the minimum key without removing it. *)

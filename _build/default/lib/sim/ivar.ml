@@ -1,0 +1,35 @@
+type 'a t = { mutable value : 'a option; filled : Cond.t }
+
+let create () = { value = None; filled = Cond.create () }
+
+let fill t v =
+  match t.value with
+  | Some _ -> invalid_arg "Ivar.fill: already filled"
+  | None ->
+      t.value <- Some v;
+      Cond.broadcast t.filled
+
+let rec read t =
+  match t.value with
+  | Some v -> v
+  | None ->
+      Cond.await t.filled;
+      read t
+
+let read_timeout t d =
+  let deadline = Engine.now () + d in
+  let rec loop () =
+    match t.value with
+    | Some v -> Some v
+    | None ->
+        let remaining = deadline - Engine.now () in
+        if remaining <= 0 then None
+        else begin
+          ignore (Cond.await_timeout t.filled remaining : bool);
+          loop ()
+        end
+  in
+  loop ()
+
+let peek t = t.value
+let is_filled t = Option.is_some t.value

@@ -1,0 +1,23 @@
+(** Write-once synchronization cell ("future").
+
+    The canonical reply slot for RPCs: the requester [read]s, the
+    responder [fill]s exactly once. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Set the value and wake all readers. Raises [Invalid_argument] if
+    already filled. *)
+
+val read : 'a t -> 'a
+(** Return the value, blocking until {!fill}. *)
+
+val read_timeout : 'a t -> Time.t -> 'a option
+(** Like {!read} but gives up after the timeout. *)
+
+val peek : 'a t -> 'a option
+(** Non-blocking read. *)
+
+val is_filled : 'a t -> bool

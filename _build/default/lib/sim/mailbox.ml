@@ -1,0 +1,33 @@
+type 'a t = { messages : 'a Queue.t; nonempty : Cond.t }
+
+let create () = { messages = Queue.create (); nonempty = Cond.create () }
+
+let send t v =
+  Queue.add v t.messages;
+  Cond.signal t.nonempty
+
+let rec recv t =
+  match Queue.take_opt t.messages with
+  | Some v -> v
+  | None ->
+      Cond.await t.nonempty;
+      recv t
+
+let recv_timeout t d =
+  let deadline = Engine.now () + d in
+  let rec loop () =
+    match Queue.take_opt t.messages with
+    | Some v -> Some v
+    | None ->
+        let remaining = deadline - Engine.now () in
+        if remaining <= 0 then None
+        else begin
+          ignore (Cond.await_timeout t.nonempty remaining : bool);
+          loop ()
+        end
+  in
+  loop ()
+
+let try_recv t = Queue.take_opt t.messages
+let length t = Queue.length t.messages
+let is_empty t = Queue.is_empty t.messages

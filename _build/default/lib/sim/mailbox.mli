@@ -1,0 +1,26 @@
+(** Unbounded FIFO message channel between simulation processes.
+
+    [send] never blocks; [recv] blocks until a message is available.
+    Delivery order is FIFO and receivers are served in arrival order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a message; wakes one waiting receiver if any. *)
+
+val recv : 'a t -> 'a
+(** Dequeue the oldest message, blocking while the mailbox is empty. *)
+
+val recv_timeout : 'a t -> Time.t -> 'a option
+(** Like {!recv} but gives up after the timeout. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Messages currently queued (excludes messages already handed to
+    waiting receivers). *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = int64 t }
+
+let int t n =
+  assert (n > 0);
+  let v = Int64.to_int (int64 t) land max_int in
+  v mod n
+
+let float t x =
+  (* 53 random bits scaled to [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0 *. x
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let byte t = Char.chr (Int64.to_int (Int64.logand (int64 t) 0xFFL))
+
+let fill_bytes t buf =
+  let n = Bytes.length buf in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    Bytes.set_int64_le buf !i (int64 t);
+    i := !i + 8
+  done;
+  while !i < n do
+    Bytes.set buf !i (byte t);
+    incr i
+  done
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,30 @@
+type t = { mutable permits : int; waiting : (unit -> unit) Queue.t }
+
+let create n =
+  assert (n >= 0);
+  { permits = n; waiting = Queue.create () }
+
+let acquire t =
+  if t.permits > 0 then t.permits <- t.permits - 1
+  else
+    (* The permit is handed over directly by [release], so a process that
+       was already waiting cannot be overtaken by a newcomer. *)
+    Engine.suspend (fun wake -> Queue.add (fun () -> wake ()) t.waiting)
+
+let release t =
+  match Queue.take_opt t.waiting with
+  | Some wake -> wake ()
+  | None -> t.permits <- t.permits + 1
+
+let with_permit t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e
+
+let available t = t.permits
+let waiters t = Queue.length t.waiting

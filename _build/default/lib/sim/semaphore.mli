@@ -1,0 +1,26 @@
+(** Counting semaphore with FIFO waiters.
+
+    Used to model exclusive or limited-capacity resources (mutexes are
+    semaphores of capacity 1). *)
+
+type t
+
+val create : int -> t
+(** [create n] is a semaphore with [n] initial permits. [n >= 0]. *)
+
+val acquire : t -> unit
+(** Take one permit, blocking while none are available. Waiters are
+    served in FIFO order. *)
+
+val release : t -> unit
+(** Return one permit, waking the oldest waiter if any. *)
+
+val with_permit : t -> (unit -> 'a) -> 'a
+(** [with_permit t f] brackets [f] with acquire/release, releasing on
+    exceptions too. *)
+
+val available : t -> int
+(** Current number of free permits. *)
+
+val waiters : t -> int
+(** Number of blocked acquirers. *)

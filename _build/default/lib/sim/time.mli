@@ -1,0 +1,41 @@
+(** Simulated time.
+
+    All simulation timestamps and durations are expressed in integer
+    nanoseconds.  A 63-bit [int] covers ~292 years of simulated time, far
+    beyond any experiment in this repository. *)
+
+type t = int
+(** A point in time or a duration, in nanoseconds. *)
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is [n] seconds. *)
+
+val of_sec_f : float -> t
+(** [of_sec_f s] converts fractional seconds to nanoseconds (rounded). *)
+
+val of_us_f : float -> t
+(** [of_us_f u] converts fractional microseconds to nanoseconds (rounded). *)
+
+val to_sec_f : t -> float
+(** [to_sec_f t] is [t] expressed in seconds. *)
+
+val to_us_f : t -> float
+(** [to_us_f t] is [t] expressed in microseconds. *)
+
+val to_ms_f : t -> float
+(** [to_ms_f t] is [t] expressed in milliseconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print a duration with an adaptive unit (ns/us/ms/s). *)
+
+val to_string : t -> string
+(** [to_string t] is [Format.asprintf "%a" pp t]. *)

@@ -1,0 +1,1 @@
+lib/storage/data.ml: Bytes Char Format Int64 List Sim

@@ -1,0 +1,1 @@
+lib/storage/data.mli: Format Sim

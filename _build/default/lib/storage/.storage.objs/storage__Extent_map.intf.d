@@ -1,0 +1,1 @@
+lib/storage/extent_map.mli: Data

@@ -1,0 +1,1 @@
+lib/storage/fs_state.ml: Data Extent_map Format Hashtbl List Oplog String

@@ -1,0 +1,1 @@
+lib/storage/fs_state.mli: Data Format Oplog

@@ -1,0 +1,1 @@
+lib/storage/oplog.ml: Buffer Bytes Char Crc32 Data Format Int32 Int64 List Printf Queue String

@@ -1,0 +1,1 @@
+lib/storage/oplog.mli: Bytes Data Format

@@ -1,0 +1,37 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc buf ~pos ~len =
+  let table = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get buf i)))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let bytes buf = update 0l buf ~pos:0 ~len:(Bytes.length buf)
+let string s = bytes (Bytes.unsafe_of_string s)
+
+let data d =
+  let n = Data.length d in
+  let chunk = 8192 in
+  let rec go crc pos =
+    if pos >= n then crc
+    else begin
+      let len = min chunk (n - pos) in
+      let b = Data.to_bytes (Data.sub d ~pos ~len) in
+      go (update crc b ~pos:0 ~len) (pos + len)
+    end
+  in
+  go 0l 0

@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3 polynomial), table-driven.
+
+    Used to checksum log entries; the NICFS validation stage recomputes
+    it over fetched chunks, which is part of the real computational load
+    offloaded to the SmartNIC. *)
+
+val bytes : Bytes.t -> int32
+(** Checksum of a whole buffer. *)
+
+val string : string -> int32
+
+val update : int32 -> Bytes.t -> pos:int -> len:int -> int32
+(** Incremental: extend a running checksum. Start from [0l]. *)
+
+val data : Data.t -> int32
+(** Checksum of a payload (synthetic data is generated chunk-wise). *)

@@ -1,0 +1,120 @@
+type t =
+  | Real of { buf : bytes; pos : int; len : int }
+  | Synth of { seed : int; off : int; len : int }
+  | Zero of { len : int }
+
+let real buf = Real { buf; pos = 0; len = Bytes.length buf }
+let of_string s = real (Bytes.of_string s)
+let synthetic ~seed ~len = Synth { seed; off = 0; len }
+let zero ~len = Zero { len }
+let empty = Real { buf = Bytes.empty; pos = 0; len = 0 }
+let length = function Real r -> r.len | Synth s -> s.len | Zero z -> z.len
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg "Data.sub: out of bounds";
+  match t with
+  | Real r -> Real { buf = r.buf; pos = r.pos + pos; len }
+  | Synth s -> Synth { seed = s.seed; off = s.off + pos; len }
+  | Zero _ -> Zero { len }
+
+(* Deterministic synthetic content: 8-byte words derived from the seed
+   and the absolute word index, so slices agree with their parent. *)
+let synth_word seed widx =
+  let mix z =
+    let z =
+      Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L)
+    in
+    let z =
+      Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL)
+    in
+    Int64.(logxor z (shift_right_logical z 31))
+  in
+  mix (Int64.add (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+         (Int64.of_int widx))
+
+let synth_byte seed p =
+  let word = synth_word seed (p / 8) in
+  Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * (p mod 8))) land 0xFF)
+
+let get t i =
+  if i < 0 || i >= length t then invalid_arg "Data.get: out of bounds";
+  match t with
+  | Real r -> Bytes.get r.buf (r.pos + i)
+  | Synth s -> synth_byte s.seed (s.off + i)
+  | Zero _ -> '\000'
+
+let to_bytes = function
+  | Real r -> Bytes.sub r.buf r.pos r.len
+  | Synth s ->
+      let out = Bytes.create s.len in
+      for i = 0 to s.len - 1 do
+        Bytes.unsafe_set out i (synth_byte s.seed (s.off + i))
+      done;
+      out
+  | Zero z -> Bytes.make z.len '\000'
+
+let concat parts =
+  let parts = List.filter (fun p -> length p > 0) parts in
+  match parts with
+  | [] -> empty
+  | [ p ] -> p
+  | first :: rest ->
+      (* Re-join adjacent synthetic slices of the same stream. *)
+      let rejoined =
+        List.fold_left
+          (fun acc p ->
+            match (acc, p) with
+            | Some (Synth a), Synth b
+              when a.seed = b.seed && a.off + a.len = b.off ->
+                Some (Synth { a with len = a.len + b.len })
+            | Some (Zero a), Zero b -> Some (Zero { len = a.len + b.len })
+            | _ -> None)
+          (Some first) rest
+      in
+      (match rejoined with
+      | Some d -> d
+      | None ->
+          let total = List.fold_left (fun n p -> n + length p) 0 parts in
+          let out = Bytes.create total in
+          let off = ref 0 in
+          List.iter
+            (fun p ->
+              Bytes.blit (to_bytes p) 0 out !off (length p);
+              off := !off + length p)
+            parts;
+          real out)
+
+let equal a b =
+  length a = length b
+  &&
+  let n = length a in
+  let chunk = 4096 in
+  let rec check pos =
+    if pos >= n then true
+    else begin
+      let len = min chunk (n - pos) in
+      let ba = to_bytes (sub a ~pos ~len) in
+      let bb = to_bytes (sub b ~pos ~len) in
+      Bytes.equal ba bb && check (pos + len)
+    end
+  in
+  check 0
+
+let is_real = function Real _ -> true | Synth _ | Zero _ -> false
+
+let fill_ratio t ~zeros ~rng =
+  let n = length t in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    if Sim.Rng.float rng 1.0 < zeros then Bytes.unsafe_set out i '\000'
+    else Bytes.unsafe_set out i (Sim.Rng.byte rng)
+  done;
+  real out
+
+let pp fmt t =
+  match t with
+  | Real r -> Format.fprintf fmt "real[%d]" r.len
+  | Synth s ->
+      Format.fprintf fmt "synth[seed=%d,off=%d,len=%d]" s.seed s.off s.len
+  | Zero z -> Format.fprintf fmt "zero[%d]" z.len

@@ -1,0 +1,56 @@
+(** File payload representation.
+
+    Payloads flow through logs, pipelines, replication and compression.
+    Two forms exist:
+    - [Real]: actual bytes (used wherever content matters: metadata,
+      key-value records, sort inputs for the compression experiments);
+    - [Synthetic]: a deterministic pseudo-random block described by
+      [(seed, offset, len)].  Synthetic data has stable content — the
+      byte at logical position [i] depends only on [seed] and
+      [offset + i] — but occupies O(1) memory, letting benchmarks move
+      gigabytes through the system without allocating them.
+
+    All operations treat payloads as immutable. *)
+
+type t
+
+val real : bytes -> t
+(** Wrap actual bytes. The buffer must not be mutated afterwards. *)
+
+val of_string : string -> t
+
+val synthetic : seed:int -> len:int -> t
+(** A synthetic block starting at logical offset 0. *)
+
+val zero : len:int -> t
+(** An all-zero block in O(1) memory (file holes read as zeros). *)
+
+val empty : t
+val length : t -> int
+
+val sub : t -> pos:int -> len:int -> t
+(** Slice; content-stable for both forms. Raises [Invalid_argument] on
+    out-of-bounds. *)
+
+val concat : t list -> t
+(** Concatenation. Adjacent synthetic slices of the same stream are
+    rejoined without materialization; mixed forms materialize. *)
+
+val to_bytes : t -> bytes
+(** Materialize the content (synthetic data is generated). *)
+
+val get : t -> int -> char
+(** Byte at position [i]. *)
+
+val equal : t -> t -> bool
+(** Content equality (materializes synthetic data lazily per chunk). *)
+
+val is_real : t -> bool
+
+val fill_ratio : t -> zeros:float -> rng:Sim.Rng.t -> t
+(** [fill_ratio t ~zeros ~rng] is a {e real} payload of the same length
+    where approximately [zeros] fraction of bytes are zero and the rest
+    pseudo-random — the knob the Tencent Sort experiment uses to control
+    compressibility. *)
+
+val pp : Format.formatter -> t -> unit

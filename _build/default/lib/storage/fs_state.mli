@@ -1,0 +1,87 @@
+(** Public file-system state: the "public PM area" of a node.
+
+    Holds the inode table, directory tree and per-file extent maps.
+    Log entries are {e published} into this state (by NICFS via the
+    kernel worker in LineFS, by SharedFS threads in Assise); reads that
+    miss the client-private log are served from it.
+
+    The same structure doubles as the validation oracle: the NICFS
+    validation stage dry-runs operations against it (permission checks,
+    directory-cycle prevention) before publication. *)
+
+type error =
+  | Enoent
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Enotempty
+  | Eacces
+  | Einval
+  | Ecycle
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+type kind = File | Dir
+
+type stat = {
+  st_inum : int;
+  st_kind : kind;
+  st_size : int;
+  st_nlink : int;
+  st_mode : int;
+}
+
+type t
+
+val create : unit -> t
+(** Fresh file system containing only the root directory. *)
+
+val root_inum : int
+(** Always 1. *)
+
+val alloc_inum : t -> int
+(** Allocate a fresh inode number (arbitration is the lease holder's
+    privilege; callers model that). Never reuses a live inum. *)
+
+val apply : t -> Oplog.op -> (unit, error) result
+(** Publish one operation. Publication is idempotent for [Write] and
+    [Truncate]; namespace operations return errors on re-application,
+    which replayers may ignore (see §3.5: "publication is idempotent"). *)
+
+val validate : t -> Oplog.op -> (unit, error) result
+(** Dry-run check of an operation against current state: existence,
+    kinds, permissions, and directory-cycle prevention for renames. *)
+
+val lookup : t -> int -> string -> (int, error) result
+(** Child inum by name in a directory. *)
+
+val resolve : t -> string -> (int, error) result
+(** Resolve an absolute slash-separated path to an inum. *)
+
+val stat : t -> int -> (stat, error) result
+
+val read : t -> inum:int -> pos:int -> len:int -> (Data.t, error) result
+(** File content; unwritten gaps read as zeros; reads past EOF are
+    truncated to the file size ([Data.length] of the result tells the
+    caller how much was read). *)
+
+val file_size : t -> int -> int
+(** 0 for unknown inodes. *)
+
+val extent_depth : t -> int -> int
+(** Extent-tree depth of a file (drives modelled index traversal cost);
+    0 when unknown. *)
+
+val list_dir : t -> int -> (string list, error) result
+
+val chmod : t -> int -> mode:int -> (unit, error) result
+
+val readable : t -> int -> bool
+val writable : t -> int -> bool
+
+val live_inodes : t -> int
+(** Number of live inodes (root included). *)
+
+val total_mapped_bytes : t -> int
+(** Sum of mapped extent bytes over all files. *)

@@ -1,0 +1,334 @@
+type op =
+  | Create of { parent : int; name : string; inum : int; dir : bool }
+  | Unlink of { parent : int; name : string; inum : int }
+  | Rename of {
+      src_parent : int;
+      src_name : string;
+      dst_parent : int;
+      dst_name : string;
+      inum : int;
+    }
+  | Write of { inum : int; offset : int; data : Data.t }
+  | Truncate of { inum : int; size : int }
+
+type entry = { seq : int; client : int; op : op; crc : int32 }
+
+let header_size = 32
+
+let payload_size = function
+  | Write { data; _ } -> Data.length data
+  | Create _ | Unlink _ | Rename _ | Truncate _ -> 0
+
+let op_meta_size = function
+  | Create { name; _ } | Unlink { name; _ } -> 24 + String.length name
+  | Rename { src_name; dst_name; _ } ->
+      32 + String.length src_name + String.length dst_name
+  | Write _ -> 24
+  | Truncate _ -> 16
+
+let size e = header_size + op_meta_size e.op + payload_size e.op
+
+let is_metadata = function
+  | Create _ | Unlink _ | Rename _ | Truncate _ -> true
+  | Write _ -> false
+
+let touches = function
+  | Create { parent; inum; _ } | Unlink { parent; inum; _ } -> [ parent; inum ]
+  | Rename { src_parent; dst_parent; inum; _ } ->
+      if src_parent = dst_parent then [ src_parent; inum ]
+      else [ src_parent; dst_parent; inum ]
+  | Write { inum; _ } | Truncate { inum; _ } -> [ inum ]
+
+(* -------------------- binary encoding -------------------- *)
+
+let magic = 0x4C46 (* "LF" *)
+
+let kind_code = function
+  | Create _ -> 1
+  | Unlink _ -> 2
+  | Rename _ -> 3
+  | Write _ -> 4
+  | Truncate _ -> 5
+
+module Enc = struct
+  let u8 b v = Buffer.add_uint8 b (v land 0xFF)
+  let u16 b v = Buffer.add_uint16_le b (v land 0xFFFF)
+  let u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+  let i32 b v = Buffer.add_int32_le b v
+  let u64 b v = Buffer.add_int64_le b (Int64.of_int v)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+end
+
+module Dec = struct
+  type t = { buf : Bytes.t; mutable pos : int }
+
+  exception Truncated
+
+  let need t n = if t.pos + n > Bytes.length t.buf then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Bytes.get_uint8 t.buf t.pos in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = Bytes.get_uint16_le t.buf t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = Int32.to_int (Bytes.get_int32_le t.buf t.pos) land 0xFFFFFFFF in
+    t.pos <- t.pos + 4;
+    v
+
+  let i32 t =
+    need t 4;
+    let v = Bytes.get_int32_le t.buf t.pos in
+    t.pos <- t.pos + 4;
+    v
+
+  let u64 t =
+    need t 8;
+    let v = Int64.to_int (Bytes.get_int64_le t.buf t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let str t =
+    let n = u32 t in
+    need t n;
+    let s = Bytes.sub_string t.buf t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let raw t n =
+    need t n;
+    let b = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    b
+end
+
+let encode_op b = function
+  | Create { parent; name; inum; dir } ->
+      Enc.u64 b parent;
+      Enc.str b name;
+      Enc.u64 b inum;
+      Enc.u8 b (if dir then 1 else 0)
+  | Unlink { parent; name; inum } ->
+      Enc.u64 b parent;
+      Enc.str b name;
+      Enc.u64 b inum
+  | Rename { src_parent; src_name; dst_parent; dst_name; inum } ->
+      Enc.u64 b src_parent;
+      Enc.str b src_name;
+      Enc.u64 b dst_parent;
+      Enc.str b dst_name;
+      Enc.u64 b inum
+  | Write { inum; offset; data } -> (
+      Enc.u64 b inum;
+      Enc.u64 b offset;
+      (* Real payloads embed bytes; synthetic ones their descriptor
+         (cheap, deterministic, still covered by the checksum). *)
+      match Data.is_real data with
+      | true ->
+          Enc.u8 b 0;
+          Enc.u32 b (Data.length data);
+          Buffer.add_bytes b (Data.to_bytes data)
+      | false ->
+          Enc.u8 b 1;
+          Enc.u32 b (Data.length data);
+          (* Descriptor: first 16 content bytes sampled + length is
+             enough to pin content deterministically for the CRC. *)
+          for i = 0 to min 15 (Data.length data - 1) do
+            Enc.u8 b (Char.code (Data.get data i))
+          done)
+  | Truncate { inum; size } ->
+      Enc.u64 b inum;
+      Enc.u64 b size
+
+let encode_without_crc e =
+  let b = Buffer.create 64 in
+  Enc.u16 b magic;
+  Enc.u8 b (kind_code e.op);
+  Enc.u8 b 0;
+  Enc.u64 b e.seq;
+  Enc.u32 b e.client;
+  encode_op b e.op;
+  b
+
+let compute_crc e = Crc32.bytes (Buffer.to_bytes (encode_without_crc e))
+
+let make ~seq ~client op =
+  let e = { seq; client; op; crc = 0l } in
+  { e with crc = compute_crc e }
+
+let check e = Int32.equal e.crc (compute_crc e)
+
+let serialize e =
+  let b = encode_without_crc e in
+  let out = Buffer.create (Buffer.length b + 4) in
+  Buffer.add_buffer out b;
+  Enc.i32 out e.crc;
+  Buffer.to_bytes out
+
+let deserialize buf =
+  let d = Dec.{ buf; pos = 0 } in
+  match
+    let m = Dec.u16 d in
+    if m <> magic then Error "bad magic"
+    else begin
+      let kind = Dec.u8 d in
+      let _flags = Dec.u8 d in
+      let seq = Dec.u64 d in
+      let client = Dec.u32 d in
+      let verifiable = ref true in
+      let op =
+        match kind with
+        | 1 ->
+            let parent = Dec.u64 d in
+            let name = Dec.str d in
+            let inum = Dec.u64 d in
+            let dir = Dec.u8 d = 1 in
+            Create { parent; name; inum; dir }
+        | 2 ->
+            let parent = Dec.u64 d in
+            let name = Dec.str d in
+            let inum = Dec.u64 d in
+            Unlink { parent; name; inum }
+        | 3 ->
+            let src_parent = Dec.u64 d in
+            let src_name = Dec.str d in
+            let dst_parent = Dec.u64 d in
+            let dst_name = Dec.str d in
+            let inum = Dec.u64 d in
+            Rename { src_parent; src_name; dst_parent; dst_name; inum }
+        | 4 -> (
+            let inum = Dec.u64 d in
+            let offset = Dec.u64 d in
+            let form = Dec.u8 d in
+            let len = Dec.u32 d in
+            match form with
+            | 0 -> Write { inum; offset; data = Data.real (Dec.raw d len) }
+            | _ ->
+                (* Synthetic payloads are not reconstructible from the
+                   wire sample; represent them as zeroed real data of
+                   the right length. The checksum cannot be re-verified
+                   in this case. *)
+                verifiable := false;
+                let _sample = Dec.raw d (min 16 len) in
+                Write { inum; offset; data = Data.real (Bytes.create len) }
+          )
+        | 5 ->
+            let inum = Dec.u64 d in
+            let size = Dec.u64 d in
+            Truncate { inum; size }
+        | k -> failwith (Printf.sprintf "bad op kind %d" k)
+      in
+      let crc = Dec.i32 d in
+      Ok ({ seq; client; op; crc }, !verifiable)
+    end
+  with
+  | Ok (e, verifiable) ->
+      if verifiable && not (check e) then Error "checksum mismatch" else Ok e
+  | Error _ as err -> err
+  | exception Dec.Truncated -> Error "truncated"
+  | exception Failure msg -> Error msg
+
+let pp_op fmt = function
+  | Create { parent; name; inum; dir } ->
+      Format.fprintf fmt "create(%s parent=%d name=%s inum=%d)"
+        (if dir then "dir" else "file")
+        parent name inum
+  | Unlink { parent; name; inum } ->
+      Format.fprintf fmt "unlink(parent=%d name=%s inum=%d)" parent name inum
+  | Rename { src_parent; src_name; dst_parent; dst_name; inum } ->
+      Format.fprintf fmt "rename(%d/%s -> %d/%s inum=%d)" src_parent src_name
+        dst_parent dst_name inum
+  | Write { inum; offset; data } ->
+      Format.fprintf fmt "write(inum=%d off=%d len=%d)" inum offset
+        (Data.length data)
+  | Truncate { inum; size } ->
+      Format.fprintf fmt "truncate(inum=%d size=%d)" inum size
+
+let pp fmt e =
+  Format.fprintf fmt "#%d@%d %a" e.seq e.client pp_op e.op
+
+(* -------------------- the log container -------------------- *)
+
+module Log = struct
+  type t = {
+    cap : int;
+    mutable used : int;
+    entries : entry Queue.t;
+    mutable head : int;  (* seq of oldest retained *)
+    mutable last : int;  (* seq of newest appended, 0 if none ever *)
+  }
+
+  let create ~capacity () =
+    assert (capacity > 0);
+    { cap = capacity; used = 0; entries = Queue.create (); head = 1; last = 0 }
+
+  let capacity t = t.cap
+  let used_bytes t = t.used
+  let free_bytes t = t.cap - t.used
+  let head_seq t = t.head
+  let last_seq t = t.last
+
+  let append t e =
+    if e.seq <> t.last + 1 then
+      invalid_arg
+        (Printf.sprintf "Oplog.Log.append: seq %d, expected %d" e.seq
+           (t.last + 1));
+    let sz = size e in
+    if t.used + sz > t.cap then Error `Full
+    else begin
+      Queue.add e t.entries;
+      t.used <- t.used + sz;
+      t.last <- e.seq;
+      Ok ()
+    end
+
+  let entries_from t ~seq ~max_bytes =
+    let out = ref [] in
+    let bytes = ref 0 in
+    (try
+       Queue.iter
+         (fun e ->
+           if e.seq >= seq then begin
+             let sz = size e in
+             if !bytes > 0 && !bytes + sz > max_bytes then raise Exit;
+             out := e :: !out;
+             bytes := !bytes + sz
+           end)
+         t.entries
+     with Exit -> ());
+    List.rev !out
+
+  let find t ~seq =
+    if seq < t.head || seq > t.last then None
+    else
+      Queue.fold
+        (fun acc e -> match acc with Some _ -> acc | None -> if e.seq = seq then Some e else None)
+        None t.entries
+
+  let reclaim_upto t ~seq =
+    let freed = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt t.entries with
+      | Some e when e.seq <= seq ->
+          ignore (Queue.pop t.entries);
+          freed := !freed + size e;
+          t.head <- e.seq + 1
+      | _ -> continue := false
+    done;
+    t.used <- t.used - !freed;
+    !freed
+
+  let iter t f = Queue.iter f t.entries
+end

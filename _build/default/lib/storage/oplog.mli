@@ -1,0 +1,84 @@
+(** Operational log: the client-private PM write log (§3.2).
+
+    LibFS persists every file-system update as a log entry; NICFS later
+    fetches, validates, publishes and replicates ranges of entries.
+    Entries have a real binary serialization with a CRC so the
+    validation stage performs genuine work, and the log enforces
+    capacity so full-log back-pressure behaves as in the paper. *)
+
+type op =
+  | Create of { parent : int; name : string; inum : int; dir : bool }
+  | Unlink of { parent : int; name : string; inum : int }
+  | Rename of {
+      src_parent : int;
+      src_name : string;
+      dst_parent : int;
+      dst_name : string;
+      inum : int;
+    }
+  | Write of { inum : int; offset : int; data : Data.t }
+  | Truncate of { inum : int; size : int }
+
+type entry = { seq : int; client : int; op : op; crc : int32 }
+
+val make : seq:int -> client:int -> op -> entry
+(** Build an entry, computing its checksum. *)
+
+val size : entry -> int
+(** On-log size in bytes: fixed header plus payload. *)
+
+val payload_size : op -> int
+(** Bytes of file data carried (0 for metadata ops). *)
+
+val is_metadata : op -> bool
+
+val check : entry -> bool
+(** Recompute and compare the checksum. *)
+
+val serialize : entry -> Bytes.t
+(** Binary encoding (real payload bytes are embedded; synthetic
+    payloads are encoded by descriptor). *)
+
+val deserialize : Bytes.t -> (entry, string) result
+(** Inverse of {!serialize}; checks magic and checksum. *)
+
+val touches : op -> int list
+(** Inodes read or written by the operation (validation needs this for
+    lease checks, recovery for the history bitmap). *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> entry -> unit
+
+(** The log container. *)
+module Log : sig
+  type t
+
+  val create : capacity:int -> unit -> t
+  (** [capacity] in bytes (the paper defaults to 512 MB per client). *)
+
+  val append : t -> entry -> (unit, [ `Full ]) result
+  (** Entries must arrive with consecutive [seq] numbers. *)
+
+  val capacity : t -> int
+  val used_bytes : t -> int
+  val free_bytes : t -> int
+
+  val head_seq : t -> int
+  (** Sequence of the oldest retained entry; [last_seq t + 1] when
+      empty. *)
+
+  val last_seq : t -> int
+  (** Sequence of the newest entry; 0 when no entry was ever appended. *)
+
+  val entries_from : t -> seq:int -> max_bytes:int -> entry list
+  (** Retained entries starting at [seq], greedily packed up to
+      [max_bytes] (at least one entry if any is available). *)
+
+  val find : t -> seq:int -> entry option
+
+  val reclaim_upto : t -> seq:int -> int
+  (** Drop entries with [entry.seq <= seq]; returns bytes freed. *)
+
+  val iter : t -> (entry -> unit) -> unit
+  (** Oldest to newest over retained entries. *)
+end

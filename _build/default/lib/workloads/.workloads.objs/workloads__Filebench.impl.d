@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Data Dfs_intf Engine Ivar Linefs Printf Rng Sim Stats Storage Time

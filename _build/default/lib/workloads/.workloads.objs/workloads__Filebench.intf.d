@@ -1,0 +1,1 @@
+lib/workloads/filebench.mli: Linefs Sim Stats Time

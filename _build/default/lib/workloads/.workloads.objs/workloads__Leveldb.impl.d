@@ -1,0 +1,1 @@
+lib/workloads/leveldb.ml: Array Bytes Data Dfs_intf Engine Int32 Linefs List Map Printf Rng Sim Stats Storage String Time

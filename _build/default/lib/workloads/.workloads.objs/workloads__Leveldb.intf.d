@@ -1,0 +1,1 @@
+lib/workloads/leveldb.mli: Linefs Sim Stats Storage

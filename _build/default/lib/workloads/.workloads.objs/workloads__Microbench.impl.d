@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Dfs_intf Engine Linefs Rng Sim Stats Storage Time

@@ -1,0 +1,1 @@
+lib/workloads/microbench.mli: Linefs Rng Sim Stats

@@ -1,0 +1,1 @@
+lib/workloads/streamcluster.ml: Engine Hw Ivar Sim Time

@@ -1,0 +1,1 @@
+lib/workloads/streamcluster.mli: Hw Sim Time

@@ -1,0 +1,1 @@
+lib/workloads/tencent_sort.ml: Array Buffer Bytes Char Data Dfs_intf Engine Hw Ivar Linefs Printf Rng Sim Storage Time

@@ -1,0 +1,1 @@
+lib/workloads/tencent_sort.mli: Hw Linefs Sim Time

@@ -1,0 +1,160 @@
+open Sim
+open Storage
+open Linefs
+
+type profile = Fileserver | Varmail
+
+let profile_name = function
+  | Fileserver -> "fileserver"
+  | Varmail -> "varmail"
+
+type result = { ops_done : int; elapsed : Time.t; kops_per_sec : float }
+
+let mean_size = function Fileserver -> 128 * 1024 | Varmail -> 16 * 1024
+let append_size = function Fileserver -> 16 * 1024 | Varmail -> 8 * 1024
+
+(* Draw a file size around the profile mean (0.5x - 1.5x). *)
+let draw_size profile rng =
+  let mean = mean_size profile in
+  (mean / 2) + Rng.int rng mean
+
+let fname dir i = Printf.sprintf "%s/f%05d" dir i
+
+(* One iteration of the fileserver flow; returns primitive ops done. *)
+let fileserver_flow (ops : Dfs_intf.ops) rng dir ~lo ~hi =
+  let pick () = lo + Rng.int rng (hi - lo) in
+  let count = ref 0 in
+  let op () = incr count in
+  (* create + write whole file *)
+  let i = pick () in
+  (try ops.Dfs_intf.unlink (fname dir i) with Dfs_intf.Fs_error _ -> ());
+  op ();
+  let fd = ops.Dfs_intf.create (fname dir i) in
+  op ();
+  let size = draw_size Fileserver rng in
+  ops.Dfs_intf.append fd (Data.synthetic ~seed:i ~len:size);
+  op ();
+  ops.Dfs_intf.close fd;
+  op ();
+  (* open + append *)
+  let j = pick () in
+  (match ops.Dfs_intf.file_size (fname dir j) with
+  | Some _ ->
+      let fd = ops.Dfs_intf.open_file (fname dir j) in
+      op ();
+      ops.Dfs_intf.append fd
+        (Data.synthetic ~seed:j ~len:(append_size Fileserver));
+      op ();
+      ops.Dfs_intf.close fd;
+      op ()
+  | None -> ());
+  (* open + read whole *)
+  let k = pick () in
+  (match ops.Dfs_intf.file_size (fname dir k) with
+  | Some size when size > 0 ->
+      let fd = ops.Dfs_intf.open_file (fname dir k) in
+      op ();
+      let pos = ref 0 in
+      while !pos < size do
+        ignore (ops.Dfs_intf.read fd ~pos:!pos ~len:(64 * 1024) : Data.t);
+        pos := !pos + (64 * 1024)
+      done;
+      op ();
+      ops.Dfs_intf.close fd;
+      op ()
+  | _ -> ());
+  !count
+
+(* One iteration of the varmail flow (mailbox churn with fsyncs). *)
+let varmail_flow (ops : Dfs_intf.ops) rng dir ~lo ~hi =
+  let pick () = lo + Rng.int rng (hi - lo) in
+  let count = ref 0 in
+  let op () = incr count in
+  (* delete a mail file *)
+  let i = pick () in
+  (try
+     ops.Dfs_intf.unlink (fname dir i);
+     op ()
+   with Dfs_intf.Fs_error _ -> ());
+  (* compose: create + write + fsync *)
+  let fd = ops.Dfs_intf.create (fname dir i) in
+  op ();
+  ops.Dfs_intf.append fd (Data.synthetic ~seed:i ~len:(draw_size Varmail rng));
+  op ();
+  ops.Dfs_intf.fsync fd;
+  op ();
+  ops.Dfs_intf.close fd;
+  op ();
+  (* read + append + fsync (mailbox update) *)
+  let j = pick () in
+  (match ops.Dfs_intf.file_size (fname dir j) with
+  | Some size when size > 0 ->
+      let fd = ops.Dfs_intf.open_file (fname dir j) in
+      op ();
+      ignore (ops.Dfs_intf.read fd ~pos:0 ~len:size : Data.t);
+      op ();
+      ops.Dfs_intf.append fd (Data.synthetic ~seed:j ~len:(append_size Varmail));
+      op ();
+      ops.Dfs_intf.fsync fd;
+      op ();
+      ops.Dfs_intf.close fd;
+      op ()
+  | _ -> ());
+  (* read whole mailbox *)
+  let k = pick () in
+  (match ops.Dfs_intf.file_size (fname dir k) with
+  | Some size when size > 0 ->
+      let fd = ops.Dfs_intf.open_file (fname dir k) in
+      op ();
+      ignore (ops.Dfs_intf.read fd ~pos:0 ~len:size : Data.t);
+      op ();
+      ops.Dfs_intf.close fd;
+      op ()
+  | _ -> ());
+  !count
+
+let run ~(ops : Dfs_intf.ops) ~profile ?(files = 10_000) ?(threads = 16) ?ts
+    ~duration ~seed () =
+  let dir = "/" ^ profile_name profile in
+  (match ops.Dfs_intf.file_size dir with
+  | Some _ -> ()
+  | None -> ops.Dfs_intf.mkdir dir);
+  let rng = Rng.create seed in
+  (* Pre-allocate the working set (not timed). *)
+  for i = 0 to files - 1 do
+    let fd = ops.Dfs_intf.create (fname dir i) in
+    ops.Dfs_intf.append fd (Data.synthetic ~seed:i ~len:(draw_size profile rng));
+    ops.Dfs_intf.close fd
+  done;
+  let t0 = Engine.now () in
+  let deadline = t0 + duration in
+  let total = ref 0 in
+  let live = ref threads in
+  let finished = Ivar.create () in
+  let per_thread = files / threads in
+  for th = 0 to threads - 1 do
+    let thread_rng = Rng.create (seed + (th * 7919)) in
+    let lo = th * per_thread and hi = (th + 1) * per_thread in
+    Engine.spawn ~name:(Printf.sprintf "filebench.t%d" th) (fun () ->
+        while Engine.now () < deadline do
+          let n =
+            match profile with
+            | Fileserver -> fileserver_flow ops thread_rng dir ~lo ~hi
+            | Varmail -> varmail_flow ops thread_rng dir ~lo ~hi
+          in
+          total := !total + n;
+          match ts with
+          | Some series ->
+              Stats.Timeseries.add series ~at:(Engine.now ()) (float_of_int n)
+          | None -> ()
+        done;
+        decr live;
+        if !live = 0 then Ivar.fill finished ())
+  done;
+  Ivar.read finished;
+  let elapsed = Engine.now () - t0 in
+  {
+    ops_done = !total;
+    elapsed;
+    kops_per_sec = float_of_int !total /. Time.to_sec_f elapsed /. 1000.0;
+  }

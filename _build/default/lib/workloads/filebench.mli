@@ -1,0 +1,35 @@
+(** Filebench profiles (§5.3): Fileserver and Varmail.
+
+    - Fileserver: 128 KB average files, write:read 2:1, no fsync
+      (relaxed crash consistency);
+    - Varmail: 16 KB files, 1:1 mix, frequent fsync (write-ahead-log
+      style mailbox updates) and many [open] calls.
+
+    Threads work on disjoint file subsets (as filebench's fileset
+    pre-allocation effectively does) and run until a deadline. *)
+
+open Sim
+
+type profile = Fileserver | Varmail
+
+val profile_name : profile -> string
+
+type result = {
+  ops_done : int;  (** Primitive file operations completed. *)
+  elapsed : Time.t;
+  kops_per_sec : float;
+}
+
+val run :
+  ops:Linefs.Dfs_intf.ops ->
+  profile:profile ->
+  ?files:int ->
+  ?threads:int ->
+  ?ts:Stats.Timeseries.t ->
+  duration:Time.t ->
+  seed:int ->
+  unit ->
+  result
+(** [files] defaults to the paper's 10 K working set; [threads] to 16.
+    [ts] (optional) accumulates completed operations over time — the
+    Figure 10 time series. *)

@@ -1,0 +1,13 @@
+type t = { mutable running : bool; mutable sent : int }
+
+let start ?(burst = 1024 * 1024) ~src ~dst () =
+  let t = { running = true; sent = 0 } in
+  Sim.Engine.spawn ~name:"iperf" (fun () ->
+      while t.running do
+        Hw.Netlink.send ~src:src.Hw.Node.port ~dst:dst.Hw.Node.port burst;
+        t.sent <- t.sent + burst
+      done);
+  t
+
+let stop t = t.running <- false
+let bytes_sent t = t.sent

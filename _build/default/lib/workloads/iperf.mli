@@ -1,0 +1,11 @@
+(** iperf3 stand-in: background bulk traffic that contends for network
+    bandwidth (used while measuring compression savings, §5.4). *)
+
+type t
+
+val start : ?burst:int -> src:Hw.Node.t -> dst:Hw.Node.t -> unit -> t
+(** Continuously stream [burst]-byte sends (default 1 MB) from [src]
+    to [dst] until {!stop}. *)
+
+val stop : t -> unit
+val bytes_sent : t -> int

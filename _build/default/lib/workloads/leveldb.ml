@@ -1,0 +1,223 @@
+open Sim
+open Storage
+open Linefs
+module Smap = Map.Make (String)
+
+type sstable = {
+  file : string;
+  index : (string * int * int) array; (* key, offset, value length *)
+  mutable handle : Dfs_intf.fd option; (* cached open fd, like LevelDB's
+                                          table cache *)
+}
+
+type t = {
+  ops : Dfs_intf.ops;
+  dir : string;
+  memtable_cap : int;
+  mutable memtable : Data.t Smap.t;
+  mutable mem_bytes : int;
+  mutable wal_fd : Dfs_intf.fd;
+  mutable wal_path : string;
+  mutable wal_gen : int;
+  mutable sstables : sstable list; (* newest first *)
+}
+
+let record_overhead = 6 (* klen u16 + vlen u32 *)
+
+let encode_record key value =
+  let klen = String.length key and vlen = Data.length value in
+  let header = Bytes.create (record_overhead + klen) in
+  Bytes.set_uint16_le header 0 klen;
+  Bytes.set_int32_le header 2 (Int32.of_int vlen);
+  Bytes.blit_string key 0 header record_overhead klen;
+  Data.concat [ Data.real header; value ]
+
+let wal_name dir gen = Printf.sprintf "%s/wal-%06d.log" dir gen
+
+let open_db ~ops ~dir ?(memtable_bytes = 4 * 1024 * 1024) () =
+  (match ops.Dfs_intf.file_size dir with
+  | Some _ -> ()
+  | None -> ops.Dfs_intf.mkdir dir);
+  let wal_path = wal_name dir 0 in
+  {
+    ops;
+    dir;
+    memtable_cap = memtable_bytes;
+    memtable = Smap.empty;
+    mem_bytes = 0;
+    wal_fd = ops.Dfs_intf.create wal_path;
+    wal_path;
+    wal_gen = 0;
+    sstables = [];
+  }
+
+let sstable_count t = List.length t.sstables
+
+let flush t =
+  if not (Smap.is_empty t.memtable) then begin
+    let gen = t.wal_gen in
+    let file = Printf.sprintf "%s/sst-%06d.ldb" t.dir gen in
+    let fd = t.ops.Dfs_intf.create file in
+    (* Records are written in key order; the index is built as we go
+       (models LevelDB's index block, kept in memory). *)
+    let index = ref [] in
+    let off = ref 0 in
+    let chunks = ref [] in
+    Smap.iter
+      (fun key value ->
+        let rec_data = encode_record key value in
+        index :=
+          (key, !off + record_overhead + String.length key, Data.length value)
+          :: !index;
+        off := !off + Data.length rec_data;
+        chunks := rec_data :: !chunks)
+      t.memtable;
+    t.ops.Dfs_intf.append fd (Data.concat (List.rev !chunks));
+    t.ops.Dfs_intf.fsync fd;
+    t.ops.Dfs_intf.close fd;
+    t.sstables <-
+      { file; index = Array.of_list (List.rev !index); handle = None }
+      :: t.sstables;
+    (* Rotate the WAL: its contents are now durable in the SSTable. *)
+    t.ops.Dfs_intf.close t.wal_fd;
+    t.ops.Dfs_intf.unlink t.wal_path;
+    t.wal_gen <- gen + 1;
+    t.wal_path <- wal_name t.dir t.wal_gen;
+    t.wal_fd <- t.ops.Dfs_intf.create t.wal_path;
+    t.memtable <- Smap.empty;
+    t.mem_bytes <- 0
+  end
+
+let put t ?(sync = false) ~key ~value () =
+  let rec_data = encode_record key value in
+  t.ops.Dfs_intf.append t.wal_fd rec_data;
+  if sync then t.ops.Dfs_intf.fsync t.wal_fd;
+  t.memtable <- Smap.add key value t.memtable;
+  t.mem_bytes <- t.mem_bytes + Data.length rec_data;
+  if t.mem_bytes >= t.memtable_cap then flush t
+
+(* Binary search for an exact key in an SSTable index. *)
+let sst_find sst key =
+  let lo = ref 0 and hi = ref (Array.length sst.index - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k, off, vlen = sst.index.(mid) in
+    let c = String.compare key k in
+    if c = 0 then found := Some (off, vlen)
+    else if c < 0 then hi := mid - 1
+    else lo := mid + 1
+  done;
+  !found
+
+let get t ~key =
+  match Smap.find_opt key t.memtable with
+  | Some v -> Some v
+  | None ->
+      let rec search = function
+        | [] -> None
+        | sst :: rest -> (
+            match sst_find sst key with
+            | Some (off, vlen) ->
+                let fd =
+                  match sst.handle with
+                  | Some fd -> fd
+                  | None ->
+                      let fd = t.ops.Dfs_intf.open_file sst.file in
+                      sst.handle <- Some fd;
+                      fd
+                in
+                Some (t.ops.Dfs_intf.read fd ~pos:off ~len:vlen)
+            | None -> search rest)
+      in
+      search t.sstables
+
+let close t =
+  t.ops.Dfs_intf.fsync t.wal_fd;
+  t.ops.Dfs_intf.close t.wal_fd;
+  List.iter
+    (fun sst ->
+      match sst.handle with
+      | Some fd ->
+          t.ops.Dfs_intf.close fd;
+          sst.handle <- None
+      | None -> ())
+    t.sstables
+
+(* ------------------------------------------------------------------ *)
+(* db_bench                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type workload =
+  | Fillseq
+  | Fillrandom
+  | Fillsync
+  | Readseq
+  | Readrandom
+  | Readhot
+
+let workload_name = function
+  | Fillseq -> "fillseq"
+  | Fillrandom -> "fillrandom"
+  | Fillsync -> "fillsync"
+  | Readseq -> "readseq"
+  | Readrandom -> "readrandom"
+  | Readhot -> "readhot"
+
+let key_of i = Printf.sprintf "%016d" i
+
+let db_bench ~ops ~dir ~workload ~n ?(value_bytes = 1024) ?(seed = 7) () =
+  let rng = Rng.create seed in
+  let db = open_db ~ops ~dir () in
+  let series = Stats.Series.create () in
+  let value i = Data.synthetic ~seed:(seed + i) ~len:value_bytes in
+  let timed f =
+    let t0 = Engine.now () in
+    f ();
+    Stats.Series.add series (Time.to_us_f (Engine.now () - t0))
+  in
+  let prefill () =
+    for i = 0 to n - 1 do
+      put db ~key:(key_of i) ~value:(value i) ()
+    done;
+    flush db
+  in
+  (match workload with
+  | Fillseq ->
+      for i = 0 to n - 1 do
+        timed (fun () -> put db ~key:(key_of i) ~value:(value i) ())
+      done
+  | Fillrandom ->
+      let order = Array.init n (fun i -> i) in
+      Rng.shuffle rng order;
+      Array.iter
+        (fun i -> timed (fun () -> put db ~key:(key_of i) ~value:(value i) ()))
+        order
+  | Fillsync ->
+      for i = 0 to n - 1 do
+        timed (fun () -> put db ~sync:true ~key:(key_of i) ~value:(value i) ())
+      done
+  | Readseq ->
+      prefill ();
+      for i = 0 to n - 1 do
+        timed (fun () ->
+            match get db ~key:(key_of i) with
+            | Some v -> assert (Data.length v = value_bytes)
+            | None -> failwith "db_bench: missing key")
+      done
+  | Readrandom ->
+      prefill ();
+      for _ = 0 to n - 1 do
+        let i = Rng.int rng n in
+        timed (fun () -> ignore (get db ~key:(key_of i) : Data.t option))
+      done
+  | Readhot ->
+      prefill ();
+      (* 1% of keys take all the traffic. *)
+      let hot = max 1 (n / 100) in
+      for _ = 0 to n - 1 do
+        let i = Rng.int rng hot in
+        timed (fun () -> ignore (get db ~key:(key_of i) : Data.t option))
+      done);
+  close db;
+  series

@@ -1,0 +1,62 @@
+(** A small LSM-tree key-value store in the style of LevelDB, running
+    on any DFS through {!Linefs.Dfs_intf.ops}.
+
+    Persistence matches LevelDB's structure: every put appends a record
+    to a write-ahead log file; when the memtable fills it is flushed to
+    a sorted SSTable file (fsync'd) and the old WAL is deleted.  Reads
+    consult the memtable, then SSTables newest-to-oldest via their
+    in-memory indexes.  The db_bench driver reproduces Figure 8a's
+    workloads. *)
+
+open Sim
+
+type t
+
+val open_db :
+  ops:Linefs.Dfs_intf.ops ->
+  dir:string ->
+  ?memtable_bytes:int ->
+  unit ->
+  t
+(** Create/open a database in [dir] (created if missing).
+    [memtable_bytes] defaults to 4 MB (LevelDB's write buffer). *)
+
+val put : t -> ?sync:bool -> key:string -> value:Storage.Data.t -> unit -> unit
+(** Insert/overwrite. [sync] (default false) fsyncs the WAL — the
+    "synchronous insert" of db_bench. *)
+
+val get : t -> key:string -> Storage.Data.t option
+
+val flush : t -> unit
+(** Force the memtable to an SSTable. *)
+
+val close : t -> unit
+(** fsync outstanding WAL state. *)
+
+val sstable_count : t -> int
+
+(** {1 db_bench} *)
+
+type workload =
+  | Fillseq
+  | Fillrandom
+  | Fillsync
+  | Readseq
+  | Readrandom
+  | Readhot
+
+val workload_name : workload -> string
+
+val db_bench :
+  ops:Linefs.Dfs_intf.ops ->
+  dir:string ->
+  workload:workload ->
+  n:int ->
+  ?value_bytes:int ->
+  ?seed:int ->
+  unit ->
+  Stats.Series.t
+(** Run a workload of [n] operations (16-byte keys, 1 KB values by
+    default, as in the paper) and return per-operation latencies in
+    microseconds.  Read workloads first populate the database with [n]
+    entries (not timed). *)

@@ -1,0 +1,56 @@
+open Sim
+open Linefs
+
+let seq_write ~(ops : Dfs_intf.ops) ~path ~file_bytes ~io_bytes
+    ?(fsync_at_end = true) ?(seed = 1) () =
+  let fd = ops.Dfs_intf.create path in
+  let n = file_bytes / io_bytes in
+  for i = 0 to n - 1 do
+    ops.Dfs_intf.write fd ~pos:(i * io_bytes)
+      (Storage.Data.synthetic ~seed:(seed + i) ~len:io_bytes)
+  done;
+  if fsync_at_end then ops.Dfs_intf.fsync fd;
+  ops.Dfs_intf.close fd
+
+let seq_read ~(ops : Dfs_intf.ops) ~path ~io_bytes () =
+  let fd = ops.Dfs_intf.open_file path in
+  let size =
+    match ops.Dfs_intf.file_size path with Some s -> s | None -> 0
+  in
+  let total = ref 0 in
+  let pos = ref 0 in
+  while !pos < size do
+    let d = ops.Dfs_intf.read fd ~pos:!pos ~len:io_bytes in
+    total := !total + Storage.Data.length d;
+    pos := !pos + io_bytes
+  done;
+  ops.Dfs_intf.close fd;
+  !total
+
+let rand_read ~(ops : Dfs_intf.ops) ~path ~io_bytes ~rng () =
+  let fd = ops.Dfs_intf.open_file path in
+  let size =
+    match ops.Dfs_intf.file_size path with Some s -> s | None -> 0
+  in
+  let blocks = max 1 (size / io_bytes) in
+  let total = ref 0 in
+  for _ = 1 to blocks do
+    let pos = Rng.int rng blocks * io_bytes in
+    let d = ops.Dfs_intf.read fd ~pos ~len:io_bytes in
+    total := !total + Storage.Data.length d
+  done;
+  ops.Dfs_intf.close fd;
+  !total
+
+let write_fsync_latency ~(ops : Dfs_intf.ops) ~path ~n_ops ~io_bytes () =
+  let series = Stats.Series.create () in
+  let fd = ops.Dfs_intf.create path in
+  for i = 0 to n_ops - 1 do
+    let t0 = Engine.now () in
+    ops.Dfs_intf.write fd ~pos:(i * io_bytes)
+      (Storage.Data.synthetic ~seed:i ~len:io_bytes);
+    ops.Dfs_intf.fsync fd;
+    Stats.Series.add series (Time.to_us_f (Engine.now () - t0))
+  done;
+  ops.Dfs_intf.close fd;
+  series

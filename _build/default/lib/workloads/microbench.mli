@@ -1,0 +1,41 @@
+(** File microbenchmarks (§5.2): sequential/random write and read
+    drivers and the latency loop, all system-agnostic via
+    {!Linefs.Dfs_intf.ops}. *)
+
+open Sim
+
+val seq_write :
+  ops:Linefs.Dfs_intf.ops ->
+  path:string ->
+  file_bytes:int ->
+  io_bytes:int ->
+  ?fsync_at_end:bool ->
+  ?seed:int ->
+  unit ->
+  unit
+(** Write a file sequentially in [io_bytes] units (synthetic payloads),
+    optionally calling fsync once at the end (the paper's throughput
+    microbenchmark shape). *)
+
+val seq_read :
+  ops:Linefs.Dfs_intf.ops -> path:string -> io_bytes:int -> unit -> int
+(** Read an existing file start to end; returns bytes read. *)
+
+val rand_read :
+  ops:Linefs.Dfs_intf.ops ->
+  path:string ->
+  io_bytes:int ->
+  rng:Rng.t ->
+  unit ->
+  int
+(** Read the whole file's worth of data at random aligned offsets. *)
+
+val write_fsync_latency :
+  ops:Linefs.Dfs_intf.ops ->
+  path:string ->
+  n_ops:int ->
+  io_bytes:int ->
+  unit ->
+  Stats.Series.t
+(** The Table 3 loop: each operation is a write followed by fsync;
+    returns per-operation latencies in microseconds. *)

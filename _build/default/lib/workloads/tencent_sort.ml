@@ -1,0 +1,151 @@
+open Sim
+open Storage
+open Linefs
+
+type result = {
+  elapsed : Time.t;
+  partition_time : Time.t;
+  sort_time : Time.t;
+  records : int;
+  output_bytes : int;
+}
+
+let key_bytes = 10
+let partition_cpu_per_record = Time.ns 100
+let sort_cpu_per_compare = Time.ns 50
+
+let gen_records ~records ~record_bytes ~zero_ratio rng =
+  Array.init records (fun _ ->
+      let b = Bytes.create record_bytes in
+      (* Keys stay uniformly random so range partitioning balances;
+         only payloads carry the compressibility knob. *)
+      for i = 0 to key_bytes - 1 do
+        Bytes.set b i (Rng.byte rng)
+      done;
+      (* The modified gensort zeroes a contiguous region of each
+         payload, so the compressible fraction forms runs. *)
+      let payload = record_bytes - key_bytes in
+      let zeroed = int_of_float (zero_ratio *. float_of_int payload) in
+      for i = key_bytes to key_bytes + zeroed - 1 do
+        Bytes.set b i '\000'
+      done;
+      for i = key_bytes + zeroed to record_bytes - 1 do
+        Bytes.set b i (Rng.byte rng)
+      done;
+      b)
+
+let range_of_record b ~sorters = Char.code (Bytes.get b 0) * sorters / 256
+
+let temp_file w r = Printf.sprintf "/sort/tmp-p%d-r%d" w r
+let out_file r = Printf.sprintf "/sort/out-%d" r
+
+let join_workers n spawn_one =
+  let live = ref n in
+  let all_done = Ivar.create () in
+  for i = 0 to n - 1 do
+    spawn_one i (fun () ->
+        decr live;
+        if !live = 0 then Ivar.fill all_done ())
+  done;
+  Ivar.read all_done
+
+let run ~(ops : Dfs_intf.ops) ~node ~records ?(record_bytes = 100)
+    ?(partitions = 4) ?(sorters = 4) ~zero_ratio ~seed () =
+  let rng = Rng.create seed in
+  let input = gen_records ~records ~record_bytes ~zero_ratio rng in
+  (match ops.Dfs_intf.file_size "/sort" with
+  | Some _ -> ()
+  | None -> ops.Dfs_intf.mkdir "/sort");
+  let t0 = Engine.now () in
+  (* ---- Phase 1: range partitioning ---- *)
+  let per_worker = (records + partitions - 1) / partitions in
+  join_workers partitions (fun w finished ->
+      Engine.spawn ~name:(Printf.sprintf "tsort.part%d" w) (fun () ->
+          let lo = w * per_worker in
+          let hi = min records (lo + per_worker) in
+          let buffers = Array.init sorters (fun _ -> Buffer.create 65536) in
+          let fds =
+            Array.init sorters (fun r -> ops.Dfs_intf.create (temp_file w r))
+          in
+          let flush r =
+            if Buffer.length buffers.(r) > 0 then begin
+              ops.Dfs_intf.append fds.(r)
+                (Data.real (Buffer.to_bytes buffers.(r)));
+              Buffer.clear buffers.(r)
+            end
+          in
+          Hw.Cpu.run node.Hw.Node.host ((hi - lo) * partition_cpu_per_record);
+          for i = lo to hi - 1 do
+            let r = range_of_record input.(i) ~sorters in
+            Buffer.add_bytes buffers.(r) input.(i);
+            if Buffer.length buffers.(r) >= 1024 * 1024 then flush r
+          done;
+          Array.iteri (fun r _ -> flush r) buffers;
+          Array.iter
+            (fun fd ->
+              ops.Dfs_intf.fsync fd;
+              ops.Dfs_intf.close fd)
+            fds;
+          finished ()));
+  let partition_time = Engine.now () - t0 in
+  (* ---- Phase 2: merge + sort ---- *)
+  let t1 = Engine.now () in
+  let output_bytes = ref 0 in
+  join_workers sorters (fun r finished ->
+      Engine.spawn ~name:(Printf.sprintf "tsort.sort%d" r) (fun () ->
+          (* Gather this range's records from every partition worker. *)
+          let recs = ref [] in
+          for w = 0 to partitions - 1 do
+            let path = temp_file w r in
+            match ops.Dfs_intf.file_size path with
+            | Some size when size > 0 ->
+                let fd = ops.Dfs_intf.open_file path in
+                let data = ops.Dfs_intf.read fd ~pos:0 ~len:size in
+                ops.Dfs_intf.close fd;
+                let bytes = Data.to_bytes data in
+                let n = Bytes.length bytes / record_bytes in
+                for i = 0 to n - 1 do
+                  recs := Bytes.sub bytes (i * record_bytes) record_bytes :: !recs
+                done
+            | _ -> ()
+          done;
+          let arr = Array.of_list !recs in
+          let n = Array.length arr in
+          (* Real sort, plus the modelled CPU cost of n log n compares. *)
+          Array.sort
+            (fun a b ->
+              Bytes.compare (Bytes.sub a 0 key_bytes) (Bytes.sub b 0 key_bytes))
+            arr;
+          let log2n =
+            let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+            go 1 (max 2 n)
+          in
+          Hw.Cpu.run node.Hw.Node.host (n * log2n * sort_cpu_per_compare);
+          (* Write the sorted output. *)
+          let fd = ops.Dfs_intf.create (out_file r) in
+          let buf = Buffer.create (n * record_bytes) in
+          Array.iter (Buffer.add_bytes buf) arr;
+          ops.Dfs_intf.append fd (Data.real (Buffer.to_bytes buf));
+          ops.Dfs_intf.fsync fd;
+          ops.Dfs_intf.close fd;
+          output_bytes := !output_bytes + (n * record_bytes);
+          (* Verify sortedness. *)
+          for i = 1 to n - 1 do
+            if
+              Bytes.compare
+                (Bytes.sub arr.(i - 1) 0 key_bytes)
+                (Bytes.sub arr.(i) 0 key_bytes)
+              > 0
+            then failwith "tencent_sort: output not sorted"
+          done;
+          finished ()));
+  let sort_time = Engine.now () - t1 in
+  if !output_bytes <> records * record_bytes then
+    failwith "tencent_sort: lost records";
+  {
+    elapsed = Engine.now () - t0;
+    partition_time;
+    sort_time;
+    records;
+    output_bytes = !output_bytes;
+  }

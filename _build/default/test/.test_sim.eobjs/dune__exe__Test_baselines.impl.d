@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Assise Baselines Bytes Cephlike Data Dfs_intf Engine Fs_state Hw Ivar Linefs Oplog Params Printf Sim Stats Storage Time

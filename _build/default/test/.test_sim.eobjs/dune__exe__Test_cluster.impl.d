@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Engine History Manager Sim Time

@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Bytes Char Compress Gen List Lzw Printf QCheck QCheck_alcotest Sim Storage String

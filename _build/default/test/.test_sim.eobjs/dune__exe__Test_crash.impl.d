@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Bytes Char Data Deployment Dfs_intf Engine Fs_state Libfs Linefs List Oplog Params Printf QCheck QCheck_alcotest Rng Sim Storage String

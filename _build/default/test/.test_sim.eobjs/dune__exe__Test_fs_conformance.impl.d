@@ -1,0 +1,1 @@
+test/test_fs_conformance.ml: Alcotest Baselines Bytes Data Deployment Dfs_intf Engine Fs_state Libfs Linefs List Params Printf Sim Storage

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Bandwidth Config Cpu Dma Engine Float Hw List Netlink Node Pcie Pm QCheck QCheck_alcotest Sim Smartnic Stats Time Topology

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Cond Engine Hw Ivar Loc Net Printf Rdma Rpc Sim Time

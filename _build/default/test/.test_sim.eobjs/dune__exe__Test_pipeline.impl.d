@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Engine Linefs List Pipeline Printf QCheck QCheck_alcotest Rng Sim Stats Time

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cond Engine Gen Heap Ivar List Mailbox QCheck QCheck_alcotest Rng Semaphore Sim Stats Time

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Crc32 Data Extent_map Format Fs_state Gen Hashtbl List Oplog Printf QCheck QCheck_alcotest Sim Storage String

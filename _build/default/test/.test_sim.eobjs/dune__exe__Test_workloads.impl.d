@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Data Deployment Engine Filebench Hw Iperf Leveldb Libfs Linefs List Microbench Params Printf Rng Sim Stats Storage Streamcluster Tencent_sort Time Workloads

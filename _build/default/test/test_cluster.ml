@@ -1,0 +1,167 @@
+(* Tests for the cluster manager (ZooKeeper role) and history bitmap. *)
+
+open Sim
+open Cluster
+
+let run_sim ?deadline f =
+  let eng = Engine.create () in
+  Engine.spawn_root eng f;
+  Engine.run ?deadline eng
+
+(* ------------------------------------------------------------------ *)
+(* History bitmap                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_history_records_and_queries () =
+  let h = History.create () in
+  History.record h ~epoch:1 ~inum:10;
+  History.record h ~epoch:1 ~inum:11;
+  History.record h ~epoch:2 ~inum:12;
+  History.record h ~epoch:3 ~inum:10;
+  Alcotest.(check (list int)) "since epoch 1" [ 10; 12 ]
+    (History.inodes_since h ~epoch:1);
+  Alcotest.(check (list int)) "since epoch 0" [ 10; 11; 12 ]
+    (History.inodes_since h ~epoch:0);
+  Alcotest.(check (list int)) "since epoch 3" [] (History.inodes_since h ~epoch:3)
+
+let test_history_idempotent () =
+  let h = History.create () in
+  History.record h ~epoch:1 ~inum:5;
+  History.record h ~epoch:1 ~inum:5;
+  Alcotest.(check (list int)) "dedup" [ 5 ] (History.inodes_since h ~epoch:0)
+
+let test_history_copy_independent () =
+  let h = History.create () in
+  History.record h ~epoch:1 ~inum:5;
+  let h2 = History.copy h in
+  History.record h ~epoch:2 ~inum:6;
+  Alcotest.(check (list int)) "copy frozen" [ 5 ]
+    (History.inodes_since h2 ~epoch:0);
+  Alcotest.(check (list int)) "original grew" [ 5; 6 ]
+    (History.inodes_since h ~epoch:0)
+
+let test_history_epochs () =
+  let h = History.create () in
+  History.record h ~epoch:3 ~inum:1;
+  History.record h ~epoch:1 ~inum:2;
+  Alcotest.(check (list int)) "epochs sorted" [ 1; 3 ] (History.epochs h)
+
+(* ------------------------------------------------------------------ *)
+(* Manager                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_manager_detects_failure () =
+  let detected_epoch = ref 0 in
+  run_sim (fun () ->
+      let m = Manager.create ~heartbeat_interval:(Time.ms 100) () in
+      let alive = ref true in
+      Manager.register m ~id:1 ~ping:(fun () -> !alive) ~on_epoch:(fun _ -> ());
+      Manager.register m ~id:2
+        ~ping:(fun () -> true)
+        ~on_epoch:(fun e -> detected_epoch := e);
+      Manager.start m;
+      Engine.sleep (Time.ms 250);
+      Alcotest.(check (list int)) "both alive" [ 1; 2 ] (Manager.alive_members m);
+      alive := false;
+      Engine.sleep (Time.ms 250);
+      Alcotest.(check (list int)) "node 1 dead" [ 2 ] (Manager.alive_members m);
+      Alcotest.(check bool) "state dead" true (Manager.member_state m 1 = Manager.Dead);
+      Manager.stop m);
+  Alcotest.(check int) "epoch bumped and broadcast" 2 !detected_epoch
+
+let test_manager_recovery_bumps_epoch () =
+  run_sim (fun () ->
+      let m = Manager.create () in
+      Manager.register m ~id:1 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ());
+      Alcotest.(check int) "initial epoch" 1 (Manager.epoch m);
+      let e = Manager.bump_epoch m in
+      Alcotest.(check int) "bumped" 2 e;
+      Manager.mark_recovered m ~id:1;
+      Alcotest.(check int) "recovery bumps again" 3 (Manager.epoch m))
+
+let test_manager_failed_ping_exception () =
+  run_sim (fun () ->
+      let m = Manager.create ~heartbeat_interval:(Time.ms 50) () in
+      Manager.register m ~id:7
+        ~ping:(fun () -> failwith "unreachable")
+        ~on_epoch:(fun _ -> ());
+      Manager.start m;
+      Engine.sleep (Time.ms 120);
+      Alcotest.(check bool) "exception = dead" true
+        (Manager.member_state m 7 = Manager.Dead);
+      Manager.stop m)
+
+let test_lease_root_delegation () =
+  run_sim (fun () ->
+      let m = Manager.create () in
+      Manager.register m ~id:1 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ());
+      Manager.register m ~id:2 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ());
+      Alcotest.(check bool) "delegate to 1" true
+        (Manager.delegate_lease_root m ~inum:1 ~node:1);
+      Alcotest.(check bool) "node 2 refused" false
+        (Manager.delegate_lease_root m ~inum:1 ~node:2);
+      Alcotest.(check (option int)) "holder" (Some 1)
+        (Manager.lease_root_holder m ~inum:1);
+      Manager.revoke_lease_root m ~inum:1;
+      Alcotest.(check bool) "node 2 after revoke" true
+        (Manager.delegate_lease_root m ~inum:1 ~node:2))
+
+let test_lease_root_moves_on_failure () =
+  run_sim (fun () ->
+      let m = Manager.create ~heartbeat_interval:(Time.ms 50) () in
+      let alive = ref true in
+      Manager.register m ~id:1 ~ping:(fun () -> !alive) ~on_epoch:(fun _ -> ());
+      Manager.register m ~id:2 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ());
+      ignore (Manager.delegate_lease_root m ~inum:1 ~node:1 : bool);
+      Manager.start m;
+      alive := false;
+      Engine.sleep (Time.ms 120);
+      (* The failed node's delegations expired; a live node takes over. *)
+      Alcotest.(check bool) "takeover allowed" true
+        (Manager.delegate_lease_root m ~inum:1 ~node:2);
+      Manager.stop m)
+
+(* Recovery flow (§3.6): a NICFS restart fetches the history bitmap and
+   the inodes updated since its persisted epoch. *)
+let test_recovery_flow_with_history () =
+  run_sim (fun () ->
+      let m = Manager.create () in
+      let persisted_epoch = ref 0 in
+      Manager.register m ~id:1
+        ~ping:(fun () -> true)
+        ~on_epoch:(fun e -> persisted_epoch := e);
+      let replica_history = History.create () in
+      (* Epoch 1: normal operation. *)
+      History.record replica_history ~epoch:(Manager.epoch m) ~inum:100;
+      ignore (Manager.bump_epoch m : int);
+      Alcotest.(check int) "node persisted new epoch" 2 !persisted_epoch;
+      (* During node 1's downtime (epoch 2), inodes 101/102 change. *)
+      History.record replica_history ~epoch:(Manager.epoch m) ~inum:101;
+      History.record replica_history ~epoch:(Manager.epoch m) ~inum:102;
+      (* Node 1 restarts with its pre-crash epoch and asks a replica for
+         everything since then. *)
+      let downtime_epoch = 1 in
+      let to_fetch = History.inodes_since replica_history ~epoch:downtime_epoch in
+      Alcotest.(check (list int)) "inodes to resync" [ 101; 102 ] to_fetch)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "cluster"
+    [
+      ( "history",
+        [
+          tc "records and queries" `Quick test_history_records_and_queries;
+          tc "idempotent" `Quick test_history_idempotent;
+          tc "copy independent" `Quick test_history_copy_independent;
+          tc "epochs" `Quick test_history_epochs;
+        ] );
+      ( "manager",
+        [
+          tc "detects failure" `Quick test_manager_detects_failure;
+          tc "recovery bumps epoch" `Quick test_manager_recovery_bumps_epoch;
+          tc "failed ping exception" `Quick test_manager_failed_ping_exception;
+          tc "lease root delegation" `Quick test_lease_root_delegation;
+          tc "lease root moves on failure" `Quick test_lease_root_moves_on_failure;
+          tc "recovery flow with history" `Quick test_recovery_flow_with_history;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+(* Tests for the LZW codec used by the NICFS compression stage. *)
+
+open Compress
+
+let roundtrip s =
+  let enc = Lzw.encode (Bytes.of_string s) in
+  Bytes.to_string (Lzw.decode enc)
+
+let test_empty () = Alcotest.(check string) "empty" "" (roundtrip "")
+
+let test_simple () =
+  Alcotest.(check string) "simple" "hello world" (roundtrip "hello world")
+
+let test_repetitive_compresses () =
+  let s = String.concat "" (List.init 1000 (fun _ -> "abcabcabc")) in
+  let enc = Lzw.encode (Bytes.of_string s) in
+  Alcotest.(check string) "roundtrip" s (Bytes.to_string (Lzw.decode enc));
+  Alcotest.(check bool)
+    (Printf.sprintf "compresses well (%d -> %d)" (String.length s)
+       (Bytes.length enc))
+    true
+    (Bytes.length enc < String.length s / 4)
+
+let test_zeros_compress_strongly () =
+  let s = String.make 100_000 '\000' in
+  let enc = Lzw.encode (Bytes.of_string s) in
+  Alcotest.(check string) "roundtrip" s (Bytes.to_string (Lzw.decode enc));
+  Alcotest.(check bool) "better than 10x" true
+    (Bytes.length enc < String.length s / 10)
+
+let test_cscsc_case () =
+  (* The classic LZW corner case: code referencing the entry being
+     defined. "ababab..." exercises it. *)
+  let s = String.concat "" (List.init 500 (fun _ -> "ab")) in
+  Alcotest.(check string) "cScSc" s (roundtrip s)
+
+let test_single_char () = Alcotest.(check string) "x" "x" (roundtrip "x")
+
+let test_binary_bytes () =
+  let b = Bytes.init 4096 (fun i -> Char.chr (i * 37 mod 256)) in
+  let out = Lzw.decode (Lzw.encode b) in
+  Alcotest.(check bytes) "binary roundtrip" b out
+
+let test_random_incompressible () =
+  let rng = Sim.Rng.create 3 in
+  let b = Bytes.create 50_000 in
+  Sim.Rng.fill_bytes rng b;
+  let enc = Lzw.encode b in
+  Alcotest.(check bytes) "roundtrip" b (Lzw.decode enc);
+  (* Random data may expand (12-bit codes per byte-ish) but not by much
+     more than 50%. *)
+  Alcotest.(check bool) "bounded expansion" true
+    (Bytes.length enc < Bytes.length b * 3 / 2 + 64)
+
+let test_zero_ratio_controls_compression () =
+  (* The Tencent Sort experiment's premise: more zeros => smaller wire
+     size. *)
+  let rng = Sim.Rng.create 5 in
+  let sizes =
+    List.map
+      (fun zeros ->
+        let d =
+          Storage.Data.fill_ratio
+            (Storage.Data.zero ~len:200_000)
+            ~zeros ~rng
+        in
+        Bytes.length (Lzw.encode (Storage.Data.to_bytes d)))
+      [ 0.4; 0.6; 0.8 ]
+  in
+  match sizes with
+  | [ s40; s60; s80 ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone: %d > %d > %d" s40 s60 s80)
+        true
+        (s40 > s60 && s60 > s80)
+  | _ -> assert false
+
+let test_decode_rejects_garbage () =
+  match Lzw.decode (Bytes.of_string "abc") with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_ratio_helper () =
+  Alcotest.(check (float 1e-9)) "half saved" 0.5
+    (Lzw.ratio ~original:100 ~compressed:50);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Lzw.ratio ~original:0 ~compressed:0)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"lzw roundtrips arbitrary strings" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 2000))
+    (fun s -> roundtrip s = s)
+
+let prop_roundtrip_low_entropy =
+  QCheck.Test.make ~name:"lzw roundtrips low-entropy strings" ~count:200
+    QCheck.(
+      pair (string_of_size Gen.(1 -- 8)) (int_range 1 500))
+    (fun (unit_s, reps) ->
+      QCheck.assume (String.length unit_s > 0);
+      let s = String.concat "" (List.init reps (fun _ -> unit_s)) in
+      roundtrip s = s)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "compress"
+    [
+      ( "lzw",
+        [
+          tc "empty" `Quick test_empty;
+          tc "simple" `Quick test_simple;
+          tc "repetitive compresses" `Quick test_repetitive_compresses;
+          tc "zeros compress strongly" `Quick test_zeros_compress_strongly;
+          tc "cScSc corner case" `Quick test_cscsc_case;
+          tc "single char" `Quick test_single_char;
+          tc "binary bytes" `Quick test_binary_bytes;
+          tc "random incompressible" `Quick test_random_incompressible;
+          tc "zero ratio controls size" `Quick
+            test_zero_ratio_controls_compression;
+          tc "decode rejects garbage" `Quick test_decode_rejects_garbage;
+          tc "ratio helper" `Quick test_ratio_helper;
+          qt prop_roundtrip;
+          qt prop_roundtrip_low_entropy;
+        ] );
+    ]

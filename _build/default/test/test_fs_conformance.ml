@@ -1,0 +1,198 @@
+(* FS conformance suite (the xfstests role): a matrix of generic POSIX
+   behaviour checks executed against every DFS implementation through
+   the common interface. *)
+
+open Sim
+open Storage
+open Linefs
+
+let params =
+  {
+    Params.default with
+    Params.chunk_bytes = 256 * 1024;
+    log_bytes = 8 * 1024 * 1024;
+  }
+
+let run_sim f =
+  let eng = Engine.create () in
+  let result = ref None in
+  Engine.spawn_root eng (fun () -> result := Some (f ()));
+  Engine.run eng;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation did not complete"
+
+(* Run [f] with a fresh client of the named system. *)
+let with_system sysname f =
+  run_sim (fun () ->
+      match sysname with
+      | `Linefs ->
+          let d = Deployment.create ~params ~nodes:3 () in
+          let r = f (Libfs.ops (Deployment.add_client d ~id:1)) in
+          Deployment.stop d;
+          r
+      | `Assise ->
+          let a = Baselines.Assise.create ~params ~nodes:3 () in
+          let r = f (Baselines.Assise.ops (Baselines.Assise.add_client a ~id:1)) in
+          Baselines.Assise.stop a;
+          r)
+
+let systems = [ ("linefs", `Linefs); ("assise", `Assise) ]
+
+let str_of d = Bytes.to_string (Data.to_bytes d)
+
+let expect_enoent f =
+  match f () with
+  | _ -> Alcotest.fail "expected ENOENT"
+  | exception Dfs_intf.Fs_error (Fs_state.Enoent, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The generic checks (each runs on every system)                      *)
+(* ------------------------------------------------------------------ *)
+
+let generic_001_create_read_back (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g001" in
+  ops.append fd (Data.of_string "content");
+  Alcotest.(check string) "read" "content" (str_of (ops.read fd ~pos:0 ~len:64));
+  ops.close fd
+
+let generic_002_overwrite_middle (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g002" in
+  ops.append fd (Data.of_string "aaaaaaaaaa");
+  ops.write fd ~pos:3 (Data.of_string "XXX");
+  Alcotest.(check string) "spliced" "aaaXXXaaaa"
+    (str_of (ops.read fd ~pos:0 ~len:10));
+  ops.close fd
+
+let generic_003_sparse_file (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g003" in
+  ops.write fd ~pos:100 (Data.of_string "end");
+  Alcotest.(check (option int)) "size" (Some 103) (ops.file_size "/g003");
+  let d = ops.read fd ~pos:98 ~len:5 in
+  Alcotest.(check string) "hole zeros" "\000\000end" (str_of d);
+  ops.close fd
+
+let generic_004_read_past_eof (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g004" in
+  ops.append fd (Data.of_string "xy");
+  let d = ops.read fd ~pos:0 ~len:100 in
+  Alcotest.(check int) "clamped at eof" 2 (Data.length d);
+  let d = ops.read fd ~pos:50 ~len:10 in
+  Alcotest.(check int) "fully past eof" 0 (Data.length d);
+  ops.close fd
+
+let generic_005_nested_dirs (ops : Dfs_intf.ops) =
+  ops.mkdir "/a";
+  ops.mkdir "/a/b";
+  ops.mkdir "/a/b/c";
+  let fd = ops.create "/a/b/c/deep" in
+  ops.append fd (Data.of_string "!");
+  ops.close fd;
+  Alcotest.(check (option int)) "deep file" (Some 1) (ops.file_size "/a/b/c/deep")
+
+let generic_006_unlink_then_recreate (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g006" in
+  ops.append fd (Data.of_string "old-old-old");
+  ops.close fd;
+  ops.unlink "/g006";
+  expect_enoent (fun () -> ops.open_file "/g006");
+  let fd = ops.create "/g006" in
+  ops.append fd (Data.of_string "new");
+  Alcotest.(check (option int)) "fresh size" (Some 3) (ops.file_size "/g006");
+  Alcotest.(check string) "fresh content" "new"
+    (str_of (ops.read fd ~pos:0 ~len:16));
+  ops.close fd
+
+let generic_007_rename_across_dirs (ops : Dfs_intf.ops) =
+  ops.mkdir "/src";
+  ops.mkdir "/dst";
+  let fd = ops.create "/src/f" in
+  ops.append fd (Data.of_string "moving");
+  ops.close fd;
+  ops.rename "/src/f" "/dst/f";
+  Alcotest.(check (option int)) "gone" None (ops.file_size "/src/f");
+  let fd = ops.open_file "/dst/f" in
+  Alcotest.(check string) "moved content" "moving"
+    (str_of (ops.read fd ~pos:0 ~len:16));
+  ops.close fd
+
+let generic_008_rename_overwrites (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g008a" in
+  ops.append fd (Data.of_string "winner");
+  ops.close fd;
+  let fd = ops.create "/g008b" in
+  ops.append fd (Data.of_string "loser");
+  ops.close fd;
+  ops.rename "/g008a" "/g008b";
+  let fd = ops.open_file "/g008b" in
+  Alcotest.(check string) "target replaced" "winner"
+    (str_of (ops.read fd ~pos:0 ~len:16));
+  ops.close fd
+
+let generic_009_fsync_durability (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g009" in
+  for i = 0 to 63 do
+    ops.write fd ~pos:(i * 4096) (Data.synthetic ~seed:i ~len:4096)
+  done;
+  ops.fsync fd;
+  (* Contents fully intact after fsync. *)
+  let d = ops.read fd ~pos:(13 * 4096) ~len:4096 in
+  Alcotest.(check bool) "content stable" true
+    (Data.equal d (Data.synthetic ~seed:13 ~len:4096));
+  ops.close fd
+
+let generic_010_many_small_files (ops : Dfs_intf.ops) =
+  ops.mkdir "/many";
+  for i = 0 to 99 do
+    let fd = ops.create (Printf.sprintf "/many/f%03d" i) in
+    ops.append fd (Data.synthetic ~seed:i ~len:256);
+    ops.close fd
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "file %d" i)
+      (Some 256)
+      (ops.file_size (Printf.sprintf "/many/f%03d" i))
+  done
+
+let generic_011_open_missing_parent (ops : Dfs_intf.ops) =
+  expect_enoent (fun () -> ops.create "/no-such-dir/f")
+
+let generic_012_interleaved_fds (ops : Dfs_intf.ops) =
+  let fd1 = ops.create "/g012a" in
+  let fd2 = ops.create "/g012b" in
+  ops.append fd1 (Data.of_string "one");
+  ops.append fd2 (Data.of_string "two");
+  ops.append fd1 (Data.of_string "ONE");
+  Alcotest.(check string) "fd1" "oneONE" (str_of (ops.read fd1 ~pos:0 ~len:16));
+  Alcotest.(check string) "fd2" "two" (str_of (ops.read fd2 ~pos:0 ~len:16));
+  ops.close fd1;
+  ops.close fd2
+
+let all_generics =
+  [
+    ("001 create+read", generic_001_create_read_back);
+    ("002 overwrite middle", generic_002_overwrite_middle);
+    ("003 sparse file", generic_003_sparse_file);
+    ("004 read past eof", generic_004_read_past_eof);
+    ("005 nested dirs", generic_005_nested_dirs);
+    ("006 unlink+recreate", generic_006_unlink_then_recreate);
+    ("007 rename across dirs", generic_007_rename_across_dirs);
+    ("008 rename overwrites", generic_008_rename_overwrites);
+    ("009 fsync durability", generic_009_fsync_durability);
+    ("010 many small files", generic_010_many_small_files);
+    ("011 missing parent", generic_011_open_missing_parent);
+    ("012 interleaved fds", generic_012_interleaved_fds);
+  ]
+
+let () =
+  Alcotest.run "fs-conformance"
+    (List.map
+       (fun (sysname, sys) ->
+         ( sysname,
+           List.map
+             (fun (name, check) ->
+               Alcotest.test_case name `Quick (fun () ->
+                   with_system sys (fun ops -> check ops)))
+             all_generics ))
+       systems)

@@ -1,0 +1,384 @@
+(* Tests for the hardware models: CPU pools, bandwidth resources, PM,
+   PCIe, DMA, network fabric, SmartNIC, topology. *)
+
+open Sim
+open Hw
+
+let run_sim f =
+  let eng = Engine.create () in
+  Engine.spawn_root eng f;
+  Engine.run eng;
+  eng
+
+let check_close msg ~tolerance expected actual =
+  if Float.abs (expected -. actual) > tolerance *. Float.abs expected then
+    Alcotest.failf "%s: expected ~%g, got %g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Cpu                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_single_task_speed () =
+  (* One task on an idle pool takes work/speed wall time. *)
+  let elapsed = ref 0 in
+  ignore
+    (run_sim (fun () ->
+         let pool = Cpu.create ~speed:0.5 ~cores:4 () in
+         Cpu.run pool (Time.us 100);
+         elapsed := Engine.now ()));
+  Alcotest.(check int) "half-speed doubles time" (Time.us 200) !elapsed
+
+let test_cpu_parallel_within_cores () =
+  (* Tasks up to core count run in parallel. *)
+  let eng =
+    run_sim (fun () ->
+        let pool = Cpu.create ~cores:4 () in
+        for _ = 1 to 4 do
+          Engine.spawn (fun () -> Cpu.run pool (Time.ms 10))
+        done)
+  in
+  Alcotest.(check int) "4 tasks, 4 cores" (Time.ms 10) (Engine.current_time eng)
+
+let test_cpu_contention_slows_down () =
+  (* 8 equal tasks on 4 cores take ~2x as long, finishing together. *)
+  let finishes = ref [] in
+  let eng =
+    run_sim (fun () ->
+        let pool = Cpu.create ~ctx_switch:0 ~cores:4 () in
+        for _ = 1 to 8 do
+          Engine.spawn (fun () ->
+              Cpu.run pool (Time.ms 10);
+              finishes := Engine.now () :: !finishes)
+        done)
+  in
+  let total = Engine.current_time eng in
+  check_close "2x slowdown" ~tolerance:0.15
+    (Time.to_sec_f (Time.ms 20))
+    (Time.to_sec_f total);
+  (* Round-robin: all tasks end within a couple of quanta of each other. *)
+  let earliest = List.fold_left min max_int !finishes in
+  Alcotest.(check bool)
+    "fair sharing (no task starves)" true
+    (total - earliest <= Time.ms 4)
+
+let test_cpu_priority_preference () =
+  (* With the pool saturated by low-prio work, a high-prio task gets the
+     next core ahead of queued low-prio work. *)
+  let finish_high = ref 0 in
+  ignore
+    (run_sim (fun () ->
+         let pool = Cpu.create ~ctx_switch:0 ~cores:1 () in
+         (* Saturate: two long low-prio tasks (one runs, one queues). *)
+         for _ = 1 to 2 do
+           Engine.spawn (fun () ->
+               Cpu.run ~prio:Cpu.prio_low pool (Time.ms 50))
+         done;
+         Engine.sleep (Time.us 10);
+         Engine.spawn (fun () ->
+             Cpu.run ~prio:Cpu.prio_high pool (Time.us 100);
+             finish_high := Engine.now ())));
+  (* High-prio waits at most one quantum (1 ms) behind the running task,
+     never behind the queued 50 ms low-prio task. *)
+  Alcotest.(check bool)
+    "high-prio overtakes queued low-prio" true
+    (!finish_high < Time.ms 5)
+
+let test_cpu_busy_accounting () =
+  let util = ref 0.0 in
+  let eng = Engine.create () in
+  let pool = Cpu.create ~cores:4 () in
+  Engine.spawn_root eng (fun () ->
+      for _ = 1 to 2 do
+        Engine.spawn (fun () -> Cpu.run pool (Time.ms 10))
+      done);
+  Engine.run eng;
+  util :=
+    Stats.Busy.utilization (Cpu.busy pool) ~over:(Engine.current_time eng);
+  check_close "2 cores busy on average" ~tolerance:0.05 2.0 !util
+
+let test_cpu_account_bucket () =
+  let acct = Stats.Busy.create () in
+  ignore
+    (run_sim (fun () ->
+         let pool = Cpu.create ~cores:2 () in
+         Cpu.run ~account:acct pool (Time.ms 5)));
+  Alcotest.(check int) "bucket charged" (Time.ms 5) (Stats.Busy.busy_time acct)
+
+let test_cpu_reserve_core () =
+  let eng =
+    run_sim (fun () ->
+        let pool = Cpu.create ~ctx_switch:0 ~cores:2 () in
+        Cpu.reserve_core pool;
+        Alcotest.(check int) "one left" 1 (Cpu.available pool);
+        (* Two tasks now share the single remaining core. *)
+        for _ = 1 to 2 do
+          Engine.spawn (fun () -> Cpu.run pool (Time.ms 5))
+        done)
+  in
+  check_close "serialized on one core" ~tolerance:0.1
+    (Time.to_sec_f (Time.ms 10))
+    (Time.to_sec_f (Engine.current_time eng))
+
+let test_cpu_reserve_exhaustion () =
+  ignore
+    (run_sim (fun () ->
+         let pool = Cpu.create ~cores:1 () in
+         Cpu.reserve_core pool;
+         match Cpu.reserve_core pool with
+         | () -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ()))
+
+let prop_cpu_work_conservation =
+  QCheck.Test.make ~name:"cpu pool conserves total work" ~count:30
+    QCheck.(pair (1 -- 8) (1 -- 12))
+    (fun (cores, tasks) ->
+      let eng = Engine.create () in
+      let pool = Cpu.create ~ctx_switch:0 ~cores () in
+      let work = Time.ms 2 in
+      Engine.spawn_root eng (fun () ->
+          for _ = 1 to tasks do
+            Engine.spawn (fun () -> Cpu.run pool work)
+          done);
+      Engine.run eng;
+      let expected_min = tasks * work / cores in
+      let finished = Engine.current_time eng in
+      (* Makespan is at least total-work/cores and at most total work. *)
+      finished >= expected_min && finished <= tasks * work)
+
+(* ------------------------------------------------------------------ *)
+(* Bandwidth                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bandwidth_service_time () =
+  let elapsed = ref 0 in
+  ignore
+    (run_sim (fun () ->
+         let bw = Bandwidth.create ~bytes_per_sec:1e9 () in
+         Bandwidth.transfer bw (1024 * 1024);
+         elapsed := Engine.now ()));
+  check_close "1MiB at 1GB/s" ~tolerance:0.01
+    (1024.0 *. 1024.0 /. 1e9)
+    (Time.to_sec_f !elapsed)
+
+let test_bandwidth_sharing () =
+  (* Two concurrent transfers share the link and each sees ~2x time. *)
+  let eng =
+    run_sim (fun () ->
+        let bw = Bandwidth.create ~bytes_per_sec:1e9 () in
+        for _ = 1 to 2 do
+          Engine.spawn (fun () -> Bandwidth.transfer bw (10 * 1024 * 1024))
+        done)
+  in
+  check_close "2 x 10MiB at 1GB/s" ~tolerance:0.02
+    (2.0 *. 10.0 *. 1024.0 *. 1024.0 /. 1e9)
+    (Time.to_sec_f (Engine.current_time eng))
+
+let test_bandwidth_observer () =
+  let seen = ref 0 in
+  ignore
+    (run_sim (fun () ->
+         let bw = Bandwidth.create ~bytes_per_sec:1e9 () in
+         Bandwidth.on_transfer bw (fun ~at:_ ~bytes -> seen := !seen + bytes);
+         Bandwidth.transfer bw 200_000));
+  Alcotest.(check int) "observer sees all bytes" 200_000 !seen;
+  ()
+
+let test_bandwidth_total () =
+  ignore
+    (run_sim (fun () ->
+         let bw = Bandwidth.create ~bytes_per_sec:1e9 () in
+         Bandwidth.transfer bw 1000;
+         Bandwidth.transfer bw 2000;
+         Alcotest.(check int) "total" 3000 (Bandwidth.total_bytes bw)))
+
+(* ------------------------------------------------------------------ *)
+(* Pm / Pcie / Dma                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pm_latency_dominates_small_io () =
+  let elapsed = ref 0 in
+  ignore
+    (run_sim (fun () ->
+         let pm = Pm.create () in
+         Pm.read pm 64;
+         elapsed := Engine.now ()));
+  Alcotest.(check bool)
+    "64B read is ~latency" true
+    (!elapsed >= Time.ns 100 && !elapsed <= Time.ns 200)
+
+let test_pm_write_slower_than_read () =
+  let pm = Pm.create () in
+  Alcotest.(check bool)
+    "asymmetric bandwidth" true
+    (Pm.write_time pm (1024 * 1024) > Pm.read_time pm (1024 * 1024))
+
+let test_pcie_latency_order_of_magnitude () =
+  (* The core premise: PCIe access costs ~20x a PM access. *)
+  let pm = Pm.create () in
+  let pcie = Pcie.create () in
+  Alcotest.(check bool)
+    "PCIe >= 10x PM latency" true
+    (Pcie.latency pcie >= 10 * Pm.latency pm)
+
+let test_dma_copy_no_cpu () =
+  let elapsed = ref 0 in
+  ignore
+    (run_sim (fun () ->
+         let dma = Dma.create ~setup:(Time.us 1) ~bytes_per_sec:6e9 () in
+         Dma.copy dma (6 * 1000 * 1000);
+         elapsed := Engine.now ()));
+  check_close "6MB at 6GB/s + 1us setup" ~tolerance:0.02
+    (0.001 +. 1e-6)
+    (Time.to_sec_f !elapsed)
+
+(* ------------------------------------------------------------------ *)
+(* Netlink                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_netlink_transfer_time () =
+  let elapsed = ref 0 in
+  ignore
+    (run_sim (fun () ->
+         let sw = Netlink.create_switch ~latency:(Time.us 2) () in
+         let a = Netlink.create_port sw ~bytes_per_sec:1e9 in
+         let b = Netlink.create_port sw ~bytes_per_sec:1e9 in
+         Netlink.send ~src:a ~dst:b 1_000_000;
+         elapsed := Engine.now ()));
+  check_close "1MB at 1GB/s + 2us" ~tolerance:0.02 (0.001 +. 2e-6)
+    (Time.to_sec_f !elapsed)
+
+let test_netlink_full_duplex () =
+  (* A chain middle node forwards while receiving: both directions
+     proceed in parallel because egress resources are distinct. *)
+  let eng =
+    run_sim (fun () ->
+        let sw = Netlink.create_switch ~latency:0 () in
+        let a = Netlink.create_port sw ~bytes_per_sec:1e9 in
+        let b = Netlink.create_port sw ~bytes_per_sec:1e9 in
+        let c = Netlink.create_port sw ~bytes_per_sec:1e9 in
+        Engine.spawn (fun () -> Netlink.send ~src:a ~dst:b 10_000_000);
+        Engine.spawn (fun () -> Netlink.send ~src:b ~dst:c 10_000_000))
+  in
+  check_close "duplex overlap" ~tolerance:0.05 0.01
+    (Time.to_sec_f (Engine.current_time eng))
+
+let test_netlink_same_port_rejected () =
+  ignore
+    (run_sim (fun () ->
+         let sw = Netlink.create_switch () in
+         let a = Netlink.create_port sw ~bytes_per_sec:1e9 in
+         match Netlink.send ~src:a ~dst:a 10 with
+         | () -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ()))
+
+let test_netlink_cross_switch_rejected () =
+  ignore
+    (run_sim (fun () ->
+         let sw1 = Netlink.create_switch () in
+         let sw2 = Netlink.create_switch () in
+         let a = Netlink.create_port sw1 ~bytes_per_sec:1e9 in
+         let b = Netlink.create_port sw2 ~bytes_per_sec:1e9 in
+         match Netlink.send ~src:a ~dst:b 10 with
+         | () -> Alcotest.fail "expected Invalid_argument"
+         | exception Invalid_argument _ -> ()))
+
+let test_netlink_accounting () =
+  ignore
+    (run_sim (fun () ->
+         let sw = Netlink.create_switch () in
+         let a = Netlink.create_port sw ~bytes_per_sec:1e9 in
+         let b = Netlink.create_port sw ~bytes_per_sec:1e9 in
+         Netlink.send ~src:a ~dst:b 5000;
+         Alcotest.(check int) "sent" 5000 (Netlink.bytes_sent a);
+         Alcotest.(check int) "received" 5000 (Netlink.bytes_received b)))
+
+(* ------------------------------------------------------------------ *)
+(* Smartnic / Node / Topology                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_smartnic_memory_accounting () =
+  let sw = Netlink.create_switch () in
+  let port = Netlink.create_port sw ~bytes_per_sec:1e9 in
+  let nic = Smartnic.create Config.testbed_25gbe ~port in
+  Alcotest.(check (float 1e-9)) "initially empty" 0.0 (Smartnic.mem_frac nic);
+  Smartnic.alloc nic (Smartnic.mem_capacity nic / 2);
+  check_close "half full" ~tolerance:0.01 0.5 (Smartnic.mem_frac nic);
+  Smartnic.free nic (Smartnic.mem_capacity nic);
+  Alcotest.(check int) "free clamps at zero" 0 (Smartnic.mem_used nic)
+
+let test_smartnic_wimpy_cores () =
+  let sw = Netlink.create_switch () in
+  let port = Netlink.create_port sw ~bytes_per_sec:1e9 in
+  let nic = Smartnic.create Config.testbed_25gbe ~port in
+  Alcotest.(check int) "16 cores" 16 (Cpu.cores (Smartnic.cpu nic));
+  Alcotest.(check bool)
+    "much slower than host" true
+    (Cpu.speed (Smartnic.cpu nic) < 0.5)
+
+let test_topology_shape () =
+  let topo = Topology.create ~nodes:3 () in
+  Alcotest.(check int) "3 nodes" 3 (Array.length topo.nodes);
+  Alcotest.(check int) "primary id" 0 (Topology.primary topo).id;
+  Alcotest.(check (list int))
+    "replica ids" [ 1; 2 ]
+    (List.map (fun (n : Node.t) -> n.id) (Topology.replicas topo))
+
+let test_node_cross_node_transfer () =
+  let elapsed = ref 0 in
+  ignore
+    (run_sim (fun () ->
+         let topo = Topology.create ~nodes:2 () in
+         let a = Topology.node topo 0 and b = Topology.node topo 1 in
+         Netlink.send ~src:a.port ~dst:b.port (Config.mib 22);
+         elapsed := Engine.now ()));
+  (* 22 MiB at 2.2 GB/s goodput is ~10.5 ms. *)
+  check_close "goodput calibration" ~tolerance:0.05 0.0105
+    (Time.to_sec_f !elapsed)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hw"
+    [
+      ( "cpu",
+        [
+          tc "single task speed" `Quick test_cpu_single_task_speed;
+          tc "parallel within cores" `Quick test_cpu_parallel_within_cores;
+          tc "contention slows down" `Quick test_cpu_contention_slows_down;
+          tc "priority preference" `Quick test_cpu_priority_preference;
+          tc "busy accounting" `Quick test_cpu_busy_accounting;
+          tc "account bucket" `Quick test_cpu_account_bucket;
+          tc "reserve core" `Quick test_cpu_reserve_core;
+          tc "reserve exhaustion" `Quick test_cpu_reserve_exhaustion;
+          qt prop_cpu_work_conservation;
+        ] );
+      ( "bandwidth",
+        [
+          tc "service time" `Quick test_bandwidth_service_time;
+          tc "fair sharing" `Quick test_bandwidth_sharing;
+          tc "observer" `Quick test_bandwidth_observer;
+          tc "total bytes" `Quick test_bandwidth_total;
+        ] );
+      ( "pm-pcie-dma",
+        [
+          tc "pm small-io latency" `Quick test_pm_latency_dominates_small_io;
+          tc "pm asymmetric bandwidth" `Quick test_pm_write_slower_than_read;
+          tc "pcie latency gap" `Quick test_pcie_latency_order_of_magnitude;
+          tc "dma copy" `Quick test_dma_copy_no_cpu;
+        ] );
+      ( "netlink",
+        [
+          tc "transfer time" `Quick test_netlink_transfer_time;
+          tc "full duplex" `Quick test_netlink_full_duplex;
+          tc "same port rejected" `Quick test_netlink_same_port_rejected;
+          tc "cross switch rejected" `Quick test_netlink_cross_switch_rejected;
+          tc "byte accounting" `Quick test_netlink_accounting;
+        ] );
+      ( "node",
+        [
+          tc "smartnic memory accounting" `Quick test_smartnic_memory_accounting;
+          tc "smartnic wimpy cores" `Quick test_smartnic_wimpy_cores;
+          tc "topology shape" `Quick test_topology_shape;
+          tc "cross-node transfer" `Quick test_node_cross_node_transfer;
+        ] );
+    ]

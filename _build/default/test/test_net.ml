@@ -1,0 +1,249 @@
+(* Tests for the RDMA data-movement model and the two-class RPC layer. *)
+
+open Sim
+open Net
+
+let run_sim f =
+  let eng = Engine.create () in
+  let result = ref None in
+  Engine.spawn_root eng (fun () -> result := Some (f ()));
+  Engine.run eng;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation did not complete"
+
+let two_nodes () =
+  let topo = Hw.Topology.create ~nodes:2 () in
+  (Hw.Topology.node topo 0, Hw.Topology.node topo 1)
+
+let check_between msg lo hi v =
+  if v < lo || v > hi then
+    Alcotest.failf "%s: %s not in [%s, %s]" msg (Time.to_string v)
+      (Time.to_string lo) (Time.to_string hi)
+
+(* ------------------------------------------------------------------ *)
+(* Loc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_loc_predicates () =
+  let a, b = two_nodes () in
+  Alcotest.(check bool) "same node" true
+    (Loc.same_node (Loc.Host a) (Loc.Nic a));
+  Alcotest.(check bool) "different node" false
+    (Loc.same_node (Loc.Host a) (Loc.Host b));
+  Alcotest.(check bool) "is_host" true (Loc.is_host (Loc.Host a));
+  Alcotest.(check bool) "nic not host" false (Loc.is_host (Loc.Nic a))
+
+(* ------------------------------------------------------------------ *)
+(* Rdma                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rdma_host_nic_crosses_pcie () =
+  (* Fetching 4 MB host -> NIC should take ~1 ms (Figure 5 fetch). *)
+  let a, _ = two_nodes () in
+  let elapsed =
+    run_sim (fun () ->
+        let t0 = Engine.now () in
+        Rdma.move ~src:(Loc.Host a) ~dst:(Loc.Nic a) (4 * 1024 * 1024);
+        Engine.now () - t0)
+  in
+  check_between "4MB over PCIe" (Time.us 900) (Time.us 1200) elapsed
+
+let test_rdma_same_location_free () =
+  let a, _ = two_nodes () in
+  let elapsed =
+    run_sim (fun () ->
+        let t0 = Engine.now () in
+        Rdma.move ~src:(Loc.Nic a) ~dst:(Loc.Nic a) (1024 * 1024);
+        Engine.now () - t0)
+  in
+  Alcotest.(check int) "no charge" 0 elapsed
+
+let test_rdma_cross_node_network_bound () =
+  (* 22 MB NIC-to-NIC is ~10 ms at 2.2 GB/s goodput. *)
+  let a, b = two_nodes () in
+  let elapsed =
+    run_sim (fun () ->
+        let t0 = Engine.now () in
+        Rdma.move ~src:(Loc.Nic a) ~dst:(Loc.Nic b) (22 * 1024 * 1024);
+        Engine.now () - t0)
+  in
+  check_between "cross-node" (Time.ms 10) (Time.ms 11) elapsed
+
+let test_rdma_pm_charges_device_time () =
+  let a, b = two_nodes () in
+  let before = Hw.Pm.bytes_written b.Hw.Node.pm in
+  run_sim (fun () ->
+      Rdma.move ~dst_medium:`Pm ~src:(Loc.Nic a) ~dst:(Loc.Host b) 4096);
+  Alcotest.(check int) "pm written" (before + 4096)
+    (Hw.Pm.bytes_written b.Hw.Node.pm)
+
+let test_rdma_estimate_close_to_actual () =
+  let a, b = two_nodes () in
+  let est = Rdma.move_time_estimate ~src:(Loc.Nic a) ~dst:(Loc.Nic b) 1_000_000 in
+  let actual =
+    run_sim (fun () ->
+        let t0 = Engine.now () in
+        Rdma.move ~src:(Loc.Nic a) ~dst:(Loc.Nic b) 1_000_000;
+        Engine.now () - t0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %s ~ actual %s" (Time.to_string est)
+       (Time.to_string actual))
+    true
+    (abs (est - actual) < actual / 5)
+
+(* ------------------------------------------------------------------ *)
+(* Rpc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rpc_busy_poll_low_latency () =
+  let a, _ = two_nodes () in
+  let elapsed =
+    run_sim (fun () ->
+        let srv =
+          Rpc.create ~name:"echo" ~loc:(Loc.Nic a) ~kind:Rpc.Busy_poll
+            ~handler:(fun x -> x + 1)
+            ()
+        in
+        let t0 = Engine.now () in
+        let r = Rpc.call srv ~from:(Loc.Host a) 41 in
+        Alcotest.(check int) "result" 42 r;
+        Engine.now () - t0)
+  in
+  (* Two PCIe crossings plus poll granularity: ~5-10 us. *)
+  check_between "busy-poll RTT" (Time.us 3) (Time.us 15) elapsed
+
+let test_rpc_busy_poll_reserves_core () =
+  let a, _ = two_nodes () in
+  run_sim (fun () ->
+      let nic_pool = Hw.Smartnic.cpu a.Hw.Node.nic in
+      let before = Hw.Cpu.available nic_pool in
+      let _srv =
+        Rpc.create ~name:"spin" ~loc:(Loc.Nic a) ~kind:Rpc.Busy_poll
+          ~handler:(fun () -> ())
+          ()
+      in
+      Alcotest.(check int) "one core consumed" (before - 1)
+        (Hw.Cpu.available nic_pool))
+
+let test_rpc_event_pays_dispatch () =
+  let a, _ = two_nodes () in
+  let busy_poll_t, event_t =
+    run_sim (fun () ->
+        let bp =
+          Rpc.create ~name:"bp" ~loc:(Loc.Nic a) ~kind:Rpc.Busy_poll
+            ~handler:(fun () -> ())
+            ()
+        in
+        let ev =
+          Rpc.create ~name:"ev" ~loc:(Loc.Nic a)
+            ~kind:(Rpc.Event { workers = 2; prio = Hw.Cpu.prio_normal })
+            ~handler:(fun () -> ())
+            ()
+        in
+        let time f =
+          let t0 = Engine.now () in
+          f ();
+          Engine.now () - t0
+        in
+        ( time (fun () -> Rpc.call bp ~from:(Loc.Host a) ()),
+          time (fun () -> Rpc.call ev ~from:(Loc.Host a) ()) ))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "event (%s) slower than busy-poll (%s)"
+       (Time.to_string event_t) (Time.to_string busy_poll_t))
+    true
+    (event_t > busy_poll_t)
+
+let test_rpc_concurrent_calls_all_served () =
+  let a, b = two_nodes () in
+  let served =
+    run_sim (fun () ->
+        let count = ref 0 in
+        let srv =
+          Rpc.create ~name:"ctr" ~loc:(Loc.Nic b)
+            ~kind:(Rpc.Event { workers = 4; prio = Hw.Cpu.prio_normal })
+            ~handler:(fun () -> incr count)
+            ()
+        in
+        let live = ref 20 in
+        let don = Ivar.create () in
+        for _ = 1 to 20 do
+          Engine.spawn (fun () ->
+              Rpc.call srv ~from:(Loc.Nic a) ();
+              decr live;
+              if !live = 0 then Ivar.fill don ())
+        done;
+        Ivar.read don;
+        !count)
+  in
+  Alcotest.(check int) "all served" 20 served
+
+let test_rpc_post_does_not_wait () =
+  let a, _ = two_nodes () in
+  let elapsed, handled =
+    run_sim (fun () ->
+        let handled = ref false in
+        let srv =
+          Rpc.create ~name:"slow" ~loc:(Loc.Nic a)
+            ~kind:(Rpc.Event { workers = 1; prio = Hw.Cpu.prio_normal })
+            ~handler:(fun () ->
+              Engine.sleep (Time.ms 5);
+              handled := true)
+            ()
+        in
+        let t0 = Engine.now () in
+        Rpc.post srv ~from:(Loc.Host a) ();
+        let e = Engine.now () - t0 in
+        Engine.sleep (Time.ms 10);
+        (e, !handled))
+  in
+  Alcotest.(check bool) "post returns early" true (elapsed < Time.ms 1);
+  Alcotest.(check bool) "handler eventually ran" true handled
+
+let test_rpc_queue_length () =
+  let a, _ = two_nodes () in
+  run_sim (fun () ->
+      let release = Cond.create () in
+      let srv =
+        Rpc.create ~name:"gate" ~loc:(Loc.Nic a)
+          ~kind:(Rpc.Event { workers = 1; prio = Hw.Cpu.prio_normal })
+          ~handler:(fun () -> Cond.await release)
+          ()
+      in
+      for _ = 1 to 5 do
+        Rpc.post srv ~from:(Loc.Host a) ()
+      done;
+      Engine.sleep (Time.ms 1);
+      (* One message is being handled; the rest wait. *)
+      Alcotest.(check int) "queued" 4 (Rpc.queue_length srv);
+      Cond.broadcast release;
+      for _ = 1 to 5 do
+        Cond.broadcast release;
+        Engine.sleep (Time.ms 1)
+      done)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "net"
+    [
+      ("loc", [ tc "predicates" `Quick test_loc_predicates ]);
+      ( "rdma",
+        [
+          tc "host-nic crosses pcie" `Quick test_rdma_host_nic_crosses_pcie;
+          tc "same location free" `Quick test_rdma_same_location_free;
+          tc "cross-node network bound" `Quick test_rdma_cross_node_network_bound;
+          tc "pm device charged" `Quick test_rdma_pm_charges_device_time;
+          tc "estimate close to actual" `Quick test_rdma_estimate_close_to_actual;
+        ] );
+      ( "rpc",
+        [
+          tc "busy poll low latency" `Quick test_rpc_busy_poll_low_latency;
+          tc "busy poll reserves core" `Quick test_rpc_busy_poll_reserves_core;
+          tc "event pays dispatch" `Quick test_rpc_event_pays_dispatch;
+          tc "concurrent calls served" `Quick test_rpc_concurrent_calls_all_served;
+          tc "post does not wait" `Quick test_rpc_post_does_not_wait;
+          tc "queue length" `Quick test_rpc_queue_length;
+        ] );
+    ]

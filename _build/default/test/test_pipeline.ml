@@ -1,0 +1,236 @@
+(* Direct tests for the parallel datapath pipeline framework: stage
+   overlap, in-order handoff, dynamic worker scaling. *)
+
+open Sim
+open Linefs
+
+let run_sim f =
+  let eng = Engine.create () in
+  let result = ref None in
+  Engine.spawn_root eng (fun () -> result := Some (f ()));
+  Engine.run eng;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation did not complete"
+
+let wait_until pred =
+  while not (pred ()) do
+    Engine.sleep (Time.us 10)
+  done
+
+let test_items_flow_through_stages () =
+  let log = ref [] in
+  run_sim (fun () ->
+      let pl =
+        Pipeline.create ~name:"p"
+          ~stages:
+            [
+              Pipeline.stage "a" (fun i ->
+                  Engine.sleep (Time.us 10);
+                  log := ("a", i) :: !log);
+              Pipeline.stage "b" (fun i ->
+                  Engine.sleep (Time.us 10);
+                  log := ("b", i) :: !log);
+            ]
+          ~sink:(fun i -> log := ("sink", i) :: !log)
+          ()
+      in
+      for i = 1 to 3 do
+        Pipeline.submit pl i
+      done;
+      wait_until (fun () -> Pipeline.in_flight pl = 0));
+  let events = List.rev !log in
+  Alcotest.(check int) "9 events" 9 (List.length events);
+  (* Every item passes a, then b, then the sink. *)
+  List.iter
+    (fun i ->
+      let idx tag =
+        let rec find n = function
+          | [] -> -1
+          | (t, v) :: rest -> if t = tag && v = i then n else find (n + 1) rest
+        in
+        find 0 events
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "order for item %d" i)
+        true
+        (idx "a" < idx "b" && idx "b" < idx "sink"))
+    [ 1; 2; 3 ]
+
+let test_stages_overlap_in_time () =
+  (* With two stages of 100us each, 4 items take ~500us pipelined, not
+     ~800us sequential. *)
+  let elapsed =
+    run_sim (fun () ->
+        let pl =
+          Pipeline.create ~name:"p"
+            ~stages:
+              [
+                Pipeline.stage "a" (fun _ -> Engine.sleep (Time.us 100));
+                Pipeline.stage "b" (fun _ -> Engine.sleep (Time.us 100));
+              ]
+            ~sink:(fun _ -> ())
+            ()
+        in
+        let t0 = Engine.now () in
+        for i = 1 to 4 do
+          Pipeline.submit pl i
+        done;
+        wait_until (fun () -> Pipeline.in_flight pl = 0);
+        Engine.now () - t0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined makespan %s" (Time.to_string elapsed))
+    true
+    (elapsed < Time.us 620)
+
+let test_sink_receives_in_submission_order () =
+  (* A stage whose items take random time, with several workers, must
+     still hand off in order. *)
+  let order = ref [] in
+  run_sim (fun () ->
+      let rng = Rng.create 4 in
+      let pl =
+        Pipeline.create ~scale_threshold:0 ~name:"p"
+          ~stages:
+            [
+              Pipeline.stage ~initial_workers:4 ~max_workers:4 "jitter"
+                (fun _ ->
+                  Engine.sleep (Time.us (10 + Rng.int rng 200)));
+            ]
+          ~sink:(fun i -> order := i :: !order)
+          ()
+      in
+      for i = 1 to 20 do
+        Pipeline.submit pl i
+      done;
+      wait_until (fun () -> Pipeline.in_flight pl = 0));
+  Alcotest.(check (list int))
+    "in order" (List.init 20 (fun i -> i + 1))
+    (List.rev !order)
+
+let test_dynamic_scaling_adds_workers () =
+  run_sim (fun () ->
+      let pl =
+        Pipeline.create ~scale_threshold:2 ~name:"p"
+          ~stages:
+            [
+              Pipeline.stage ~initial_workers:1 ~max_workers:4 "slow"
+                (fun _ -> Engine.sleep (Time.ms 1));
+            ]
+          ~sink:(fun _ -> ())
+          ()
+      in
+      Alcotest.(check int) "starts with 1" 1 (Pipeline.workers pl ~stage:"slow");
+      for i = 1 to 12 do
+        Pipeline.submit pl i
+      done;
+      Alcotest.(check bool)
+        "scaled up under backlog" true
+        (Pipeline.workers pl ~stage:"slow" > 1);
+      Alcotest.(check bool)
+        "bounded by max" true
+        (Pipeline.workers pl ~stage:"slow" <= 4);
+      wait_until (fun () -> Pipeline.in_flight pl = 0))
+
+let test_scaling_speeds_up_bottleneck () =
+  let makespan max_workers =
+    run_sim (fun () ->
+        let pl =
+          Pipeline.create ~scale_threshold:1 ~name:"p"
+            ~stages:
+              [
+                Pipeline.stage ~initial_workers:1 ~max_workers "slow"
+                  (fun _ -> Engine.sleep (Time.ms 1));
+              ]
+            ~sink:(fun _ -> ())
+            ()
+        in
+        let t0 = Engine.now () in
+        for i = 1 to 16 do
+          Pipeline.submit pl i
+        done;
+        wait_until (fun () -> Pipeline.in_flight pl = 0);
+        Engine.now () - t0)
+  in
+  let serial = makespan 1 in
+  let scaled = makespan 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 workers (%s) ~4x faster than 1 (%s)"
+       (Time.to_string scaled) (Time.to_string serial))
+    true
+    (scaled * 3 < serial)
+
+let test_stats_recorded () =
+  run_sim (fun () ->
+      let pl =
+        Pipeline.create ~name:"p"
+          ~stages:[ Pipeline.stage "s" (fun _ -> Engine.sleep (Time.us 50)) ]
+          ~sink:(fun _ -> ())
+          ()
+      in
+      for i = 1 to 5 do
+        Pipeline.submit pl i
+      done;
+      wait_until (fun () -> Pipeline.in_flight pl = 0);
+      let lat = Pipeline.stage_latency pl ~stage:"s" in
+      Alcotest.(check int) "5 samples" 5 (Stats.Series.count lat);
+      Alcotest.(check (float 1.0)) "50us each" 50.0 (Stats.Series.mean lat);
+      let wait = Pipeline.stage_wait pl ~stage:"s" in
+      (* Items 2..5 queue behind their predecessors. *)
+      Alcotest.(check bool) "queue wait measured" true
+        (Stats.Series.max wait >= 150.0))
+
+let test_stage_names_and_unknown () =
+  run_sim (fun () ->
+      let pl =
+        Pipeline.create ~name:"p"
+          ~stages:
+            [ Pipeline.stage "x" (fun _ -> ()); Pipeline.stage "y" (fun _ -> ()) ]
+          ~sink:(fun _ -> ())
+          ()
+      in
+      Alcotest.(check (list string)) "names" [ "x"; "y" ] (Pipeline.stage_names pl);
+      match Pipeline.queue_length pl ~stage:"zzz" with
+      | _ -> Alcotest.fail "expected Not_found"
+      | exception Not_found -> ())
+
+let prop_pipeline_conserves_items =
+  QCheck.Test.make ~name:"pipeline delivers every item exactly once" ~count:30
+    QCheck.(pair (int_range 1 40) (int_range 1 3))
+    (fun (n, stages) ->
+      let delivered = ref [] in
+      run_sim (fun () ->
+          let pl =
+            Pipeline.create ~scale_threshold:2 ~name:"p"
+              ~stages:
+                (List.init stages (fun k ->
+                     Pipeline.stage ~max_workers:3
+                       (Printf.sprintf "s%d" k)
+                       (fun _ -> Engine.sleep (Time.us 5))))
+              ~sink:(fun i -> delivered := i :: !delivered)
+              ()
+          in
+          for i = 1 to n do
+            Pipeline.submit pl i
+          done;
+          wait_until (fun () -> Pipeline.in_flight pl = 0));
+      List.sort compare !delivered = List.init n (fun i -> i + 1))
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pipeline"
+    [
+      ( "pipeline",
+        [
+          tc "items flow through stages" `Quick test_items_flow_through_stages;
+          tc "stages overlap" `Quick test_stages_overlap_in_time;
+          tc "sink order preserved" `Quick test_sink_receives_in_submission_order;
+          tc "dynamic scaling" `Quick test_dynamic_scaling_adds_workers;
+          tc "scaling speeds up bottleneck" `Quick test_scaling_speeds_up_bottleneck;
+          tc "stats recorded" `Quick test_stats_recorded;
+          tc "stage names" `Quick test_stage_names_and_unknown;
+          qt prop_pipeline_conserves_items;
+        ] );
+    ]
