@@ -1,0 +1,78 @@
+type result = { spec : Scenario.spec; outcome : Scenario.outcome }
+
+let run_seed seed =
+  let spec = Scenario.generate ~seed in
+  { spec; outcome = Scenario.run spec }
+
+let run_spec spec = { spec; outcome = Scenario.run spec }
+
+(* The determinism fingerprint: every field that a re-run of the same
+   seed must reproduce bit-for-bit. *)
+let fingerprint (o : Scenario.outcome) =
+  Format.asprintf "digest=%08lx trace=%d ops=%d drops=%d delays=%d ok=%b [%a]"
+    o.Scenario.fs_digest o.Scenario.trace_events o.Scenario.ops_logged
+    o.Scenario.drops o.Scenario.delays
+    (not (Scenario.failed o))
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+       Invariant.pp_violation)
+    o.Scenario.violations
+
+let deterministic ~seed =
+  let a = run_seed seed and b = run_seed seed in
+  fingerprint a.outcome = fingerprint b.outcome
+
+(* Greedy structural shrinking of a failing scenario: repeatedly try to
+   delete one fault from the plan, keeping any reduction that still
+   fails; then try to shorten the workload.  Every candidate is a full
+   deterministic re-run, so the final reproducer is known-failing, not
+   merely suspected. *)
+let shrink (r : result) =
+  let runs = ref 0 in
+  let still_fails spec =
+    incr runs;
+    Scenario.failed (Scenario.run spec)
+  in
+  let rec drop_faults (spec : Scenario.spec) =
+    let candidates =
+      List.map
+        (fun plan -> { spec with Scenario.plan })
+        (Plan.shrink spec.Scenario.plan)
+    in
+    match List.find_opt still_fails candidates with
+    | Some smaller -> drop_faults smaller
+    | None -> spec
+  in
+  let rec drop_ops (spec : Scenario.spec) =
+    let n = spec.Scenario.ops_per_client in
+    if n <= 4 then spec
+    else
+      let candidate = { spec with Scenario.ops_per_client = n / 2 } in
+      if still_fails candidate then drop_ops candidate else spec
+  in
+  if not (Scenario.failed r.outcome) then (r, 0)
+  else
+    let spec = drop_ops (drop_faults r.spec) in
+    ({ spec; outcome = Scenario.run spec }, !runs)
+
+let report (r : result) =
+  Format.asprintf
+    "@[<v>minimal reproducer: seed=%d@,spec: %a@,outcome: %a@,\
+     replay: Fault.Dst.run_spec { (Fault.Scenario.generate ~seed:%d) with \
+     plan; ops_per_client = %d }@]"
+    r.spec.Scenario.seed Scenario.pp_spec r.spec Scenario.pp_outcome
+    r.outcome r.spec.Scenario.seed r.spec.Scenario.ops_per_client
+
+(* Sweep a seed range; shrink the first failure found. *)
+let sweep ~seeds =
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      let r = run_seed seed in
+      if Scenario.failed r.outcome then failures := r :: !failures)
+    seeds;
+  match List.rev !failures with
+  | [] -> Ok (List.length seeds)
+  | first :: _ as all ->
+      let minimal, runs = shrink first in
+      Error (List.map (fun r -> r.spec.Scenario.seed) all, minimal, runs)

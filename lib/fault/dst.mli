@@ -1,0 +1,35 @@
+(** DST driver: seed replay, seed sweeps, and greedy shrinking to a
+    minimal reproducer (the FoundationDB workflow: run many seeds,
+    and when one fails, shrink the fault plan and workload while the
+    failure persists, then print a replayable reproducer). *)
+
+type result = { spec : Scenario.spec; outcome : Scenario.outcome }
+
+val run_seed : int -> result
+(** Generate and execute the scenario for a seed. *)
+
+val run_spec : Scenario.spec -> result
+(** Execute an explicit (possibly shrunk) scenario. *)
+
+val fingerprint : Scenario.outcome -> string
+(** Canonical string of everything a same-seed re-run must reproduce:
+    digest, trace/op/drop/delay counts, and all violations. *)
+
+val deterministic : seed:int -> bool
+(** Run the seed twice in fresh engines; true iff the fingerprints are
+    identical. *)
+
+val shrink : result -> result * int
+(** Greedily minimize a failing result: drop plan faults one at a time,
+    then halve the workload, keeping every reduction that still fails.
+    Returns the minimal result and how many candidate re-runs it cost.
+    A non-failing input is returned unchanged with cost 0. *)
+
+val report : result -> string
+(** Human-readable minimal-reproducer report, including how to replay. *)
+
+val sweep :
+  seeds:int list ->
+  (int, int list * result * int) Stdlib.result
+(** Run every seed. [Ok n] if all [n] passed; otherwise
+    [Error (failing_seeds, shrunk_first_failure, shrink_runs)]. *)

@@ -1,0 +1,33 @@
+(** Post-scenario invariant checking.
+
+    Three families of checks, run after the simulated cluster has been
+    shaken by a fault plan, healed, recovered and drained:
+
+    - {b prefix crash consistency}: every prefix of every client's
+      persisted oplog is a consistent image — contiguous sequence
+      numbers, valid checksums, every entry applicable to the state
+      built by its predecessors (what a crash at any instant would
+      recover to, §3.2);
+    - {b lease single-writer safety}: the lease trace never shows two
+      clients holding conflicting leases on an inode at once, modulo
+      expiry and epoch-bump revocation (§3.4, §3.6);
+    - {b replica convergence}: byte-exact file-content agreement
+      between the primary and every replica (§3.3.2). *)
+
+type violation = { name : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_prefix_consistency :
+  histories:(int * Storage.Oplog.entry list) list -> violation list
+(** [histories] maps each client id to its full persisted entry
+    sequence (captured with {!Linefs.Libfs.set_entry_observer} —
+    publication reclaims log entries, so the live log alone is not
+    enough). *)
+
+val check_single_writer : Trace.t -> violation list
+
+val check_convergence :
+  primary:Storage.Fs_state.t ->
+  replicas:(int * Storage.Fs_state.t) list ->
+  violation list

@@ -1,0 +1,96 @@
+open Sim
+
+type link = {
+  mutable partitioned : bool;
+  mutable extra_delay : Time.t;
+  mutable drop_p : float;
+}
+
+type t = {
+  links : (int * int, link) Hashtbl.t;
+  stalled_until : (int, Time.t) Hashtbl.t;
+  rng : Rng.t;
+  mutable drops : int;
+  mutable delays : int;
+}
+
+let create ~rng =
+  {
+    links = Hashtbl.create 8;
+    stalled_until = Hashtbl.create 8;
+    rng;
+    drops = 0;
+    delays = 0;
+  }
+
+let key a b = (min a b, max a b)
+
+let link t a b =
+  let k = key a b in
+  match Hashtbl.find_opt t.links k with
+  | Some l -> l
+  | None ->
+      let l =
+        { partitioned = false; extra_delay = Time.ns 0; drop_p = 0.0 }
+      in
+      Hashtbl.replace t.links k l;
+      l
+
+let set_partition t ~a ~b on = (link t a b).partitioned <- on
+let set_delay t ~a ~b d = (link t a b).extra_delay <- d
+let set_drop t ~a ~b p = (link t a b).drop_p <- p
+
+let set_stall t ~node ~until = Hashtbl.replace t.stalled_until node until
+let clear_stall t ~node = Hashtbl.remove t.stalled_until node
+
+let stall_remaining t node =
+  match Hashtbl.find_opt t.stalled_until node with
+  | None -> Time.ns 0
+  | Some until ->
+      let now = Engine.now () in
+      if until > now then until - now else Time.ns 0
+
+(* The injection hook.  Intra-node traffic (LibFS <-> local NICFS over
+   PCIe, NICFS <-> local kernel worker) never touches the fabric and is
+   exempt — a network fault must not sever a node's own control plane.
+
+   Layering of the two RPC paths over the underlying RDMA move:
+   [Rpc.call]/[Rpc.post] internally perform [Rdma.move] for their
+   payloads, so a single logical send consults the hook twice.  Drops
+   are decided once, at the RPC points; delays are charged once, at the
+   move.  Deciding both at both layers would double-charge delay and
+   make loss rates quadratic in the drop probability. *)
+let verdict t ~point ~(src : Net.Loc.t) ~(dst : Net.Loc.t) ~bytes:_ =
+  let sn = (Net.Loc.node src).Hw.Node.id in
+  let dn = (Net.Loc.node dst).Hw.Node.id in
+  if sn = dn then Net.Inject.Pass
+  else
+    let l = link t sn dn in
+    match (point : Net.Inject.point) with
+    | Rpc_call | Rpc_post ->
+        if l.partitioned then begin
+          t.drops <- t.drops + 1;
+          Net.Inject.Drop
+        end
+        else if l.drop_p > 0.0 && Rng.float t.rng 1.0 < l.drop_p then begin
+          t.drops <- t.drops + 1;
+          Net.Inject.Drop
+        end
+        else Net.Inject.Pass
+    | Rdma_move ->
+        let stall = max (stall_remaining t sn) (stall_remaining t dn) in
+        let d = l.extra_delay + stall in
+        if d > Time.ns 0 then begin
+          t.delays <- t.delays + 1;
+          Net.Inject.Delay d
+        end
+        else Net.Inject.Pass
+
+let install t =
+  Net.Inject.set (fun ~point ~src ~dst ~bytes ->
+      verdict t ~point ~src ~dst ~bytes)
+
+let uninstall () = Net.Inject.clear ()
+
+let drops t = t.drops
+let delays t = t.delays

@@ -1,0 +1,38 @@
+(** Network fault state machine driving the {!Net.Inject} hook.
+
+    Holds the live per-link state (partitioned / extra delay / drop
+    probability) and per-node NIC stalls; the scenario driver flips
+    these as the fault plan's start and end times pass.  Drop decisions
+    come from the harness's own seeded RNG stream, so a given seed
+    always loses the same messages.
+
+    Only inter-node traffic is touched: a node's host <-> NIC control
+    plane stays up under any network fault, as on real hardware. *)
+
+open Sim
+
+type t
+
+val create : rng:Rng.t -> t
+
+val install : t -> unit
+(** Install as the process-wide {!Net.Inject} hook (replacing any). *)
+
+val uninstall : unit -> unit
+(** Clear the hook — all traffic passes again. *)
+
+val set_partition : t -> a:int -> b:int -> bool -> unit
+val set_delay : t -> a:int -> b:int -> Time.t -> unit
+val set_drop : t -> a:int -> b:int -> float -> unit
+
+val set_stall : t -> node:int -> until:Time.t -> unit
+(** Hold all RDMA traffic touching [node] until the virtual instant
+    [until]. *)
+
+val clear_stall : t -> node:int -> unit
+
+val drops : t -> int
+(** Messages lost so far. *)
+
+val delays : t -> int
+(** Transfers delayed so far. *)

@@ -1,0 +1,112 @@
+open Sim
+
+type fault =
+  | Crash of { node : int; at : Time.t; restart_after : Time.t }
+  | Stall of { node : int; at : Time.t; duration : Time.t }
+  | Partition of { a : int; b : int; at : Time.t; heal_after : Time.t }
+  | Link_delay of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      delay : Time.t;
+    }
+  | Link_drop of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      p : float;
+    }
+
+type t = fault list
+
+let start_of = function
+  | Crash { at; _ }
+  | Stall { at; _ }
+  | Partition { at; _ }
+  | Link_delay { at; _ }
+  | Link_drop { at; _ } ->
+      at
+
+let end_of = function
+  | Crash { at; restart_after; _ } -> at + restart_after
+  | Stall { at; duration; _ } -> at + duration
+  | Partition { at; heal_after; _ } -> at + heal_after
+  | Link_delay { at; duration; _ } -> at + duration
+  | Link_drop { at; duration; _ } -> at + duration
+
+let horizon t = List.fold_left (fun acc f -> max acc (end_of f)) (Time.ns 0) t
+
+(* An unordered pair of distinct nodes; [b] strictly above [a] so the
+   same physical link always gets the same key. *)
+let pick_link rng ~nodes =
+  let a = Rng.int rng nodes in
+  let b = (a + 1 + Rng.int rng (nodes - 1)) mod nodes in
+  (min a b, max a b)
+
+let gen_fault rng ~nodes ~horizon =
+  let frac f = Time.of_us_f (Time.to_us_f horizon *. f) in
+  (* Start within the first 60% of the horizon so every fault has room
+     to finish (restart / heal) well before the workload drain. *)
+  let at = frac (Rng.float rng 0.6) in
+  let dur () = frac (0.05 +. Rng.float rng 0.25) in
+  match Rng.int rng 5 with
+  | 0 ->
+      (* The primary hosts every client's LibFS; crashing it would tear
+         down the clients themselves, which is outside the recovery
+         model (§3.6 covers NICFS fail-over, not client loss). *)
+      let node = 1 + Rng.int rng (nodes - 1) in
+      Crash { node; at; restart_after = dur () }
+  | 1 ->
+      let node = Rng.int rng nodes in
+      Stall { node; at; duration = dur () }
+  | 2 ->
+      let a, b = pick_link rng ~nodes in
+      Partition { a; b; at; heal_after = dur () }
+  | 3 ->
+      let a, b = pick_link rng ~nodes in
+      let delay = Time.us (10 + Rng.int rng 490) in
+      Link_delay { a; b; at; duration = dur (); delay }
+  | _ ->
+      let a, b = pick_link rng ~nodes in
+      let p = 0.05 +. Rng.float rng 0.6 in
+      Link_drop { a; b; at; duration = dur (); p }
+
+let generate ~rng ~nodes ~horizon =
+  let n = 1 + Rng.int rng 4 in
+  List.init n (fun _ -> gen_fault rng ~nodes ~horizon)
+  |> List.sort (fun f g -> compare (start_of f) (start_of g))
+
+(* Greedy shrinking candidates: every plan obtained by deleting exactly
+   one fault.  The DST driver keeps a candidate iff it still fails. *)
+let shrink t =
+  List.mapi
+    (fun i _ -> List.filteri (fun j _ -> j <> i) t)
+    t
+
+let pp_fault fmt = function
+  | Crash { node; at; restart_after } ->
+      Format.fprintf fmt "crash(node=%d at=%a restart_after=%a)" node Time.pp
+        at Time.pp restart_after
+  | Stall { node; at; duration } ->
+      Format.fprintf fmt "stall(node=%d at=%a for=%a)" node Time.pp at Time.pp
+        duration
+  | Partition { a; b; at; heal_after } ->
+      Format.fprintf fmt "partition(%d<->%d at=%a heal_after=%a)" a b Time.pp
+        at Time.pp heal_after
+  | Link_delay { a; b; at; duration; delay } ->
+      Format.fprintf fmt "delay(%d<->%d at=%a for=%a +%a)" a b Time.pp at
+        Time.pp duration Time.pp delay
+  | Link_drop { a; b; at; duration; p } ->
+      Format.fprintf fmt "drop(%d<->%d at=%a for=%a p=%.2f)" a b Time.pp at
+        Time.pp duration p
+
+let pp fmt t =
+  Format.fprintf fmt "[@[<hov>%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@ ")
+       pp_fault)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

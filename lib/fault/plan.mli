@@ -1,0 +1,58 @@
+(** Timed fault plans for deterministic simulation testing.
+
+    A plan is a list of faults, each with an absolute injection time
+    and a bounded duration — every crash restarts and every partition
+    heals within the plan's horizon, so a correct system must converge
+    once the dust settles.  Plans are generated from a seeded
+    {!Sim.Rng} stream and shrink structurally (dropping one fault at a
+    time) to minimal reproducers. *)
+
+open Sim
+
+type fault =
+  | Crash of { node : int; at : Time.t; restart_after : Time.t }
+      (** Power-fail the node's NICFS at [at]; bring it back
+          [restart_after] later.  Never targets node 0 (the primary
+          hosts the clients). *)
+  | Stall of { node : int; at : Time.t; duration : Time.t }
+      (** NIC-core stall: all RDMA traffic touching the node is held
+          until the stall ends (models a wimpy-core scheduling glitch,
+          §5.4). *)
+  | Partition of { a : int; b : int; at : Time.t; heal_after : Time.t }
+      (** Sever the link between nodes [a] and [b]; RPCs on it are
+          lost until healed. *)
+  | Link_delay of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      delay : Time.t;
+    }  (** Extra one-way fabric latency on the link while active. *)
+  | Link_drop of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      p : float;
+    }  (** Drop each RPC on the link with probability [p] while
+          active. *)
+
+type t = fault list
+
+val start_of : fault -> Time.t
+val end_of : fault -> Time.t
+(** When the fault's effect is fully over (restart / heal / expiry). *)
+
+val horizon : t -> Time.t
+(** Latest [end_of] over the plan; zero for the empty plan. *)
+
+val generate : rng:Rng.t -> nodes:int -> horizon:Time.t -> t
+(** 1–4 random faults, each starting within the first 60% of
+    [horizon] and finished before ~90% of it. *)
+
+val shrink : t -> t list
+(** All plans obtained by deleting exactly one fault, in order. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

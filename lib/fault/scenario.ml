@@ -1,0 +1,312 @@
+open Sim
+module D = Linefs.Deployment
+module Nicfs = Linefs.Nicfs
+module Libfs = Linefs.Libfs
+module Lease = Linefs.Lease
+module Oplog = Storage.Oplog
+module Data = Storage.Data
+
+type spec = {
+  seed : int;
+  nodes : int;
+  clients : int;
+  ops_per_client : int;
+  horizon : Time.t;
+  plan : Plan.t;
+}
+
+type outcome = {
+  completed : bool;
+  violations : Invariant.violation list;
+  fs_digest : int32;
+  trace_events : int;
+  ops_logged : int;
+  drops : int;
+  delays : int;
+}
+
+let failed o = (not o.completed) || o.violations <> []
+
+let pp_spec fmt s =
+  Format.fprintf fmt
+    "seed=%d nodes=%d clients=%d ops/client=%d horizon=%a plan=%a" s.seed
+    s.nodes s.clients s.ops_per_client Time.pp s.horizon Plan.pp s.plan
+
+let pp_outcome fmt o =
+  Format.fprintf fmt
+    "%s: digest=%08lx trace=%d ops=%d drops=%d delays=%d violations=%d"
+    (if o.completed then "completed" else "WEDGED")
+    o.fs_digest o.trace_events o.ops_logged o.drops o.delays
+    (List.length o.violations);
+  List.iter
+    (fun v -> Format.fprintf fmt "@\n  %a" Invariant.pp_violation v)
+    o.violations
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let nodes = 3 in
+  let horizon = Time.ms 20 in
+  let clients = 1 + Rng.int rng 2 in
+  let ops_per_client = 25 + Rng.int rng 40 in
+  let plan = Plan.generate ~rng ~nodes ~horizon in
+  { seed; nodes; clients; ops_per_client; horizon; plan }
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sleep_until at =
+  let now = Engine.now () in
+  if at > now then Engine.sleep (at - now)
+
+(* One client process issuing a random stream of operations over a
+   private namespace (/c<id>_f<n>).  Namespaces are disjoint across
+   clients so every pair of cross-client operations commutes — replicas
+   may interleave different clients' chunks differently, and the
+   convergence check relies on commutativity.  Clients still contend on
+   the shared root directory's write lease for every namespace op. *)
+let client_proc ~rng ~spec ~cid (ops : Linefs.Dfs_intf.ops) =
+  let file n = Printf.sprintf "/c%d_f%d" cid n in
+  let nfiles = 4 in
+  let gap_us =
+    max 1 (Time.to_us_f spec.horizon /. float_of_int spec.ops_per_client
+          |> int_of_float)
+  in
+  let payload () =
+    let len = 64 + Rng.int rng 2048 in
+    let b = Bytes.create len in
+    Rng.fill_bytes rng b;
+    Data.real b
+  in
+  let create_or_open path =
+    try ops.Linefs.Dfs_intf.create path
+    with Linefs.Dfs_intf.Fs_error _ -> ops.Linefs.Dfs_intf.open_file path
+  in
+  for _ = 1 to spec.ops_per_client do
+    (try
+       match Rng.int rng 10 with
+       | 0 | 1 | 2 | 3 ->
+           let fd = create_or_open (file (Rng.int rng nfiles)) in
+           ops.Linefs.Dfs_intf.write fd ~pos:(Rng.int rng 4096) (payload ());
+           ops.Linefs.Dfs_intf.close fd
+       | 4 | 5 ->
+           let fd = create_or_open (file (Rng.int rng nfiles)) in
+           ops.Linefs.Dfs_intf.append fd (payload ());
+           ops.Linefs.Dfs_intf.close fd
+       | 6 ->
+           let fd = create_or_open (file (Rng.int rng nfiles)) in
+           ops.Linefs.Dfs_intf.write fd ~pos:0 (payload ());
+           ops.Linefs.Dfs_intf.fsync fd;
+           ops.Linefs.Dfs_intf.close fd
+       | 7 ->
+           ops.Linefs.Dfs_intf.rename
+             (file (Rng.int rng nfiles))
+             (file (Rng.int rng nfiles))
+       | 8 -> ops.Linefs.Dfs_intf.unlink (file (Rng.int rng nfiles))
+       | _ -> (
+           match ops.Linefs.Dfs_intf.file_size (file (Rng.int rng nfiles)) with
+           | Some sz when sz > 0 ->
+               let fd = ops.Linefs.Dfs_intf.open_file (file 0) in
+               ignore
+                 (ops.Linefs.Dfs_intf.read fd ~pos:0 ~len:(min sz 512)
+                   : Data.t);
+               ops.Linefs.Dfs_intf.close fd
+           | _ -> ())
+     with Linefs.Dfs_intf.Fs_error _ -> ());
+    Engine.sleep (Time.us (1 + Rng.int rng (2 * gap_us)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fault drivers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let note trace fmt = Format.kasprintf (fun s -> Trace.add trace (Trace.Fault s)) fmt
+
+let fault_proc trace net (dep : D.t) (f : Plan.fault) =
+  match f with
+  | Plan.Crash { node; at; restart_after } ->
+      sleep_until at;
+      note trace "crash node %d" node;
+      Nicfs.crash (D.node dep node).D.nicfs;
+      Engine.sleep restart_after;
+      note trace "restart node %d" node;
+      Nicfs.restart (D.node dep node).D.nicfs
+  | Plan.Stall { node; at; duration } ->
+      sleep_until at;
+      note trace "stall node %d" node;
+      Netfault.set_stall net ~node ~until:(Engine.now () + duration);
+      Engine.sleep duration;
+      note trace "stall over node %d" node;
+      Netfault.clear_stall net ~node
+  | Plan.Partition { a; b; at; heal_after } ->
+      sleep_until at;
+      note trace "partition %d<->%d" a b;
+      Netfault.set_partition net ~a ~b true;
+      Engine.sleep heal_after;
+      note trace "heal %d<->%d" a b;
+      Netfault.set_partition net ~a ~b false
+  | Plan.Link_delay { a; b; at; duration; delay } ->
+      sleep_until at;
+      note trace "delay %d<->%d +%s" a b (Time.to_string delay);
+      Netfault.set_delay net ~a ~b delay;
+      Engine.sleep duration;
+      note trace "delay over %d<->%d" a b;
+      Netfault.set_delay net ~a ~b (Time.ns 0)
+  | Plan.Link_drop { a; b; at; duration; p } ->
+      sleep_until at;
+      note trace "drop %d<->%d p=%.2f" a b p;
+      Netfault.set_drop net ~a ~b p;
+      Engine.sleep duration;
+      note trace "drop over %d<->%d" a b;
+      Netfault.set_drop net ~a ~b 0.0
+
+let crashed_nodes plan =
+  List.filter_map
+    (function Plan.Crash { node; _ } -> Some node | _ -> None)
+    plan
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Scenario execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run (spec : spec) =
+  let eng = Engine.create ~seed:spec.seed () in
+  let trace = Trace.create () in
+  let histories : (int, Oplog.entry list ref) Hashtbl.t = Hashtbl.create 4 in
+  let net = Netfault.create ~rng:(Rng.create (spec.seed lxor 0x6e6574)) in
+  let completed = ref false in
+  let dep_ref = ref None in
+  Engine.spawn_root ~name:"dst-scenario" eng (fun () ->
+      let params =
+        {
+          Linefs.Params.default with
+          Linefs.Params.chunk_bytes = 32 * 1024;
+          repl_retry_timeout = Time.ms 2;
+        }
+      in
+      let dep =
+        D.create ~params ~apply_on_publish:true ~nodes:spec.nodes ()
+      in
+      dep_ref := Some dep;
+      let mgr =
+        Cluster.Manager.create ~heartbeat_interval:(Time.ms 1) ()
+      in
+      for i = 0 to D.node_count dep - 1 do
+        let rt = D.node dep i in
+        Cluster.Manager.register mgr ~id:i
+          ~ping:(fun () -> Nicfs.ping rt.D.nicfs)
+          ~on_epoch:(fun e ->
+            Trace.add trace (Trace.Epoch e);
+            Nicfs.set_epoch rt.D.nicfs e)
+      done;
+      Cluster.Manager.start mgr;
+      Netfault.install net;
+      Lease.set_observer (fun ev -> Trace.add trace (Trace.Lease ev));
+      Libfs.set_entry_observer (fun ~client e ->
+          let h =
+            match Hashtbl.find_opt histories client with
+            | Some h -> h
+            | None ->
+                let h = ref [] in
+                Hashtbl.replace histories client h;
+                h
+          in
+          h := e :: !h);
+      let clients =
+        List.init spec.clients (fun i -> D.add_client dep ~id:i)
+      in
+      List.iter
+        (fun f -> Engine.spawn ~name:"dst-fault" (fun () ->
+             fault_proc trace net dep f))
+        spec.plan;
+      let done_ivs =
+        List.mapi
+          (fun i c ->
+            let iv = Ivar.create () in
+            let rng = Rng.create (spec.seed + (1000 * (i + 1))) in
+            Engine.spawn ~name:(Printf.sprintf "dst-client%d" i) (fun () ->
+                client_proc ~rng ~spec ~cid:i (Libfs.ops c);
+                Ivar.fill iv ());
+            iv)
+          clients
+      in
+      List.iter Ivar.read done_ivs;
+      (* Let the fault plan fully play out (restarts, heals). *)
+      sleep_until (Plan.horizon spec.plan + Time.ms 1);
+      (* Recover every node that crashed: re-register with the manager,
+         pull missed inodes from the primary (which never crashes). *)
+      List.iter
+        (fun n ->
+          let stats =
+            Linefs.Recovery.run ~manager:mgr
+              ~recovering:(D.node dep n).D.nicfs
+              ~source:(D.primary dep).D.nicfs ()
+          in
+          note trace "recovered node %d (epochs %d->%d, %d inodes)" n
+            stats.Linefs.Recovery.from_epoch stats.Linefs.Recovery.to_epoch
+            stats.Linefs.Recovery.inodes_resynced)
+        (crashed_nodes spec.plan);
+      (* Drain all pipelines; retransmission pushes anything lost during
+         the fault window through the healed chain. *)
+      D.flush_all dep;
+      Cluster.Manager.stop mgr;
+      D.stop dep;
+      completed := true);
+  (* Generous deadline: a correct system finishes well inside it; hitting
+     it means the scenario wedged, which the checker reports.  A crash
+     inside the simulation (a failwith in some daemon) is itself a
+     finding, not a harness error — capture it as a violation. *)
+  let sim_crash =
+    match Engine.run ~deadline:(Time.sec 30) eng with
+    | () -> None
+    | exception e -> Some (Printexc.to_string e)
+  in
+  Netfault.uninstall ();
+  Lease.clear_observer ();
+  Libfs.clear_entry_observer ();
+  let histories =
+    Hashtbl.fold (fun c h acc -> (c, List.rev !h) :: acc) histories []
+    |> List.sort compare
+  in
+  let ops_logged =
+    List.fold_left (fun acc (_, es) -> acc + List.length es) 0 histories
+  in
+  let violations, fs_digest =
+    match !dep_ref with
+    | None -> ([ { Invariant.name = "setup"; detail = "deployment never built" } ], 0l)
+    | Some dep ->
+        let prim = (D.primary dep).D.fs in
+        let reps =
+          List.map
+            (fun (rt : D.node_rt) -> (rt.D.node.Hw.Node.id, rt.D.fs))
+            (D.replicas dep)
+        in
+        let vs =
+          Invariant.check_prefix_consistency ~histories
+          @ Invariant.check_single_writer trace
+          @ (if !completed then Invariant.check_convergence ~primary:prim ~replicas:reps
+             else [])
+        in
+        (vs, Storage.Fs_state.digest prim)
+  in
+  let violations =
+    match sim_crash with
+    | Some msg ->
+        { Invariant.name = "sim-crash"; detail = msg } :: violations
+    | None ->
+        if !completed then violations
+        else
+          { Invariant.name = "wedged";
+            detail = "scenario did not complete before the deadline" }
+          :: violations
+  in
+  {
+    completed = !completed;
+    violations;
+    fs_digest;
+    trace_events = Trace.count trace;
+    ops_logged;
+    drops = Netfault.drops net;
+    delays = Netfault.delays net;
+  }

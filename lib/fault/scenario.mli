@@ -1,0 +1,46 @@
+(** One DST scenario: a seeded random workload over a 3-replica LineFS
+    cluster, shaken by a timed fault plan, then healed, recovered,
+    drained and invariant-checked.
+
+    Everything is derived deterministically from the seed — the
+    engine's event interleaving, the clients' operation streams, the
+    fault plan, and the network-fault RNG — so a failing seed replays
+    exactly. *)
+
+open Sim
+
+type spec = {
+  seed : int;
+  nodes : int;
+  clients : int;
+  ops_per_client : int;
+  horizon : Time.t;  (** Workload/fault window; drain follows it. *)
+  plan : Plan.t;
+}
+
+type outcome = {
+  completed : bool;
+      (** The scenario ran to completion before the engine deadline;
+          [false] means it wedged (itself reported as a violation). *)
+  violations : Invariant.violation list;
+  fs_digest : int32;  (** Primary file-system digest at the end. *)
+  trace_events : int;
+  ops_logged : int;  (** Entries persisted across all client logs. *)
+  drops : int;  (** Messages the fault layer lost. *)
+  delays : int;  (** Transfers the fault layer delayed. *)
+}
+
+val failed : outcome -> bool
+(** Wedged or at least one violation. *)
+
+val generate : seed:int -> spec
+(** Derive a full scenario (cluster size 3, 1–2 clients, 25–64 ops
+    each, 1–4 faults) from a seed. *)
+
+val run : spec -> outcome
+(** Execute in a fresh engine; never raises on invariant violations —
+    they come back in the outcome. Global hooks (network injection,
+    lease observer, entry observer) are restored on exit. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

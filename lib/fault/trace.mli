@@ -1,0 +1,28 @@
+(** Global event trace of one DST scenario.
+
+    Records lease transitions (via {!Linefs.Lease.set_observer}),
+    cluster epoch bumps, and fault plan milestones, each stamped with a
+    monotonically increasing index and the virtual time.  The invariant
+    checker replays the trace to verify lease single-writer safety;
+    the index total is part of the determinism fingerprint. *)
+
+open Sim
+
+type event =
+  | Lease of Linefs.Lease.event
+  | Epoch of int
+  | Fault of string  (** A plan fault being applied or reverted. *)
+  | Note of string
+
+type record = { index : int; time : Time.t; event : event }
+
+type t
+
+val create : unit -> t
+val add : t -> event -> unit
+val count : t -> int
+val events : t -> record list
+(** In recording order. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_record : Format.formatter -> record -> unit

@@ -28,6 +28,7 @@ let free t n =
   assert (n >= 0);
   t.used <- max 0 (t.used - n)
 
+let reset_mem t = t.used <- 0
 let mem_used t = t.used
 let mem_capacity t = t.capacity
 let mem_frac t = float_of_int t.used /. float_of_int t.capacity

@@ -25,6 +25,10 @@ val alloc : t -> int -> unit
 
 val free : t -> int -> unit
 
+val reset_mem : t -> unit
+(** Zero the allocation accounting — NIC DRAM is volatile, so a NICFS
+    restart after a crash starts from an empty heap. *)
+
 val mem_used : t -> int
 val mem_capacity : t -> int
 

@@ -20,7 +20,8 @@ type t = {
 let create ?(cfg = Hw.Config.testbed_25gbe) ?(params = Params.default)
     ?(pipeline_parallelism = true) ?(kworker_mode = Kworker.Dma_interrupt_batch)
     ?(dfs_prio = Hw.Cpu.prio_normal) ?(compression = false)
-    ?(coalescing = false) ?(monitor = false) ~nodes () =
+    ?(coalescing = false) ?(monitor = false) ?(apply_on_publish = false)
+    ~nodes () =
   let params = { params with Params.replicas = nodes } in
   let topo = Hw.Topology.create ~cfg ~nodes () in
   let rts =
@@ -32,9 +33,17 @@ let create ?(cfg = Hw.Config.testbed_25gbe) ?(params = Params.default)
           Kworker.create ~mode:kworker_mode ~prio:dfs_prio
             ~account:dfs_host_cpu ~params ~node ()
         in
+        (* Each NICFS runs in its own process group so fault injection
+           can power-fail one node's SmartNIC without touching the
+           others (the host-side kworker survives, as on real hardware
+           where the host OS outlives a NIC reset). *)
+        let group =
+          Sim.Engine.make_group
+            (Printf.sprintf "nicfs%d" node.Hw.Node.id)
+        in
         let nicfs =
-          Nicfs.create ~pipeline_parallelism ~coalescing ~compression ~params
-            ~node ~fs ~kworker ()
+          Nicfs.create ~pipeline_parallelism ~coalescing ~compression
+            ~apply_on_publish ~group ~params ~node ~fs ~kworker ()
         in
         { node; fs; kworker; nicfs; dfs_host_cpu })
       topo.Hw.Topology.nodes

@@ -25,6 +25,7 @@ val create :
   ?compression:bool ->
   ?coalescing:bool ->
   ?monitor:bool ->
+  ?apply_on_publish:bool ->
   nodes:int ->
   unit ->
   t
@@ -32,7 +33,10 @@ val create :
     [dfs_prio] is the scheduling priority of DFS host work (kernel
     worker and LibFS) relative to co-running applications. [monitor]
     starts each NICFS's kernel-worker failure detector (off by default
-    so idle simulations quiesce). *)
+    so idle simulations quiesce). [apply_on_publish] makes every NICFS
+    replay published entries into its [fs] (convergence checking).
+    Each NICFS gets its own process group, so {!Nicfs.crash} can
+    power-fail individual nodes. *)
 
 val params : t -> Params.t
 val node_count : t -> int

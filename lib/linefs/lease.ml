@@ -6,12 +6,31 @@ type lease = {
   mutable writer : int option;
   mutable readers : int list;
   mutable expires : Time.t;
+  mutable epoch : int;
 }
+
+type event =
+  | Granted of {
+      node : int;
+      client : int;
+      inum : int;
+      ltype : ltype;
+      epoch : int;
+      expires : Time.t;
+    }
+  | Released of { node : int; client : int; inum : int }
+  | Expired of { node : int; client : int; inum : int }
+
+let observer : (event -> unit) option ref = ref None
+let set_observer f = observer := Some f
+let clear_observer () = observer := None
+let emit ev = match !observer with None -> () | Some f -> f ev
 
 type t = {
   params : Params.t;
   node : Hw.Node.t;
   replicate : bytes:int -> unit;
+  current_epoch : unit -> int;
   table : (int, lease) Hashtbl.t;
   mutable pending : int;
   persisted : Cond.t;
@@ -19,18 +38,22 @@ type t = {
 
 let lease_record_bytes = 64
 
-let create ~params ~node ~replicate () =
+let create ?(current_epoch = fun () -> 0) ~params ~node ~replicate () =
   {
     params;
     node;
     replicate;
+    current_epoch;
     table = Hashtbl.create 64;
     pending = 0;
     persisted = Cond.create ();
   }
 
-let valid _t l =
-  l.expires > Engine.now () || l.writer <> None || l.readers <> []
+(* A lease from a previous cluster epoch is dead no matter its expiry:
+   the epoch bump (failure detection) revoked it cluster-wide (§3.6). *)
+let valid t l =
+  l.epoch = t.current_epoch ()
+  && (l.expires > Engine.now () || l.writer <> None || l.readers <> [])
 
 let persist_in_background t =
   t.pending <- t.pending + 1;
@@ -46,13 +69,26 @@ let acquire t ~client ~inum ltype =
     match Hashtbl.find_opt t.table inum with
     | Some l when valid t l -> l
     | _ ->
-        let l = { writer = None; readers = []; expires = 0 } in
+        let l =
+          { writer = None; readers = []; expires = 0; epoch = 0 }
+        in
         Hashtbl.replace t.table inum l;
         l
   in
   let grant () =
     l.expires <- Engine.now () + t.params.Params.lease_duration;
+    l.epoch <- t.current_epoch ();
     persist_in_background t;
+    emit
+      (Granted
+         {
+           node = t.node.Hw.Node.id;
+           client;
+           inum;
+           ltype;
+           epoch = l.epoch;
+           expires = l.expires;
+         });
     `Granted
   in
   match ltype with
@@ -78,9 +114,20 @@ let release t ~client ~inum =
   match Hashtbl.find_opt t.table inum with
   | None -> ()
   | Some l ->
+      let held = l.writer = Some client || List.mem client l.readers in
       if l.writer = Some client then l.writer <- None;
       l.readers <- List.filter (fun r -> r <> client) l.readers;
+      if held then emit (Released { node = t.node.Hw.Node.id; client; inum });
       if l.writer = None && l.readers = [] then Hashtbl.remove t.table inum
+
+let iter_holds t ~f =
+  Hashtbl.iter
+    (fun inum l ->
+      (match l.writer with Some w -> f ~inum ~client:w | None -> ());
+      List.iter
+        (fun r -> if l.writer <> Some r then f ~inum ~client:r)
+        l.readers)
+    t.table
 
 let holders t ~inum =
   match Hashtbl.find_opt t.table inum with
@@ -93,6 +140,9 @@ let holders t ~inum =
 let check_access t ~client ~inum ~write =
   match Hashtbl.find_opt t.table inum with
   | None -> true
+  | Some l when l.epoch <> t.current_epoch () ->
+      (* Stale-epoch lease: revoked by the epoch bump, no conflict. *)
+      true
   | Some l -> (
       match l.writer with
       | Some w when w <> client -> false
@@ -104,8 +154,10 @@ let expire_client t ~client =
   let stale = ref [] in
   Hashtbl.iter
     (fun inum l ->
+      let held = l.writer = Some client || List.mem client l.readers in
       if l.writer = Some client then l.writer <- None;
       l.readers <- List.filter (fun r -> r <> client) l.readers;
+      if held then emit (Expired { node = t.node.Hw.Node.id; client; inum });
       if l.writer = None && l.readers = [] then stale := inum :: !stale)
     t.table;
   List.iter (Hashtbl.remove t.table) !stale

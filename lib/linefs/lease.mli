@@ -11,14 +11,41 @@ type ltype = Read | Write
 
 type t
 
+(** Lease-table transitions, observable for trace-based safety checking
+    (the DST harness reconstructs who held which lease when and checks
+    single-writer safety).  [node] is the granting NICFS's node id. *)
+type event =
+  | Granted of {
+      node : int;
+      client : int;
+      inum : int;
+      ltype : ltype;
+      epoch : int;
+      expires : Sim.Time.t;
+    }
+  | Released of { node : int; client : int; inum : int }
+  | Expired of { node : int; client : int; inum : int }
+      (** Dropped without the client asking (fail-over / revocation). *)
+
+val set_observer : (event -> unit) -> unit
+(** Install a process-wide observer notified of every lease transition
+    on every manager.  One at a time; installing replaces. *)
+
+val clear_observer : unit -> unit
+
 val create :
+  ?current_epoch:(unit -> int) ->
   params:Params.t ->
   node:Hw.Node.t ->
   replicate:(bytes:int -> unit) ->
   unit ->
   t
 (** [replicate] ships a small lease record to the replica NICFSes
-    (injected to avoid a dependency on the replication chain). *)
+    (injected to avoid a dependency on the replication chain).
+    [current_epoch] reads the owning NICFS's cluster epoch: a grant is
+    stamped with it and a lease from an older epoch is invalid — the
+    epoch bump at failure detection is a cluster-wide revocation
+    (§3.6).  Defaults to a constant, i.e. epochs disabled. *)
 
 val acquire :
   t -> client:int -> inum:int -> ltype -> [ `Granted | `Conflict ]
@@ -30,6 +57,11 @@ val release : t -> client:int -> inum:int -> unit
 
 val holders : t -> inum:int -> int list
 (** Clients currently holding the inode's lease (writer first). *)
+
+val iter_holds : t -> f:(inum:int -> client:int -> unit) -> unit
+(** Visit every (inode, holder) pair in the table, stale or not — the
+    epoch-bump revocation sweep uses this to grandfather and notify
+    holders. *)
 
 val check_access : t -> client:int -> inum:int -> write:bool -> bool
 (** Validation-stage test: does this client's access conflict with a

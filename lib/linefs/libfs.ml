@@ -130,6 +130,15 @@ let kick_pipeline t =
   Nicfs.start_pipeline t.nicfs ~from:(host_loc t) ~client:t.cid;
   t.unchunked <- 0
 
+(* Observer hook: test harnesses capture every persisted entry here,
+   at append time, before asynchronous publication can reclaim it from
+   the log (the DST prefix-consistency check replays this record). *)
+let entry_observer : (client:int -> Oplog.entry -> unit) option ref =
+  ref None
+
+let set_entry_observer f = entry_observer := Some f
+let clear_entry_observer () = entry_observer := None
+
 (* Validate locally, persist to the private log (blocking on log space
    — the head-of-line case §3.3.1 motivates), update caches. The log
    lock keeps appends in sequence order across the process's threads. *)
@@ -156,6 +165,9 @@ let append_op_locked t (op : Oplog.op) =
         persist ()
   in
   persist ();
+  (match !entry_observer with
+  | Some f -> f ~client:t.cid entry
+  | None -> ());
   (match Fs_state.apply t.fs op with
   | Ok () -> ()
   | Error e -> Dfs_intf.fail e "apply after successful validate");

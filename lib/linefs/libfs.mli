@@ -31,6 +31,14 @@ val ops : t -> Dfs_intf.ops
 
 val log : t -> Storage.Oplog.Log.t
 
+val set_entry_observer : (client:int -> Storage.Oplog.entry -> unit) -> unit
+(** Install a process-wide hook called for every entry any LibFS
+    persists, at append time — before asynchronous publication can
+    reclaim it.  Test harnesses use this to record the full operation
+    history for prefix-consistency replay.  One at a time. *)
+
+val clear_entry_observer : unit -> unit
+
 val last_seq : t -> int
 (** Sequence number of the newest logged operation. *)
 

@@ -18,11 +18,25 @@ type client_state = {
   publish_progress : Cond.t;
   completed_repl : (int, int) Hashtbl.t; (* chunk idx -> last_seq *)
   mutable next_repl_idx : int;
-  acks : (int, int ref) Hashtbl.t; (* chunk idx -> acks still missing *)
+  acks : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* chunk idx -> node ids that acked so far.  Per-node dedup
+         matters under retransmission: a replica re-acks duplicate
+         deliveries, and counting those would complete a chunk without
+         every replica having persisted it. *)
   mutable shared_pl : Chunk.t Pipeline.t option;
   mutable publish_pl : Chunk.t Pipeline.t option;
   mutable repl_pl : Chunk.t Pipeline.t option;
   mutable seq_pl : Chunk.t Pipeline.t option; (* NotParallel mode *)
+}
+
+(* Replica-side publication gate: chunks can arrive out of order or in
+   duplicate under retransmission; publication (history recording and
+   metadata application) must happen exactly once per chunk, in index
+   order.  Progress is host-PM-backed — an acked chunk sits in the host
+   log — so the gate survives NICFS crashes. *)
+type gate = {
+  mutable next_pub_idx : int;
+  pub_buffered : (int, Chunk.t) Hashtbl.t;
 }
 
 type t = {
@@ -52,13 +66,25 @@ type t = {
      and the replicated history bitmap of inode updates per epoch. *)
   mutable epoch : int;
   history : Cluster.History.t;
+  (* Fault injection: the NICFS's processes run in [group]; [crash]
+     kills it and [restart] brings the servers back in a fresh one. *)
+  mutable alive : bool;
+  mutable group : Engine.group option;
+  mutable incarnation : int;
+  repl_gate : (int, gate) Hashtbl.t; (* client id -> publication gate *)
 }
 
 and dmsg =
   | Start of { client : int }
   | Repl_chunk of { chunk : Chunk.t; origin : t; wire : int }
   | Repl_direct of { chunk : Chunk.t; origin : t }
-  | Repl_ack of { client : int; idx : int; last_seq : int; sent_at : Time.t }
+  | Repl_ack of {
+      client : int;
+      node : int; (* acker's node id, for per-replica ack dedup *)
+      idx : int;
+      last_seq : int;
+      sent_at : Time.t;
+    }
 
 and cmsg =
   | C_fsync of { client : int; upto : int }
@@ -220,11 +246,13 @@ let publish_work t (c : Chunk.t) =
   let entries = Chunk.entry_count c in
   nic_run t (entries * t.params.Params.publish_entry_cost);
   publish_copy t ~bytes:(publish_volume c) ~entries;
-  record_history t c;
-  if t.apply_on_publish then
-    List.iter
-      (fun (e : Oplog.entry) -> ignore (Fs_state.apply t.fs e.Oplog.op))
-      c.Chunk.entries
+  record_history t c
+  (* No [apply_on_publish] replay here: this is the node that logged
+     the entries, and its LibFS already applied them eagerly at append
+     time.  Re-applying would resurrect unlinked inodes (a replayed
+     Create of a since-freed inum adds a duplicate name binding) in the
+     very state local clients validate against.  Only the replica
+     delivery path replays entry semantics. *)
 
 (* The publication pipeline's sink: runs in order; acknowledge to
    LibFS so it can reclaim the log. *)
@@ -298,15 +326,32 @@ let mark_chunk_replicated t cs ~idx ~last_seq =
   ignore t;
   if !advanced then Cond.broadcast cs.repl_progress
 
-(* Transfer: ship the chunk to the chain successor. The penultimate
-   node writes directly into the last replica's host PM log, saving a
-   SmartNIC memory copy (§3.3.2, step 6'). *)
+(* Ship one chunk to the successor [nxt].  The penultimate node writes
+   directly into the last replica's host PM log, saving a SmartNIC
+   memory copy (§3.3.2, step 6'). *)
+let send_to_successor t nxt ~origin ~wire (c : Chunk.t) =
+  if is_last nxt && wire = c.Chunk.bytes then begin
+    (* Uncompressed direct placement into the last host's PM log. *)
+    Net.Rdma.move ~dst_medium:`Pm ~src:(nic_loc t)
+      ~dst:(Net.Loc.Host nxt.node) wire;
+    Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
+      (Repl_direct { chunk = c; origin })
+  end
+  else begin
+    Hw.Smartnic.alloc nxt.node.Hw.Node.nic wire;
+    Net.Rdma.move ~src:(nic_loc t) ~dst:(Net.Loc.Nic nxt.node) wire;
+    Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
+      (Repl_chunk { chunk = c; origin; wire })
+  end
+
+(* Transfer: ship the chunk to the chain successor. *)
 let transfer_work t (c : Chunk.t) =
   (match t.next_hop with
   | None ->
       (* Single-node deployment: nothing to replicate. *)
       (match Hashtbl.find_opt t.clients c.Chunk.client with
       | Some cs ->
+          Hashtbl.remove cs.acks c.Chunk.idx;
           mark_chunk_replicated t cs ~idx:c.Chunk.idx
             ~last_seq:c.Chunk.last_seq
       | None -> ());
@@ -316,19 +361,29 @@ let transfer_work t (c : Chunk.t) =
       let origin = t in
       let wire = c.Chunk.wire_bytes in
       t.repl_wire <- t.repl_wire + wire;
-      if is_last nxt && wire = c.Chunk.bytes then begin
-        (* Uncompressed direct placement into the last host's PM log. *)
-        Net.Rdma.move ~dst_medium:`Pm ~src:(nic_loc t)
-          ~dst:(Net.Loc.Host nxt.node) wire;
-        Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
-          (Repl_direct { chunk = c; origin })
-      end
-      else begin
-        Hw.Smartnic.alloc nxt.node.Hw.Node.nic wire;
-        Net.Rdma.move ~src:(nic_loc t) ~dst:(Net.Loc.Nic nxt.node) wire;
-        Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
-          (Repl_chunk { chunk = c; origin; wire })
-      end);
+      send_to_successor t nxt ~origin ~wire c;
+      (* Under fault injection messages can be lost, so re-send until
+         the ack set completes.  Replicas ack duplicate deliveries and
+         re-forward them, which also heals downstream links.  On a
+         perfect network (no hook installed) nothing is ever lost and
+         the retransmitter is not spawned, keeping event schedules of
+         fault-free runs unchanged. *)
+      if Net.Inject.active () then
+        Engine.spawn ~name:"nicfs.retx" (fun () ->
+            let unacked () =
+              match Hashtbl.find_opt t.clients c.Chunk.client with
+              | None -> false
+              | Some cs -> Hashtbl.mem cs.acks c.Chunk.idx
+            in
+            let rec loop () =
+              Engine.sleep t.params.Params.repl_retry_timeout;
+              if t.alive && unacked () then begin
+                t.repl_wire <- t.repl_wire + wire;
+                send_to_successor t nxt ~origin ~wire c;
+                loop ()
+              end
+            in
+            loop ()));
   chunk_mem_unref t c
 
 (* ------------------------------------------------------------------ *)
@@ -336,23 +391,48 @@ let transfer_work t (c : Chunk.t) =
 (* ------------------------------------------------------------------ *)
 
 (* Local publication on a replica: replicas also digest the chunks they
-   persisted (the kernel-worker load §5.2.1 measures on replicas). *)
-let replica_publish t (c : Chunk.t) =
-  Engine.spawn ~name:"nicfs.replica-publish" (fun () ->
-      let entries = Chunk.entry_count c in
-      nic_run t (entries * t.params.Params.publish_entry_cost);
-      publish_copy t ~bytes:(publish_volume c) ~entries;
-      record_history t c;
-      if t.apply_on_publish then
-        List.iter
-          (fun (e : Oplog.entry) -> ignore (Fs_state.apply t.fs e.Oplog.op))
-          c.Chunk.entries)
+   persisted (the kernel-worker load §5.2.1 measures on replicas).
+   Delivery goes through the per-client gate so duplicates publish once
+   and out-of-order arrivals publish in index order; the state-changing
+   part (history, metadata apply) runs synchronously at dequeue for a
+   deterministic order, only the hardware-time charges are async. *)
+let replica_deliver t (c : Chunk.t) =
+  let g =
+    match Hashtbl.find_opt t.repl_gate c.Chunk.client with
+    | Some g -> g
+    | None ->
+        let g = { next_pub_idx = 0; pub_buffered = Hashtbl.create 8 } in
+        Hashtbl.replace t.repl_gate c.Chunk.client g;
+        g
+  in
+  if
+    c.Chunk.idx >= g.next_pub_idx
+    && not (Hashtbl.mem g.pub_buffered c.Chunk.idx)
+  then Hashtbl.replace g.pub_buffered c.Chunk.idx c;
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt g.pub_buffered g.next_pub_idx with
+    | None -> continue := false
+    | Some ready ->
+        Hashtbl.remove g.pub_buffered g.next_pub_idx;
+        g.next_pub_idx <- g.next_pub_idx + 1;
+        record_history t ready;
+        if t.apply_on_publish then
+          List.iter
+            (fun (e : Oplog.entry) -> ignore (Fs_state.apply t.fs e.Oplog.op))
+            ready.Chunk.entries;
+        Engine.spawn ~name:"nicfs.replica-publish" (fun () ->
+            let entries = Chunk.entry_count ready in
+            nic_run t (entries * t.params.Params.publish_entry_cost);
+            publish_copy t ~bytes:(publish_volume ready) ~entries)
+  done
 
 let send_ack t (origin : t) (c : Chunk.t) =
   Net.Rpc.post (dserver origin) ~from:(nic_loc t)
     (Repl_ack
        {
          client = c.Chunk.client;
+         node = t.node.Hw.Node.id;
          idx = c.Chunk.idx;
          last_seq = c.Chunk.last_seq;
          sent_at = Engine.now ();
@@ -379,46 +459,44 @@ let handle_repl_chunk t ~chunk:(c : Chunk.t) ~origin ~wire =
   (match t.next_hop with
   | Some nxt ->
       Engine.spawn ~name:"nicfs.forward" (fun () ->
-          if is_last nxt && wire = c.Chunk.bytes then begin
-            Net.Rdma.move ~dst_medium:`Pm ~src:(nic_loc t)
-              ~dst:(Net.Loc.Host nxt.node) wire;
-            Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
-              (Repl_direct { chunk = c; origin })
-          end
-          else begin
-            Hw.Smartnic.alloc nxt.node.Hw.Node.nic wire;
-            Net.Rdma.move ~src:(nic_loc t) ~dst:(Net.Loc.Nic nxt.node) wire;
-            Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
-              (Repl_chunk { chunk = c; origin; wire })
-          end;
+          send_to_successor t nxt ~origin ~wire c;
           t.repl_wire <- t.repl_wire + wire;
           release ())
   | None -> ());
-  (* Persist to the local host PM log across PCIe, then ack. *)
+  (* Persist to the local host PM log across PCIe, deliver to the
+     publication gate, then ack.  The gate hand-off happens before the
+     ack leaves: once persisted to host PM the chunk survives a NIC
+     crash, so an acked chunk must also be guaranteed to publish —
+     acking first would open a crash window where the primary stops
+     retransmitting a chunk this replica never published. *)
   Hw.Pcie.transfer t.node.Hw.Node.pcie c.Chunk.bytes;
   Hw.Pm.write t.node.Hw.Node.pm c.Chunk.bytes;
+  replica_deliver t c;
   send_ack t origin c;
-  replica_publish t c;
   release ()
 
 let handle_repl_direct t ~chunk:(c : Chunk.t) ~origin =
   (* Data was placed directly in our host PM log by the sender; it is
      already persistent. *)
-  send_ack t origin c;
-  replica_publish t c
+  replica_deliver t c;
+  send_ack t origin c
 
-let handle_ack t ~client ~idx ~last_seq ~sent_at =
+let handle_ack t ~client ~node ~idx ~last_seq ~sent_at =
   Stats.Series.add t.ack_lat (Time.to_us_f (Engine.now () - sent_at));
   match Hashtbl.find_opt t.clients client with
   | None -> ()
   | Some cs -> (
       match Hashtbl.find_opt cs.acks idx with
       | None -> ()
-      | Some remaining ->
-          decr remaining;
-          if !remaining <= 0 then begin
-            Hashtbl.remove cs.acks idx;
-            mark_chunk_replicated t cs ~idx ~last_seq
+      | Some ackers ->
+          if not (Hashtbl.mem ackers node) then begin
+            Hashtbl.replace ackers node ();
+            if
+              Hashtbl.length ackers >= max 0 (t.params.Params.replicas - 1)
+            then begin
+              Hashtbl.remove cs.acks idx;
+              mark_chunk_replicated t cs ~idx ~last_seq
+            end
           end)
 
 (* ------------------------------------------------------------------ *)
@@ -426,8 +504,8 @@ let handle_ack t ~client ~idx ~last_seq ~sent_at =
 (* ------------------------------------------------------------------ *)
 
 let submit_chunk t cs (c : Chunk.t) =
-  Hashtbl.replace cs.acks c.Chunk.idx
-    (ref (max 0 (t.params.Params.replicas - 1)));
+  ignore t;
+  Hashtbl.replace cs.acks c.Chunk.idx (Hashtbl.create 4);
   match (cs.seq_pl, cs.shared_pl) with
   | Some pl, _ -> Pipeline.submit pl c
   | None, Some pl -> Pipeline.submit pl c
@@ -543,8 +621,8 @@ let handle_dmsg t = function
   | Repl_chunk { chunk; origin; wire } ->
       handle_repl_chunk t ~chunk ~origin ~wire
   | Repl_direct { chunk; origin } -> handle_repl_direct t ~chunk ~origin
-  | Repl_ack { client; idx; last_seq; sent_at } ->
-      handle_ack t ~client ~idx ~last_seq ~sent_at
+  | Repl_ack { client; node; idx; last_seq; sent_at } ->
+      handle_ack t ~client ~node ~idx ~last_seq ~sent_at
 
 let handle_cmsg t = function
   | C_fsync { client; upto } ->
@@ -609,8 +687,8 @@ let handle_cmsg t = function
       end
 
 let create ?(pipeline_parallelism = true) ?(coalescing = false)
-    ?(compression = false) ?(apply_on_publish = false) ~params ~node ~fs
-    ~kworker () =
+    ?(compression = false) ?(apply_on_publish = false) ?group ~params ~node
+    ~fs ~kworker () =
   let rec t =
     lazy
       {
@@ -620,6 +698,7 @@ let create ?(pipeline_parallelism = true) ?(coalescing = false)
         kworker;
         lease =
           Lease.create ~params ~node
+            ~current_epoch:(fun () -> (Lazy.force t).epoch)
             ~replicate:(fun ~bytes -> lease_replicate (Lazy.force t) ~bytes)
             ();
         parallel = pipeline_parallelism;
@@ -641,6 +720,10 @@ let create ?(pipeline_parallelism = true) ?(coalescing = false)
         ack_lat = Stats.Series.create ();
         epoch = 1;
         history = Cluster.History.create ();
+        alive = true;
+        group;
+        incarnation = 0;
+        repl_gate = Hashtbl.create 8;
       }
   and lease_replicate t ~bytes =
     (* Ship the lease record down the replication chain. *)
@@ -657,7 +740,7 @@ let create ?(pipeline_parallelism = true) ?(coalescing = false)
   let t = Lazy.force t in
   t.dserver <-
     Some
-      (Net.Rpc.create
+      (Net.Rpc.create ?group
          ~name:(Printf.sprintf "nicfs%d.data" node.Hw.Node.id)
          ~loc:(nic_loc t)
          ~kind:(Net.Rpc.Event { workers = 4; prio = Hw.Cpu.prio_normal })
@@ -666,7 +749,7 @@ let create ?(pipeline_parallelism = true) ?(coalescing = false)
          ());
   t.cserver <-
     Some
-      (Net.Rpc.create
+      (Net.Rpc.create ?group
          ~name:(Printf.sprintf "nicfs%d.ctrl" node.Hw.Node.id)
          ~loc:(nic_loc t) ~kind:Net.Rpc.Busy_poll
          ~handler:(fun m -> handle_cmsg t m)
@@ -678,12 +761,40 @@ let set_compression t b = t.compression <- b
 let compression_enabled t = t.compression
 let set_coalescing t b = t.coalescing <- b
 let isolated t = t.is_isolated
-let ping _t = true
+let ping t = t.alive
+let alive t = t.alive
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.monitor_running <- false;
+    t.flow_blocked <- false;
+    match t.group with Some g -> Engine.kill g | None -> ()
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.incarnation <- t.incarnation + 1;
+    (* A fresh group: the old one stays killed so pre-crash
+       continuations can never resurface. *)
+    let g =
+      Engine.make_group
+        (Printf.sprintf "nicfs%d#%d" t.node.Hw.Node.id t.incarnation)
+    in
+    t.group <- Some g;
+    (* NIC DRAM is volatile: in-flight chunks died with the crash.
+       Host PM state (logs, publication gate progress) survives. *)
+    Hw.Smartnic.reset_mem t.node.Hw.Node.nic;
+    t.flow_blocked <- false;
+    (match t.dserver with Some s -> Net.Rpc.restart ~group:g s | None -> ());
+    (match t.cserver with Some s -> Net.Rpc.restart ~group:g s | None -> ());
+    t.alive <- true
+  end
 
 let start_monitor t =
   if not t.monitor_running then begin
     t.monitor_running <- true;
-    Engine.spawn ~name:"nicfs.monitor" (fun () ->
+    Engine.spawn ?group:t.group ~name:"nicfs.monitor" (fun () ->
         while t.monitor_running do
           Engine.sleep t.params.Params.hb_interval;
           if t.monitor_running then begin
@@ -797,6 +908,24 @@ let epoch t = t.epoch
 
 let set_epoch t e =
   if e <> t.epoch then begin
+    (* An epoch bump is a cluster-wide lease revocation (§3.6).  Treat
+       every current hold exactly like a conflict revocation: tell the
+       holder to drop its cached lease (otherwise it would keep logging
+       under a dead lease) and grandfather what it already logged so
+       those entries still pass validation. *)
+    let holds = ref [] in
+    Lease.iter_holds t.lease ~f:(fun ~inum ~client ->
+        holds := (inum, client) :: !holds);
+    List.iter
+      (fun (inum, client) ->
+        (match Hashtbl.find_opt t.clients client with
+        | Some hcs ->
+            hcs.on_revoke ~inum;
+            Hashtbl.replace hcs.grandfather inum
+              (Oplog.Log.last_seq hcs.log)
+        | None -> ());
+        Lease.release t.lease ~client ~inum)
+      (List.rev !holds);
     t.epoch <- e;
     (* Persist the epoch number to host PM. *)
     Hw.Pm.write t.node.Hw.Node.pm 8

@@ -18,6 +18,7 @@ val create :
   ?coalescing:bool ->
   ?compression:bool ->
   ?apply_on_publish:bool ->
+  ?group:Engine.group ->
   params:Params.t ->
   node:Hw.Node.t ->
   fs:Storage.Fs_state.t ->
@@ -28,7 +29,9 @@ val create :
     [pipeline_parallelism:false] builds the LineFS-NotParallel baseline:
     each chunk runs fetch->validate->publish->transfer sequentially.
     [apply_on_publish] additionally replays entry semantics into [fs]
-    at publication (used by tests; benchmark clients apply eagerly). *)
+    at publication (used by tests; benchmark clients apply eagerly).
+    [group] is the fault-injection kill switch the daemon's processes
+    run under (see {!crash}). *)
 
 val node : t -> Hw.Node.t
 val lease_mgr : t -> Lease.t
@@ -46,7 +49,22 @@ val start_monitor : t -> unit
 val stop_monitor : t -> unit
 val isolated : t -> bool
 val ping : t -> bool
-(** Cluster-manager heartbeat probe. *)
+(** Cluster-manager heartbeat probe: false while crashed. *)
+
+(** {1 Fault injection} *)
+
+val alive : t -> bool
+
+val crash : t -> unit
+(** Power-fail the NICFS: kill its process group (RPC servers, monitor,
+    in-flight handlers), losing NIC DRAM contents.  Host PM state — the
+    persisted log and publication-gate progress — survives. *)
+
+val restart : t -> unit
+(** Bring a crashed NICFS back: reset NIC memory accounting and respawn
+    both RPC planes in a fresh process group.  Queued requests from
+    before the crash are dropped; the primary's retransmission recovers
+    lost replication traffic. *)
 
 (** {1 Client plane (used by LibFS)} *)
 

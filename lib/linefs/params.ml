@@ -18,6 +18,7 @@ type t = {
   kworker_batch : int;
   kworker_interrupt_cost : Time.t;
   hb_interval : Time.t;
+  repl_retry_timeout : Time.t;
   replicas : int;
 }
 
@@ -44,6 +45,7 @@ let default =
     kworker_batch = 32;
     kworker_interrupt_cost = Time.us 5;
     hb_interval = Time.ms 100;
+    repl_retry_timeout = Time.ms 5;
     replicas = 3;
   }
 

@@ -33,6 +33,10 @@ type t = {
   kworker_interrupt_cost : Time.t;
       (** Host CPU time to service a DMA completion interrupt. *)
   hb_interval : Time.t;  (** Kernel-worker liveness probe period. *)
+  repl_retry_timeout : Time.t;
+      (** Primary re-sends a replication chunk whose ack set has not
+          completed after this long (only active under fault
+          injection; a perfect network never retransmits). *)
   replicas : int;  (** Chain length including primary (3). *)
 }
 

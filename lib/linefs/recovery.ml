@@ -43,22 +43,19 @@ let run ?(invalidate_logs = []) ~manager ~recovering ~source () =
       Cluster.History.record (Nicfs.history recovering) ~epoch:to_epoch ~inum;
       bytes := !bytes + n)
     touched;
-  (* 4. Invalidate stale local log entries touching recovered inodes. *)
+  (* 4. Invalidate stale local log entries touching recovered inodes —
+     and only those: entries over untouched inodes are still the newest
+     version of their data and must survive for later publication. *)
   let touched_set = List.sort_uniq compare touched in
   let invalidated = ref 0 in
   List.iter
     (fun log ->
-      let stale = ref false in
-      Oplog.Log.iter log (fun e ->
-          if
-            List.exists
-              (fun inum -> List.mem inum touched_set)
-              (Oplog.touches e.Oplog.op)
-          then stale := true);
-      if !stale then begin
-        Oplog.Log.iter log (fun _ -> incr invalidated);
-        ignore (Oplog.Log.reclaim_upto log ~seq:(Oplog.Log.last_seq log) : int)
-      end)
+      invalidated :=
+        !invalidated
+        + Oplog.Log.remove_if log (fun e ->
+              List.exists
+                (fun inum -> List.mem inum touched_set)
+                (Oplog.touches e.Oplog.op)))
     invalidate_logs;
   {
     from_epoch;

@@ -26,5 +26,6 @@ val run :
   stats
 (** Execute the recovery protocol (process context required).
     [source] must be an online replica holding the history bitmap.
-    [invalidate_logs] are local client logs to scan for entries
-    touching recovered inodes (dropped wholesale when stale). *)
+    [invalidate_logs] are local client logs to scan: only the entries
+    touching recovered inodes are invalidated (the resynced copy
+    supersedes them); entries over untouched inodes survive. *)

@@ -1,0 +1,21 @@
+type point = Rdma_move | Rpc_call | Rpc_post
+
+type verdict = Pass | Drop | Delay of Sim.Time.t
+
+type hook = point:point -> src:Loc.t -> dst:Loc.t -> bytes:int -> verdict
+
+let the_hook : hook option ref = ref None
+
+let set h = the_hook := Some h
+let clear () = the_hook := None
+let active () = Option.is_some !the_hook
+
+let consult ~point ~src ~dst ~bytes =
+  match !the_hook with
+  | None -> Pass
+  | Some h -> h ~point ~src ~dst ~bytes
+
+let point_name = function
+  | Rdma_move -> "rdma-move"
+  | Rpc_call -> "rpc-call"
+  | Rpc_post -> "rpc-post"

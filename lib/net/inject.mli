@@ -1,0 +1,40 @@
+(** Fault-injection hooks for the network layer.
+
+    A single process-wide hook is consulted at every injection point:
+    one-sided RDMA transfers ({!Rdma.move}) and both RPC send paths
+    ({!Rpc.call}/{!Rpc.post}).  The hook decides per message whether it
+    passes untouched, is dropped (lost in the fabric; the receiver
+    never sees it) or is delayed by extra fabric latency.
+
+    The hook runs in simulation-process context, so it may consult the
+    virtual clock — but it must not block, spawn or otherwise perform
+    effects, or injection itself would perturb scheduling.
+
+    Deterministic-simulation harnesses ([Fault.Netfault]) install a
+    hook driven by a seeded RNG and the current fault plan; production
+    simulations leave it unset, which short-circuits to [Pass]. *)
+
+type point = Rdma_move | Rpc_call | Rpc_post
+
+type verdict =
+  | Pass  (** Deliver normally. *)
+  | Drop  (** Lose the message; one-way sends vanish silently, and
+              round-trip callers only notice via their timeout. *)
+  | Delay of Sim.Time.t  (** Extra latency before the send proceeds. *)
+
+type hook = point:point -> src:Loc.t -> dst:Loc.t -> bytes:int -> verdict
+
+val set : hook -> unit
+(** Install the hook (replacing any previous one). *)
+
+val clear : unit -> unit
+(** Remove the hook; all traffic passes untouched again. *)
+
+val active : unit -> bool
+
+val consult :
+  point:point -> src:Loc.t -> dst:Loc.t -> bytes:int -> verdict
+(** Used by the net layer at each injection point. [Pass] when no hook
+    is installed. *)
+
+val point_name : point -> string

@@ -7,6 +7,10 @@ let pm_charge medium (node : Node.t) ~write n =
 
 let move ?(src_medium = `Dram) ?(dst_medium = `Dram) ~src ~dst n =
   let src_node = Loc.node src and dst_node = Loc.node dst in
+  let verdict = Inject.consult ~point:Inject.Rdma_move ~src ~dst ~bytes:n in
+  (match verdict with
+  | Inject.Delay d -> Sim.Engine.sleep d
+  | Inject.Pass | Inject.Drop -> ());
   pm_charge src_medium src_node ~write:false n;
   if Loc.same_node src dst then begin
     match (src, dst) with
@@ -24,7 +28,11 @@ let move ?(src_medium = `Dram) ?(dst_medium = `Dram) ~src ~dst n =
     Netlink.send ~src:src_node.port ~dst:dst_node.port n;
     if Loc.is_host dst then Sim.Engine.sleep (Pcie.latency dst_node.pcie)
   end;
-  pm_charge dst_medium dst_node ~write:true n
+  (* A dropped transfer was transmitted (sender-side costs paid, wire
+     occupied) but discarded before landing at the receiver. *)
+  match verdict with
+  | Inject.Drop -> ()
+  | Inject.Pass | Inject.Delay _ -> pm_charge dst_medium dst_node ~write:true n
 
 let move_time_estimate ~src ~dst n =
   let src_node = Loc.node src and dst_node = Loc.node dst in

@@ -23,7 +23,14 @@ val move :
   int ->
   unit
 (** Move [n] bytes; blocks the calling process for the full transfer.
-    Defaults: both media [`Dram] (no PM device time). *)
+    Defaults: both media [`Dram] (no PM device time).
+
+    Consults the {!Inject} hook: [Delay] adds fabric latency before the
+    transfer; [Drop] pays the sender-side costs but skips the receiver's
+    PM placement (transmitted, then discarded in the fabric).  Callers
+    modelling reliable delivery of payload data should inject loss at
+    the RPC layer instead, where the message carrying the payload
+    reference is what gets lost. *)
 
 val move_time_estimate : src:Loc.t -> dst:Loc.t -> int -> Sim.Time.t
 (** Uncontended estimate (no PM component), for planning decisions. *)

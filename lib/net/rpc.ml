@@ -15,6 +15,7 @@ type ('req, 'resp) t = {
   dispatch_cost : Time.t;
   poll_overhead : Time.t;
   n_workers : int;
+  mutable group : Engine.group option;
 }
 
 let pool_of loc =
@@ -51,8 +52,21 @@ let event_worker t pool prio =
   in
   loop ()
 
-let create ?(dispatch_cost = Time.us 5) ?(poll_overhead = Time.ns 200) ~name
-    ~loc ~kind ~handler () =
+let spawn_workers t =
+  let pool = pool_of t.loc in
+  match t.kind with
+  | Busy_poll ->
+      Engine.spawn ?group:t.group ~name:(t.name ^ ".poll") (fun () ->
+          busy_poll_worker t pool)
+  | Event { workers; prio } ->
+      for i = 1 to workers do
+        Engine.spawn ?group:t.group
+          ~name:(Printf.sprintf "%s.worker%d" t.name i)
+          (fun () -> event_worker t pool prio)
+      done
+
+let create ?(dispatch_cost = Time.us 5) ?(poll_overhead = Time.ns 200) ?group
+    ~name ~loc ~kind ~handler () =
   let n_workers =
     match kind with Busy_poll -> 1 | Event { workers; _ } -> workers
   in
@@ -66,35 +80,73 @@ let create ?(dispatch_cost = Time.us 5) ?(poll_overhead = Time.ns 200) ~name
       dispatch_cost;
       poll_overhead;
       n_workers;
+      group;
     }
   in
-  let pool = pool_of loc in
   (match kind with
-  | Busy_poll ->
-      Hw.Cpu.reserve_core pool;
-      Engine.spawn ~name:(name ^ ".poll") (fun () -> busy_poll_worker t pool)
-  | Event { workers; prio } ->
-      for i = 1 to workers do
-        Engine.spawn
-          ~name:(Printf.sprintf "%s.worker%d" name i)
-          (fun () -> event_worker t pool prio)
-      done);
+  | Busy_poll -> Hw.Cpu.reserve_core (pool_of loc)
+  | Event _ -> ());
+  spawn_workers t;
   t
+
+let restart ?group t =
+  (* The previous workers are assumed dead (their group was killed), so
+     their reserved core stays reserved: a busy-poll restart reuses it
+     rather than reserving a second one.  In-flight requests are lost
+     with the crash. *)
+  (match group with Some _ -> t.group <- group | None -> ());
+  Mailbox.clear t.inbox;
+  spawn_workers t
 
 let loc t = t.loc
 let msg_bytes = 64
 
 let call t ~from ?(bytes = msg_bytes) req =
-  Rdma.move ~src:from ~dst:t.loc bytes;
-  let iv = Ivar.create () in
-  Mailbox.send t.inbox (Req (req, Some iv));
-  let resp = Ivar.read iv in
-  Rdma.move ~src:t.loc ~dst:from msg_bytes;
-  resp
+  match Inject.consult ~point:Inject.Rpc_call ~src:from ~dst:t.loc ~bytes with
+  | Inject.Drop ->
+      (* The request is lost and the caller has no timeout: it waits
+         forever, like a thread blocked on a dead peer.  Use
+         {!call_timeout} on paths that must survive message loss. *)
+      Rdma.move ~src:from ~dst:t.loc bytes;
+      Engine.suspend (fun (_ : 'resp -> unit) -> ())
+  | (Inject.Pass | Inject.Delay _) as v ->
+      (match v with Inject.Delay d -> Engine.sleep d | _ -> ());
+      Rdma.move ~src:from ~dst:t.loc bytes;
+      let iv = Ivar.create () in
+      Mailbox.send t.inbox (Req (req, Some iv));
+      let resp = Ivar.read iv in
+      Rdma.move ~src:t.loc ~dst:from msg_bytes;
+      resp
+
+let call_timeout t ~from ?(bytes = msg_bytes) ~timeout req =
+  let verdict =
+    Inject.consult ~point:Inject.Rpc_call ~src:from ~dst:t.loc ~bytes
+  in
+  match verdict with
+  | Inject.Drop ->
+      Rdma.move ~src:from ~dst:t.loc bytes;
+      Engine.sleep timeout;
+      None
+  | Inject.Pass | Inject.Delay _ ->
+      (match verdict with Inject.Delay d -> Engine.sleep d | _ -> ());
+      Rdma.move ~src:from ~dst:t.loc bytes;
+      let iv = Ivar.create () in
+      Mailbox.send t.inbox (Req (req, Some iv));
+      (match Ivar.read_timeout iv timeout with
+      | None -> None
+      | Some resp ->
+          Rdma.move ~src:t.loc ~dst:from msg_bytes;
+          Some resp)
 
 let post t ~from ?(bytes = msg_bytes) req =
+  let verdict =
+    Inject.consult ~point:Inject.Rpc_post ~src:from ~dst:t.loc ~bytes
+  in
+  (match verdict with Inject.Delay d -> Engine.sleep d | _ -> ());
   Rdma.move ~src:from ~dst:t.loc bytes;
-  Mailbox.send t.inbox (Req (req, None))
+  match verdict with
+  | Inject.Drop -> (* transmitted, lost in the fabric *) ()
+  | Inject.Pass | Inject.Delay _ -> Mailbox.send t.inbox (Req (req, None))
 
 let queue_length t = Mailbox.length t.inbox
 

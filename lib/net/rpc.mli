@@ -23,6 +23,7 @@ type kind =
 val create :
   ?dispatch_cost:Sim.Time.t ->
   ?poll_overhead:Sim.Time.t ->
+  ?group:Sim.Engine.group ->
   name:string ->
   loc:Loc.t ->
   kind:kind ->
@@ -30,14 +31,36 @@ val create :
   unit ->
   ('req, 'resp) t
 (** Start serving. [Busy_poll] reserves one core on [loc]'s CPU pool.
+    Worker processes are spawned in [group] when given, so killing the
+    group (fault injection) silently stops the server.
     Defaults: [dispatch_cost] 5 us, [poll_overhead] 200 ns. *)
+
+val restart : ?group:Sim.Engine.group -> _ t -> unit
+(** Bring a server whose worker group was killed back up: drops every
+    queued request (lost with the crash) and spawns fresh workers,
+    in [group] when given (pass the restarted node's new group; the old
+    one stays dead).  A busy-poll server reuses its already-reserved
+    core.  Calling this on a live server leaks its old workers. *)
 
 val loc : _ t -> Loc.t
 
 val call : ('req, 'resp) t -> from:Loc.t -> ?bytes:int -> 'req -> 'resp
 (** Synchronous request: sends a message of [bytes] (default 64) to the
     server location, waits for the handler, pays the response transfer
-    back. *)
+    back.  If fault injection drops the request the caller blocks
+    forever — use {!call_timeout} on loss-tolerant paths. *)
+
+val call_timeout :
+  ('req, 'resp) t ->
+  from:Loc.t ->
+  ?bytes:int ->
+  timeout:Sim.Time.t ->
+  'req ->
+  'resp option
+(** Like {!call} but gives up (returning [None]) when no response
+    arrived within [timeout] — whether the request was dropped by fault
+    injection, the server is dead, or the handler is simply slow.  On
+    timeout a late response is discarded. *)
 
 val post : ('req, 'resp) t -> from:Loc.t -> ?bytes:int -> 'req -> unit
 (** Fire-and-forget: pays the request transfer, does not wait for the

@@ -1,7 +1,14 @@
 open Effect
 open Effect.Deep
 
-type event = { name : string; fn : unit -> unit }
+(* A process group: every process carries an optional group tag,
+   inherited by everything it spawns and by its own re-schedulings.
+   Killing a group discards all of its pending events at pop time, so a
+   whole subsystem (e.g. a simulated node) can be torn down atomically
+   at a point in virtual time — the fault-injection "kill switch". *)
+type group = { gname : string; mutable killed : bool }
+
+type event = { name : string; group : group option; fn : unit -> unit }
 
 type t = {
   mutable now : Time.t;
@@ -9,6 +16,7 @@ type t = {
   mutable events : event Heap.t;
   mutable stopped : bool;
   mutable current_name : string;
+  mutable current_group : group option;
   mutable live : int;
   rng : Rng.t;
 }
@@ -30,6 +38,7 @@ let create ?(seed = 42) () =
     events = Heap.create ();
     stopped = false;
     current_name = "<none>";
+    current_group = None;
     live = 0;
     rng = Rng.create seed;
   }
@@ -37,10 +46,16 @@ let create ?(seed = 42) () =
 let rng t = t.rng
 let current_time t = t.now
 
-let schedule t ~at ~name fn =
+let make_group name = { gname = name; killed = false }
+let kill g = g.killed <- true
+let group_killed g = g.killed
+let group_name g = g.gname
+
+let schedule ?group t ~at ~name fn =
   let at = if at < t.now then t.now else at in
+  let group = match group with Some _ as g -> g | None -> t.current_group in
   t.seq <- t.seq + 1;
-  Heap.push t.events ~key:at ~seq:t.seq { name; fn }
+  Heap.push t.events ~key:at ~seq:t.seq { name; group; fn }
 
 (* Effects performed by processes; each engine installs a deep handler
    around every process it runs, so the handler below closes over [t]. *)
@@ -48,7 +63,7 @@ type _ Effect.t +=
   | Now : Time.t Effect.t
   | Sleep : Time.t -> unit Effect.t
   | Yield : unit Effect.t
-  | Spawn : string * (unit -> unit) -> unit Effect.t
+  | Spawn : string * group option * (unit -> unit) -> unit Effect.t
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
   | Suspend_timeout :
       (('a -> unit) -> unit) * Time.t
@@ -74,40 +89,54 @@ let rec run_process t name f =
           | Sleep d ->
               Some
                 (fun k ->
-                  schedule t ~at:(t.now + d) ~name (fun () -> continue k ()))
+                  (* Capture the performer's group: resumptions must stay
+                     in it even when scheduled from another process. *)
+                  let g = t.current_group in
+                  schedule ?group:g t ~at:(t.now + d) ~name (fun () ->
+                      continue k ()))
           | Yield ->
               Some
-                (fun k -> schedule t ~at:t.now ~name (fun () -> continue k ()))
-          | Spawn (child_name, g) ->
+                (fun k ->
+                  let g = t.current_group in
+                  schedule ?group:g t ~at:t.now ~name (fun () -> continue k ()))
+          | Spawn (child_name, child_group, g) ->
               Some
                 (fun k ->
-                  schedule t ~at:t.now ~name:child_name (fun () ->
+                  let grp =
+                    match child_group with
+                    | Some _ as cg -> cg
+                    | None -> t.current_group
+                  in
+                  schedule ?group:grp t ~at:t.now ~name:child_name (fun () ->
                       run_process t child_name g);
                   continue k ())
           | Suspend register ->
               Some
                 (fun k ->
+                  let g = t.current_group in
                   let fired = ref false in
                   let waker v =
                     if not !fired then begin
                       fired := true;
-                      schedule t ~at:t.now ~name (fun () -> continue k v)
+                      schedule ?group:g t ~at:t.now ~name (fun () ->
+                          continue k v)
                     end
                   in
                   register waker)
           | Suspend_timeout (register, timeout) ->
               Some
                 (fun k ->
+                  let g = t.current_group in
                   let fired = ref false in
                   let waker v =
                     if not !fired then begin
                       fired := true;
-                      schedule t ~at:t.now ~name (fun () ->
+                      schedule ?group:g t ~at:t.now ~name (fun () ->
                           continue k (Some v))
                     end
                   in
                   register waker;
-                  schedule t ~at:(t.now + timeout) ~name (fun () ->
+                  schedule ?group:g t ~at:(t.now + timeout) ~name (fun () ->
                       if not !fired then begin
                         fired := true;
                         continue k None
@@ -115,8 +144,8 @@ let rec run_process t name f =
           | _ -> None);
     }
 
-let spawn_root ?(name = "root") t f =
-  schedule t ~at:t.now ~name (fun () -> run_process t name f)
+let spawn_root ?(name = "root") ?group t f =
+  schedule ?group t ~at:t.now ~name (fun () -> run_process t name f)
 
 let run ?deadline t =
   t.stopped <- false;
@@ -130,10 +159,17 @@ let run ?deadline t =
             t.now <- d;
             t.events <- Heap.create ();
             running := false
-        | _ ->
-            if time > t.now then t.now <- time;
-            t.current_name <- ev.name;
-            ev.fn ())
+        | _ -> (
+            match ev.group with
+            | Some g when g.killed ->
+                (* The owning group was torn down: the continuation is
+                   dropped, never resumed. *)
+                ()
+            | _ ->
+                if time > t.now then t.now <- time;
+                t.current_name <- ev.name;
+                t.current_group <- ev.group;
+                ev.fn ()))
   done
 
 let stop t = t.stopped <- true
@@ -145,8 +181,8 @@ let now () = wrap_unhandled (fun () -> perform Now)
 let sleep d = wrap_unhandled (fun () -> perform (Sleep d))
 let yield () = wrap_unhandled (fun () -> perform Yield)
 
-let spawn ?(name = "proc") f =
-  wrap_unhandled (fun () -> perform (Spawn (name, f)))
+let spawn ?(name = "proc") ?group f =
+  wrap_unhandled (fun () -> perform (Spawn (name, group, f)))
 
 let suspend register = wrap_unhandled (fun () -> perform (Suspend register))
 

@@ -20,6 +20,25 @@ type t
 (** An engine instance. Engines are independent; a process spawned on one
     engine must not interact with primitives of another. *)
 
+type group
+(** A process group (fault-injection kill switch).  Every process can
+    carry a group tag; children and re-schedulings inherit it.  Killing
+    a group silently discards all of its pending events, so the
+    processes of a simulated node can be torn down atomically at a point
+    in virtual time.  A killed group stays dead: create a fresh group to
+    model the node restarting. *)
+
+val make_group : string -> group
+(** A fresh, alive group. *)
+
+val kill : group -> unit
+(** Tear the group down: none of its suspended or scheduled processes
+    will ever run again.  State they left behind (locks, queue entries)
+    is not cleaned up — exactly like a machine losing power. *)
+
+val group_killed : group -> bool
+val group_name : group -> string
+
 exception Process_failure of string * exn
 (** Raised out of {!run} when a process raises: carries the process name
     and the original exception. *)
@@ -34,7 +53,7 @@ val rng : t -> Rng.t
 val current_time : t -> Time.t
 (** Clock value, readable from outside any process. *)
 
-val spawn_root : ?name:string -> t -> (unit -> unit) -> unit
+val spawn_root : ?name:string -> ?group:group -> t -> (unit -> unit) -> unit
 (** Schedule a top-level process to start at the current clock value.
     Usable from outside process context (before or between [run] calls). *)
 
@@ -64,9 +83,10 @@ val yield : unit -> unit
 (** Re-schedule the calling process at the current time, letting other
     ready processes run first. *)
 
-val spawn : ?name:string -> (unit -> unit) -> unit
+val spawn : ?name:string -> ?group:group -> (unit -> unit) -> unit
 (** Start a new process at the current time. The spawner continues
-    immediately; the child runs when the spawner next suspends. *)
+    immediately; the child runs when the spawner next suspends.
+    [group] overrides the inherited group tag (see {!make_group}). *)
 
 val suspend : (('a -> unit) -> unit) -> 'a
 (** [suspend register] parks the calling process and calls

@@ -28,6 +28,7 @@ let recv_timeout t d =
   in
   loop ()
 
+let clear t = Queue.clear t.messages
 let try_recv t = Queue.take_opt t.messages
 let length t = Queue.length t.messages
 let is_empty t = Queue.is_empty t.messages

@@ -19,6 +19,10 @@ val recv_timeout : 'a t -> Time.t -> 'a option
 val try_recv : 'a t -> 'a option
 (** Non-blocking receive. *)
 
+val clear : 'a t -> unit
+(** Discard all queued messages (crash simulation: a restarted server
+    loses whatever was in flight).  Waiting receivers are unaffected. *)
+
 val length : 'a t -> int
 (** Messages currently queued (excludes messages already handed to
     waiting receivers). *)

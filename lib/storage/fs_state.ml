@@ -275,6 +275,46 @@ let readable t inum =
 let writable t inum =
   match inode t inum with Some i -> i.mode land 0o2 <> 0 | None -> false
 
+(* Deterministic summary of the reachable tree — paths, kinds, sizes
+   and full file contents — for byte-exact replica comparison.  Only
+   root-reachable inodes count; orphans awaiting reclamation don't
+   affect what clients can observe. *)
+let digest t =
+  let b = Buffer.create 1024 in
+  let rec walk path inum =
+    match inode t inum with
+    | None -> ()
+    | Some i -> (
+        Buffer.add_string b path;
+        Buffer.add_char b '|';
+        (match i.kind with
+        | Dir -> Buffer.add_char b 'd'
+        | File -> Buffer.add_char b 'f');
+        Buffer.add_string b (string_of_int i.size);
+        Buffer.add_char b ';';
+        match i.kind with
+        | File ->
+            let pieces =
+              List.map
+                (function `Data d -> d | `Hole n -> Data.zero ~len:n)
+                (Extent_map.read_range i.extents ~pos:0 ~len:i.size)
+            in
+            Buffer.add_bytes b (Data.to_bytes (Data.concat pieces))
+        | Dir ->
+            let names =
+              List.sort compare
+                (Hashtbl.fold (fun k _ acc -> k :: acc) i.children [])
+            in
+            List.iter
+              (fun name ->
+                match Hashtbl.find_opt i.children name with
+                | Some child -> walk (path ^ "/" ^ name) child
+                | None -> ())
+              names)
+  in
+  walk "" root_inum;
+  Crc32.bytes (Buffer.to_bytes b)
+
 let live_inodes t = Hashtbl.length t.inodes
 
 let total_mapped_bytes t =

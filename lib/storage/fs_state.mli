@@ -80,6 +80,12 @@ val chmod : t -> int -> mode:int -> (unit, error) result
 val readable : t -> int -> bool
 val writable : t -> int -> bool
 
+val digest : t -> int32
+(** Deterministic checksum of the root-reachable tree: every path,
+    inode kind, file size and full file content.  Two states with equal
+    digests present byte-identical file systems to clients — the
+    replica-convergence check of the DST harness. *)
+
 val live_inodes : t -> int
 (** Number of live inodes (root included). *)
 

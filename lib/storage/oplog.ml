@@ -331,4 +331,25 @@ module Log = struct
     !freed
 
   let iter t f = Queue.iter f t.entries
+
+  let remove_if t pred =
+    let keep = Queue.create () in
+    let removed = ref 0 in
+    let freed = ref 0 in
+    Queue.iter
+      (fun e ->
+        if pred e then begin
+          incr removed;
+          freed := !freed + size e
+        end
+        else Queue.add e keep)
+      t.entries;
+    Queue.clear t.entries;
+    Queue.transfer keep t.entries;
+    t.used <- t.used - !freed;
+    (t.head <-
+       (match Queue.peek_opt t.entries with
+       | Some e -> e.seq
+       | None -> t.last + 1));
+    !removed
 end

@@ -81,4 +81,11 @@ module Log : sig
 
   val iter : t -> (entry -> unit) -> unit
   (** Oldest to newest over retained entries. *)
+
+  val remove_if : t -> (entry -> bool) -> int
+  (** Remove every retained entry matching the predicate (selective
+      invalidation: recovery drops only entries touching resynced
+      inodes); returns how many were removed.  Sequence numbers of the
+      survivors are unchanged, so the retained set may have gaps —
+      [head_seq] becomes the seq of the oldest survivor. *)
 end

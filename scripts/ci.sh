@@ -1,0 +1,8 @@
+#!/bin/sh
+# CI entry point: build everything and run the full test suite
+# (unit + integration + qcheck properties + the DST fault sweep).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest --force

@@ -90,6 +90,15 @@ let prop_roundtrip =
     QCheck.(string_of_size Gen.(0 -- 2000))
     (fun s -> roundtrip s = s)
 
+let prop_roundtrip_bytes =
+  (* Full 0-255 byte range, not just printable characters: the codec
+     sees raw PM log payloads. *)
+  QCheck.Test.make ~name:"lzw roundtrips arbitrary bytes" ~count:300
+    QCheck.(array_of_size Gen.(0 -- 2000) (int_bound 255))
+    (fun a ->
+      let b = Bytes.init (Array.length a) (fun i -> Char.chr a.(i)) in
+      Bytes.equal (Lzw.decode (Lzw.encode b)) b)
+
 let prop_roundtrip_low_entropy =
   QCheck.Test.make ~name:"lzw roundtrips low-entropy strings" ~count:200
     QCheck.(
@@ -119,6 +128,7 @@ let () =
           tc "decode rejects garbage" `Quick test_decode_rejects_garbage;
           tc "ratio helper" `Quick test_ratio_helper;
           qt prop_roundtrip;
+          qt prop_roundtrip_bytes;
           qt prop_roundtrip_low_entropy;
         ] );
     ]

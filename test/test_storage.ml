@@ -215,6 +215,54 @@ let prop_extent_model =
         writes;
       read_string m ~pos:0 ~len:size = Bytes.to_string model)
 
+(* Stronger model property: random inserts, range removals and
+   per-offset lookups against a naive per-byte model.  Checks both the
+   content (read_range) and the ownership tags (find), i.e. that
+   segment splitting never mixes up which write owns which byte. *)
+let prop_extent_model_ops =
+  let gen =
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 40)
+        (triple bool (int_bound 200) (int_range 1 50)))
+  in
+  QCheck.Test.make ~name:"extent map insert/remove/find matches model"
+    ~count:300 gen (fun ops ->
+      let size = 300 in
+      let model = Array.make size None in
+      let m = Extent_map.create () in
+      List.iteri
+        (fun i (ins, at, len) ->
+          if at + len <= size then
+            if ins then begin
+              let ch = Char.chr (Char.code 'a' + (i mod 26)) in
+              Extent_map.insert m ~at (Data.of_string (String.make len ch)) i;
+              for j = at to at + len - 1 do
+                model.(j) <- Some (ch, i)
+              done
+            end
+            else begin
+              Extent_map.remove_range m ~pos:at ~len;
+              for j = at to at + len - 1 do
+                model.(j) <- None
+              done
+            end)
+        ops;
+      let content_ok =
+        read_string m ~pos:0 ~len:size
+        = String.init size (fun j ->
+              match model.(j) with Some (c, _) -> c | None -> '.')
+      in
+      let finds_ok = ref true in
+      for j = 0 to size - 1 do
+        match (Extent_map.find m j, model.(j)) with
+        | Some seg, Some (_, tag) ->
+            if seg.Extent_map.tag <> tag then finds_ok := false
+        | None, None -> ()
+        | _ -> finds_ok := false
+      done;
+      content_ok && !finds_ok)
+
 (* ------------------------------------------------------------------ *)
 (* Oplog                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -672,6 +720,7 @@ let () =
           tc "remove if" `Quick test_extent_remove_if;
           tc "accounting" `Quick test_extent_accounting;
           qt prop_extent_model;
+          qt prop_extent_model_ops;
         ] );
       ( "oplog",
         [
