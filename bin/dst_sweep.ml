@@ -1,0 +1,71 @@
+(* CI gate: reduced deterministic-simulation sweep.
+
+   Runs a slice of the seeded random-scenario sweep plus the explicit
+   failover scenarios (primary NIC crash with host fallback, crash
+   during fail-back, permanent replica death with chain
+   reconfiguration, double failure), then re-runs one spec from each
+   family to assert fingerprint determinism.  Exits nonzero on any
+   invariant violation, wedge, or determinism mismatch.
+
+   Usage: dst_sweep [generated-seed-count]  (default 12) *)
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.printf "FAIL %s\n%!" s)
+    fmt
+
+let check_spec ~what spec =
+  let r = Fault.Dst.run_spec spec in
+  let o = r.Fault.Dst.outcome in
+  if Fault.Scenario.failed o then
+    fail "%s: %s" what (Format.asprintf "%a" Fault.Scenario.pp_outcome o)
+  else Printf.printf "ok   %s\n%!" what
+
+let check_deterministic ~what spec =
+  let fp () = Fault.Dst.fingerprint (Fault.Dst.run_spec spec).Fault.Dst.outcome in
+  let f1 = fp () in
+  let f2 = fp () in
+  if f1 <> f2 then
+    fail "%s: fingerprint mismatch:\n  %s\n  %s" what f1 f2
+  else Printf.printf "ok   %s (deterministic)\n%!" what
+
+let () =
+  let nseeds =
+    match Array.to_list Sys.argv with
+    | _ :: n :: _ -> int_of_string n
+    | _ -> 12
+  in
+  for seed = 1 to nseeds do
+    check_spec
+      ~what:(Printf.sprintf "generated seed %d" seed)
+      (Fault.Scenario.generate ~seed)
+  done;
+  let failovers =
+    [
+      ("failover-primary-crash", Fault.Scenario.failover_primary_crash);
+      ( "failover-crash-during-failback",
+        Fault.Scenario.failover_crash_during_failback );
+      ("failover-replica-death", Fault.Scenario.failover_replica_death);
+      ("failover-double-failure", Fault.Scenario.failover_double_failure);
+    ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun seed ->
+          check_spec ~what:(Printf.sprintf "%s seed %d" name seed) (mk ~seed))
+        [ 1; 2; 3 ])
+    failovers;
+  check_deterministic ~what:"generated seed 1"
+    (Fault.Scenario.generate ~seed:1);
+  check_deterministic ~what:"failover-primary-crash seed 1"
+    (Fault.Scenario.failover_primary_crash ~seed:1);
+  if !failures > 0 then begin
+    Printf.printf "%d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  print_endline "dst sweep clean"

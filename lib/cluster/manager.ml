@@ -1,63 +1,156 @@
 open Sim
 
+(* Per-member service level (§3.6 failure handling).  The detector
+   distinguishes a dead SmartNIC on a live host (the host kernel worker
+   can take over NICFS duties — degraded mode) from a dead node (remove
+   it from the replication chain until it recovers). *)
+type service = Nic | HostFallback | Down
+
 type member_state = Alive | Dead
 
 type member = {
   id : int;
-  ping : unit -> bool;
+  probe_nic : unit -> bool;
+  probe_host : unit -> bool;
   on_epoch : int -> unit;
-  mutable state : member_state;
+  on_service : service -> unit;
+  mutable service : service;
+  mutable suspect : int;
+      (* consecutive heartbeat rounds that observed a level worse than
+         [service]; a degradation is only committed after
+         [suspect_after] of them, so one flapped probe cannot trigger
+         failover and epoch churn. *)
 }
 
 type t = {
   interval : Time.t;
+  suspect_after : int;
+  probe_attempts : int;
+  probe_backoff : Time.t;
   members : (int, member) Hashtbl.t;
   mutable epoch : int;
   mutable running : bool;
   lease_roots : (int, int) Hashtbl.t; (* subtree root inum -> node id *)
 }
 
-let create ?(heartbeat_interval = Time.sec 1) () =
+let create ?(heartbeat_interval = Time.sec 1) ?(suspect_after = 2)
+    ?(probe_attempts = 2) ?probe_backoff () =
+  if suspect_after < 1 then invalid_arg "Manager.create: suspect_after < 1";
+  if probe_attempts < 1 then invalid_arg "Manager.create: probe_attempts < 1";
+  let probe_backoff =
+    match probe_backoff with
+    | Some b -> b
+    | None -> max 1 (heartbeat_interval / 16)
+  in
   {
     interval = heartbeat_interval;
+    suspect_after;
+    probe_attempts;
+    probe_backoff;
     members = Hashtbl.create 8;
     epoch = 1;
     running = false;
     lease_roots = Hashtbl.create 8;
   }
 
-let register t ~id ~ping ~on_epoch =
-  Hashtbl.replace t.members id { id; ping; on_epoch; state = Alive }
+let register t ~id ~ping ~on_epoch ?ping_host
+    ?(on_service = fun (_ : service) -> ()) () =
+  (* Without a separate host probe the member keeps the old two-state
+     semantics: its only probe failing means the whole node is Down. *)
+  let probe_host = match ping_host with Some p -> p | None -> ping in
+  Hashtbl.replace t.members id
+    {
+      id;
+      probe_nic = ping;
+      probe_host;
+      on_epoch;
+      on_service;
+      service = Nic;
+      suspect = 0;
+    }
 
 let epoch t = t.epoch
 
+let sorted_members t =
+  Hashtbl.fold (fun _ m acc -> m :: acc) t.members []
+  |> List.sort (fun a b -> compare a.id b.id)
+
 let broadcast_epoch t =
-  Hashtbl.iter
-    (fun _ m -> if m.state = Alive then m.on_epoch t.epoch)
-    t.members
+  (* Sorted-id order: Hashtbl.iter order is insertion-dependent, which
+     would make the broadcast (and any event it triggers) depend on
+     registration order — a DST-determinism hazard. *)
+  List.iter
+    (fun m -> if m.service <> Down then m.on_epoch t.epoch)
+    (sorted_members t)
 
 let bump_epoch t =
   t.epoch <- t.epoch + 1;
   broadcast_epoch t;
   t.epoch
 
-let heartbeat_round t =
+let severity = function Nic -> 0 | HostFallback -> 1 | Down -> 2
+
+let sweep_lease_roots t ~node =
+  (* Expire the failed node's lease delegations so a live NICFS can
+     take them over. *)
   Hashtbl.iter
-    (fun _ m ->
-      if m.state = Alive then begin
-        let ok = try m.ping () with _ -> false in
-        if not ok then begin
-          m.state <- Dead;
-          (* Expire the failed node's lease delegations so a live NICFS
-             can take them over. *)
-          Hashtbl.iter
-            (fun root holder ->
-              if holder = m.id then Hashtbl.remove t.lease_roots root)
-            (Hashtbl.copy t.lease_roots);
-          ignore (bump_epoch t : int)
+    (fun root holder -> if holder = node then Hashtbl.remove t.lease_roots root)
+    (Hashtbl.copy t.lease_roots)
+
+(* Commit a service transition: update the map, sweep lease roots on
+   node death, notify the member, and bump the epoch (the service map
+   is published with the epoch — subscribers read it from their
+   [on_service] callback before the epoch broadcast reaches them). *)
+let transition t m next =
+  m.service <- next;
+  m.suspect <- 0;
+  if next = Down then sweep_lease_roots t ~node:m.id;
+  m.on_service next;
+  ignore (bump_epoch t : int)
+
+(* One probe with bounded in-round retries: a transient hiccup is
+   absorbed by the capped-exponential backoff rather than surfacing as
+   a failed round.  A probe that succeeds on its first attempt costs no
+   simulated time, so healthy heartbeat rounds schedule exactly like
+   the pre-detector bare-bool rounds. *)
+let probe_with_retries t f =
+  let rec go attempt =
+    let ok = try f () with _ -> false in
+    if ok then true
+    else if attempt + 1 >= t.probe_attempts then false
+    else begin
+      (* Exponential in-round backoff, capped at the heartbeat interval
+         so one slow member cannot starve the others' probes.  (The
+         cluster library deliberately has no [net] dependency, so this
+         mirrors [Net.Backoff] rather than reusing it.) *)
+      Engine.sleep (min t.interval (t.probe_backoff * (1 lsl attempt)));
+      go (attempt + 1)
+    end
+  in
+  go 0
+
+let classify t m =
+  if probe_with_retries t m.probe_nic then Nic
+  else if probe_with_retries t m.probe_host then HostFallback
+  else Down
+
+let heartbeat_round t =
+  (* Sorted-id order (see broadcast_epoch). *)
+  List.iter
+    (fun m ->
+      if m.service <> Down then begin
+        let observed = classify t m in
+        if observed = m.service then m.suspect <- 0
+        else if severity observed > severity m.service then begin
+          (* Degradation: demand [suspect_after] consecutive sightings. *)
+          m.suspect <- m.suspect + 1;
+          if m.suspect >= t.suspect_after then transition t m observed
         end
+        else
+          (* Improvement (fail-back): take effect immediately. *)
+          transition t m observed
       end)
-    t.members
+    (sorted_members t)
 
 let start t =
   if not t.running then begin
@@ -71,22 +164,33 @@ let start t =
 
 let stop t = t.running <- false
 
-let member_state t id =
+let service t id =
   match Hashtbl.find_opt t.members id with
-  | Some m -> m.state
-  | None -> Dead
+  | Some m -> m.service
+  | None -> Down
+
+let service_map t =
+  List.map (fun m -> (m.id, m.service)) (sorted_members t)
+
+let member_state t id = if service t id = Down then Dead else Alive
 
 let alive_members t =
-  Hashtbl.fold
-    (fun id m acc -> if m.state = Alive then id :: acc else acc)
-    t.members []
-  |> List.sort compare
+  List.filter_map
+    (fun m -> if m.service <> Down then Some m.id else None)
+    (sorted_members t)
 
 let mark_recovered t ~id =
-  (match Hashtbl.find_opt t.members id with
-  | Some m -> m.state <- Alive
-  | None -> ());
-  ignore (bump_epoch t : int)
+  match Hashtbl.find_opt t.members id with
+  | None -> ()
+  | Some m ->
+      if m.service <> Nic then transition t m Nic
+      else begin
+        m.suspect <- 0;
+        (* Already at full service (a fast restart the detector never
+           demoted): still bump, per the recovery protocol — the
+           restarted NICFS lost its in-memory lease state. *)
+        ignore (bump_epoch t : int)
+      end
 
 let delegate_lease_root t ~inum ~node =
   match Hashtbl.find_opt t.lease_roots inum with

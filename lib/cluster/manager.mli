@@ -1,28 +1,62 @@
 (** Cluster manager (the ZooKeeper role, §3 / §3.6).
 
-    Tracks DFS node membership, sends heartbeats to each registered
-    NICFS every second, detects NICFS failures, maintains the cluster
-    epoch (incremented on node failure and recovery, pushed to every
-    alive member), and arbitrates root-lease delegation. *)
+    Tracks DFS node membership with a per-target failure detector,
+    maintains the cluster epoch (incremented on every service
+    transition and recovery, pushed to every reachable member), and
+    arbitrates root-lease delegation.
+
+    The detector distinguishes three per-node service levels:
+
+    - [Nic]: the SmartNIC's NICFS answers its probe — full service;
+    - [HostFallback]: the NICFS is unreachable but the host kernel
+      worker answers — the node serves in degraded mode, hosting the
+      publication/replication pipeline on host cores until the NIC
+      returns (the paper's SmartNIC-failure story);
+    - [Down]: neither plane answers — the node is removed from the
+      replication chain and its lease-root delegations are swept.
+
+    Each probe gets [probe_attempts] in-round tries with capped
+    exponential backoff; a {e degradation} is committed only after
+    [suspect_after] consecutive suspect rounds (flap suppression),
+    while an {e improvement} (fail-back) takes effect immediately.
+    Every committed transition bumps the epoch, so the service map is
+    always published together with an epoch change. *)
 
 open Sim
 
 type t
 
-type member_state = Alive | Dead
+type service = Nic | HostFallback | Down
 
-val create : ?heartbeat_interval:Time.t -> unit -> t
-(** Default heartbeat interval: 1 s. *)
+type member_state = Alive | Dead
+(** Legacy two-state view: [Dead] iff the service level is [Down]. *)
+
+val create :
+  ?heartbeat_interval:Time.t ->
+  ?suspect_after:int ->
+  ?probe_attempts:int ->
+  ?probe_backoff:Time.t ->
+  unit ->
+  t
+(** Defaults: heartbeat 1 s, 2 suspect rounds, 2 probe attempts,
+    backoff base [heartbeat_interval / 16] (capped at the interval). *)
 
 val register :
   t ->
   id:int ->
   ping:(unit -> bool) ->
   on_epoch:(int -> unit) ->
+  ?ping_host:(unit -> bool) ->
+  ?on_service:(service -> unit) ->
+  unit ->
   unit
-(** Add a NICFS member. [ping] is the heartbeat probe ([false] or an
-    exception means no response); [on_epoch] is invoked (for alive
-    members) whenever the epoch changes, so each NICFS can persist it. *)
+(** Add a member. [ping] probes the NICFS plane, [ping_host] the host
+    plane ([false] or an exception means no response; defaults to
+    [ping], restoring the old fail-means-dead semantics);
+    [on_service] fires on every committed service transition of this
+    member, before the accompanying epoch broadcast; [on_epoch] is
+    invoked (for non-[Down] members, in sorted-id order) whenever the
+    epoch changes, so each NICFS can persist it. *)
 
 val start : t -> unit
 (** Spawn the heartbeat loop (must run inside a simulation process). *)
@@ -37,14 +71,21 @@ val bump_epoch : t -> int
 (** Increment and broadcast the epoch (called on failure/recovery
     events); returns the new value. *)
 
+val service : t -> int -> service
+(** Current service level; [Down] for unknown ids. *)
+
+val service_map : t -> (int * service) list
+(** The full per-node service map, sorted by node id. *)
+
 val member_state : t -> int -> member_state
 (** [Dead] for unknown ids. *)
 
 val alive_members : t -> int list
+(** Members whose service level is not [Down], sorted. *)
 
 val mark_recovered : t -> id:int -> unit
-(** Re-admit a member after it restarts and re-registers; bumps the
-    epoch per the recovery protocol. *)
+(** Re-admit a member after it restarts and re-registers: restore full
+    [Nic] service and bump the epoch per the recovery protocol. *)
 
 (** {1 Root lease arbitration} *)
 

@@ -2,6 +2,7 @@ open Sim
 
 type fault =
   | Crash of { node : int; at : Time.t; restart_after : Time.t }
+  | Node_death of { node : int; at : Time.t }
   | Stall of { node : int; at : Time.t; duration : Time.t }
   | Partition of { a : int; b : int; at : Time.t; heal_after : Time.t }
   | Link_delay of {
@@ -23,6 +24,7 @@ type t = fault list
 
 let start_of = function
   | Crash { at; _ }
+  | Node_death { at; _ }
   | Stall { at; _ }
   | Partition { at; _ }
   | Link_delay { at; _ }
@@ -31,6 +33,7 @@ let start_of = function
 
 let end_of = function
   | Crash { at; restart_after; _ } -> at + restart_after
+  | Node_death { at; _ } -> at
   | Stall { at; duration; _ } -> at + duration
   | Partition { at; heal_after; _ } -> at + heal_after
   | Link_delay { at; duration; _ } -> at + duration
@@ -89,6 +92,8 @@ let pp_fault fmt = function
   | Crash { node; at; restart_after } ->
       Format.fprintf fmt "crash(node=%d at=%a restart_after=%a)" node Time.pp
         at Time.pp restart_after
+  | Node_death { node; at } ->
+      Format.fprintf fmt "node_death(node=%d at=%a)" node Time.pp at
   | Stall { node; at; duration } ->
       Format.fprintf fmt "stall(node=%d at=%a for=%a)" node Time.pp at Time.pp
         duration

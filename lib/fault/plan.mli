@@ -14,6 +14,12 @@ type fault =
       (** Power-fail the node's NICFS at [at]; bring it back
           [restart_after] later.  Never targets node 0 (the primary
           hosts the clients). *)
+  | Node_death of { node : int; at : Time.t }
+      (** Whole-node failure (NIC and host) with no restart: the node
+          drops out of the replication chain permanently and the
+          cluster must reconfigure around it.  Not produced by
+          {!generate} (a generated plan's faults all heal); used by
+          explicit failover scenarios.  Never targets node 0. *)
   | Stall of { node : int; at : Time.t; duration : Time.t }
       (** NIC-core stall: all RDMA traffic touching the node is held
           until the stall ends (models a wimpy-core scheduling glitch,

@@ -51,9 +51,49 @@ let generate ~seed =
   let plan = Plan.generate ~rng ~nodes ~horizon in
   { seed; nodes; clients; ops_per_client; horizon; plan }
 
+(* Explicit failover scenarios (not seed-generated: generated plans
+   never touch node 0 and always heal).  These drive the degraded-mode
+   machinery end to end: NIC-crash-to-host-fallback on the primary,
+   a second crash landing mid-fail-back, permanent replica death with
+   chain reconfiguration, and a concurrent crash + death. *)
+
+let failover_base ~seed ~plan =
+  { seed; nodes = 3; clients = 2; ops_per_client = 30;
+    horizon = Time.ms 20; plan }
+
+let failover_primary_crash ~seed =
+  failover_base ~seed
+    ~plan:
+      [ Plan.Crash { node = 0; at = Time.ms 4; restart_after = Time.ms 8 } ]
+
+let failover_crash_during_failback ~seed =
+  failover_base ~seed
+    ~plan:
+      [
+        Plan.Crash { node = 0; at = Time.ms 4; restart_after = Time.ms 5 };
+        Plan.Crash { node = 0; at = Time.ms 10; restart_after = Time.ms 5 };
+      ]
+
+let failover_replica_death ~seed =
+  failover_base ~seed
+    ~plan:[ Plan.Node_death { node = 2; at = Time.ms 5 } ]
+
+let failover_double_failure ~seed =
+  failover_base ~seed
+    ~plan:
+      [
+        Plan.Crash { node = 1; at = Time.ms 4; restart_after = Time.ms 8 };
+        Plan.Node_death { node = 2; at = Time.ms 6 };
+      ]
+
 (* ------------------------------------------------------------------ *)
 (* Workload                                                            *)
 (* ------------------------------------------------------------------ *)
+
+(* Set DST_DEBUG=1 to stream the fault/service-transition timeline of
+   a scenario to stderr — the first tool to reach for when a seed
+   wedges or crashes. *)
+let dst_debug = Sys.getenv_opt "DST_DEBUG" <> None
 
 let sleep_until at =
   let now = Engine.now () in
@@ -120,7 +160,13 @@ let client_proc ~rng ~spec ~cid (ops : Linefs.Dfs_intf.ops) =
 (* Fault drivers                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let note trace fmt = Format.kasprintf (fun s -> Trace.add trace (Trace.Fault s)) fmt
+let note trace fmt =
+  Format.kasprintf
+    (fun s ->
+      if dst_debug then
+        Printf.eprintf "[%s] %s\n%!" (Time.to_string (Engine.now ())) s;
+      Trace.add trace (Trace.Fault s))
+    fmt
 
 let fault_proc trace net (dep : D.t) (f : Plan.fault) =
   match f with
@@ -131,6 +177,14 @@ let fault_proc trace net (dep : D.t) (f : Plan.fault) =
       Engine.sleep restart_after;
       note trace "restart node %d" node;
       Nicfs.restart (D.node dep node).D.nicfs
+  | Plan.Node_death { node; at } ->
+      sleep_until at;
+      note trace "node death %d" node;
+      (* Host dies too: the kworker stops answering the manager's host
+         probe (so the node classifies Down, not HostFallback) and the
+         host-side fault domain is killed along with the NIC's. *)
+      Linefs.Kworker.crash (D.node dep node).D.kworker;
+      Nicfs.kill_node (D.node dep node).D.nicfs
   | Plan.Stall { node; at; duration } ->
       sleep_until at;
       note trace "stall node %d" node;
@@ -166,6 +220,12 @@ let crashed_nodes plan =
     plan
   |> List.sort_uniq compare
 
+let dead_nodes plan =
+  List.filter_map
+    (function Plan.Node_death { node; _ } -> Some node | _ -> None)
+    plan
+  |> List.sort_uniq compare
+
 (* ------------------------------------------------------------------ *)
 (* Scenario execution                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -192,6 +252,7 @@ let run (spec : spec) =
       let mgr =
         Cluster.Manager.create ~heartbeat_interval:(Time.ms 1) ()
       in
+      let clients_ref = ref [] in
       for i = 0 to D.node_count dep - 1 do
         let rt = D.node dep i in
         Cluster.Manager.register mgr ~id:i
@@ -199,6 +260,26 @@ let run (spec : spec) =
           ~on_epoch:(fun e ->
             Trace.add trace (Trace.Epoch e);
             Nicfs.set_epoch rt.D.nicfs e)
+          ~ping_host:(fun () -> Linefs.Kworker.alive rt.D.kworker)
+          ~on_service:(fun svc ->
+            (* Failover driver: the manager's service map is the one
+               source of truth.  NIC-dead-host-alive brings the host
+               fallback up, full recovery fails back, and every
+               transition rewires the replication chain over the
+               usable nodes and re-kicks the clients (kicks queued at
+               a dead plane are lost). *)
+            (match svc with
+            | Cluster.Manager.Nic ->
+                note trace "service node %d: nic" i;
+                Nicfs.exit_fallback rt.D.nicfs
+            | Cluster.Manager.HostFallback ->
+                note trace "service node %d: host-fallback" i;
+                Nicfs.enter_fallback rt.D.nicfs
+            | Cluster.Manager.Down -> note trace "service node %d: down" i);
+            D.rebuild_chain dep ~up:(fun j ->
+                Cluster.Manager.service mgr j <> Cluster.Manager.Down);
+            List.iter Libfs.note_service_change !clients_ref)
+          ()
       done;
       Cluster.Manager.start mgr;
       Netfault.install net;
@@ -216,6 +297,7 @@ let run (spec : spec) =
       let clients =
         List.init spec.clients (fun i -> D.add_client dep ~id:i)
       in
+      clients_ref := clients;
       List.iter
         (fun f -> Engine.spawn ~name:"dst-fault" (fun () ->
              fault_proc trace net dep f))
@@ -234,14 +316,27 @@ let run (spec : spec) =
       List.iter Ivar.read done_ivs;
       (* Let the fault plan fully play out (restarts, heals). *)
       sleep_until (Plan.horizon spec.plan + Time.ms 1);
-      (* Recover every node that crashed: re-register with the manager,
-         pull missed inodes from the primary (which never crashes). *)
+      (* Recover every node that crashed (not the permanently dead):
+         re-register with the manager and pull missed inodes from the
+         lowest-id usable peer — the primary itself may be the node
+         recovering. *)
       List.iter
         (fun n ->
+          let source_id =
+            let rec go i =
+              if i >= D.node_count dep then 0
+              else if
+                i <> n
+                && Cluster.Manager.service mgr i <> Cluster.Manager.Down
+              then i
+              else go (i + 1)
+            in
+            go 0
+          in
           let stats =
             Linefs.Recovery.run ~manager:mgr
               ~recovering:(D.node dep n).D.nicfs
-              ~source:(D.primary dep).D.nicfs ()
+              ~source:(D.node dep source_id).D.nicfs ()
           in
           note trace "recovered node %d (epochs %d->%d, %d inodes)" n
             stats.Linefs.Recovery.from_epoch stats.Linefs.Recovery.to_epoch
@@ -277,9 +372,14 @@ let run (spec : spec) =
     | None -> ([ { Invariant.name = "setup"; detail = "deployment never built" } ], 0l)
     | Some dep ->
         let prim = (D.primary dep).D.fs in
+        let dead = dead_nodes spec.plan in
+        (* Convergence is asserted over the surviving replica set: a
+           permanently dead node keeps whatever prefix it had. *)
         let reps =
-          List.map
-            (fun (rt : D.node_rt) -> (rt.D.node.Hw.Node.id, rt.D.fs))
+          List.filter_map
+            (fun (rt : D.node_rt) ->
+              let id = rt.D.node.Hw.Node.id in
+              if List.mem id dead then None else Some (id, rt.D.fs))
             (D.replicas dep)
         in
         let vs =

@@ -37,6 +37,28 @@ val generate : seed:int -> spec
 (** Derive a full scenario (cluster size 3, 1–2 clients, 25–64 ops
     each, 1–4 faults) from a seed. *)
 
+(** {1 Explicit failover scenarios}
+
+    Generated plans never crash node 0 and always heal; these cover
+    what they cannot: the degraded-mode (host fallback) machinery and
+    permanent-death chain reconfiguration.  The seed still controls the
+    workload and the engine interleaving. *)
+
+val failover_primary_crash : seed:int -> spec
+(** NIC crash on the primary mid-pipeline: clients ride through on the
+    host fallback, then fail back after the restart. *)
+
+val failover_crash_during_failback : seed:int -> spec
+(** A second primary NIC crash timed to land while the first fail-back
+    is still draining. *)
+
+val failover_replica_death : seed:int -> spec
+(** Permanent whole-node death of the chain tail: the chain must
+    reconfigure and complete outstanding ack sets without it. *)
+
+val failover_double_failure : seed:int -> spec
+(** Middle replica NIC crash concurrent with permanent tail death. *)
+
 val run : spec -> outcome
 (** Execute in a fresh engine; never raises on invariant violations —
     they come back in the outcome. Global hooks (network injection,

@@ -20,6 +20,11 @@ type t = {
   mutable mem_refs : int;
       (** NIC-memory references (publish + transfer); the chunk's NIC
           buffer is freed when this reaches zero. *)
+  mutable nic_resident : bool;
+      (** Whether the staged copy lives in NIC DRAM.  False when the
+          host-fallback pipeline staged it in host memory (degraded
+          mode) — releasing references must then skip the NIC memory
+          accounting. *)
   replicated : unit Sim.Ivar.t;  (** Filled when all replicas acked. *)
   published : unit Sim.Ivar.t;  (** Filled when publication completed. *)
 }
@@ -45,6 +50,7 @@ let of_entries ~client ~idx ~urgent entries =
         wire_bytes = bytes;
         coalesced_away = 0;
         mem_refs = 0;
+        nic_resident = true;
         replicated = Sim.Ivar.create ();
         published = Sim.Ivar.create ();
       }

@@ -48,11 +48,18 @@ let create ?(cfg = Hw.Config.testbed_25gbe) ?(params = Params.default)
         { node; fs; kworker; nicfs; dfs_host_cpu })
       topo.Hw.Topology.nodes
   in
-  (* Wire the replication chain 0 -> 1 -> ... -> n-1. *)
+  (* Wire the replication chain 0 -> 1 -> ... -> n-1, and tell each
+     node exactly whose acks complete its chunks (everyone downstream)
+     so chain reconfiguration can later shrink that set per node. *)
   Array.iteri
     (fun i rt ->
       let next = if i + 1 < Array.length rts then Some rts.(i + 1).nicfs else None in
-      Nicfs.set_next_hop rt.nicfs next)
+      Nicfs.set_next_hop rt.nicfs next;
+      let targets = ref [] in
+      for j = Array.length rts - 1 downto i + 1 do
+        targets := rts.(j).node.Hw.Node.id :: !targets
+      done;
+      Nicfs.set_repl_targets rt.nicfs ~targets:!targets)
     rts;
   if monitor then Array.iter (fun rt -> Nicfs.start_monitor rt.nicfs) rts;
   { prm = params; topo; rts; dfs_prio; cls = []; monitoring = monitor }
@@ -62,6 +69,36 @@ let node_count t = Array.length t.rts
 let node t i = t.rts.(i)
 let primary t = t.rts.(0)
 let replicas t = List.tl (Array.to_list t.rts)
+
+(* Reconfigure the replication chain over the nodes [up] says are
+   usable (served by NIC or host fallback — only dead nodes drop out),
+   keeping id order.  Each survivor's ack-completion set shrinks to its
+   live downstream, and the primary re-evaluates outstanding ack sets:
+   chunks waiting only on dead replicas complete immediately, while
+   chunks some survivor never persisted keep being retransmitted — now
+   to the new successor — until the shrunk set acks.  Idempotent, so
+   the cluster manager may call it on every service transition. *)
+let rebuild_chain t ~up =
+  let n = Array.length t.rts in
+  let live = ref [] in
+  for i = n - 1 downto 0 do
+    if up i then live := i :: !live
+  done;
+  Array.iteri
+    (fun i rt ->
+      if up i then begin
+        let downstream = List.filter (fun j -> j > i) !live in
+        let next =
+          match downstream with
+          | [] -> None
+          | j :: _ -> Some t.rts.(j).nicfs
+        in
+        Nicfs.set_next_hop rt.nicfs next;
+        Nicfs.set_repl_targets rt.nicfs ~targets:downstream
+      end
+      else Nicfs.set_next_hop rt.nicfs None)
+    t.rts;
+  Nicfs.reeval_acks (primary t).nicfs
 
 let add_client t ~id =
   let p = primary t in

@@ -44,6 +44,14 @@ val node : t -> int -> node_rt
 val primary : t -> node_rt
 val replicas : t -> node_rt list
 
+val rebuild_chain : t -> up:(int -> bool) -> unit
+(** Reconfigure the replication chain over the nodes [up] reports
+    usable (NIC or host fallback), in id order: rewire successors,
+    shrink each survivor's ack-completion set to its live downstream,
+    and re-evaluate the primary's outstanding ack sets so chunks
+    waiting only on dead replicas complete.  Idempotent — safe to call
+    on every cluster-manager service transition. *)
+
 val add_client : t -> id:int -> Libfs.t
 (** Attach a client process on the primary (its LibFS charges host CPU
     at [dfs_prio] and is accounted to the primary's [dfs_host_cpu]). *)

@@ -130,6 +130,9 @@ let submit t ~from req =
   | None -> `Dead
   | Some srv -> Net.Rpc.call srv ~from req
 
+let host_run t work = cpu_run t work
+let host_loc t = Net.Loc.Host t.node
+let prio t = t.prio
 let set_mode t m = t.cmode <- m
 let mode t = t.cmode
 let alive t = t.is_alive

@@ -50,6 +50,17 @@ val submit : t -> from:Net.Loc.t -> request -> [ `Ok | `Dead ]
 (** Synchronous publish request from NICFS; [`Dead] when the host has
     crashed (the caller falls back to isolated operation). *)
 
+val host_run : t -> int -> unit
+(** Charge [work] cycles of host CPU at the worker's priority, billed
+    to its [account] hook — the compute primitive NICFS borrows when
+    the SmartNIC is down and the host runs the pipeline in degraded
+    mode (§3.6 fail-over). *)
+
+val host_loc : t -> Net.Loc.t
+(** The worker's host endpoint (where fallback RPC planes live). *)
+
+val prio : t -> Hw.Cpu.prio
+
 val set_mode : t -> copy_mode -> unit
 val mode : t -> copy_mode
 

@@ -31,6 +31,7 @@ type t = {
   node : Hw.Node.t;
   replicate : bytes:int -> unit;
   current_epoch : unit -> int;
+  group : Engine.group option;
   table : (int, lease) Hashtbl.t;
   mutable pending : int;
   persisted : Cond.t;
@@ -38,12 +39,13 @@ type t = {
 
 let lease_record_bytes = 64
 
-let create ?(current_epoch = fun () -> 0) ~params ~node ~replicate () =
+let create ?(current_epoch = fun () -> 0) ?group ~params ~node ~replicate () =
   {
     params;
     node;
     replicate;
     current_epoch;
+    group;
     table = Hashtbl.create 64;
     pending = 0;
     persisted = Cond.create ();
@@ -57,7 +59,12 @@ let valid t l =
 
 let persist_in_background t =
   t.pending <- t.pending + 1;
-  Engine.spawn ~name:"lease.persist" (fun () ->
+  (* The persist runs in [t.group] (the owning NICFS passes its host
+     domain), not the granting RPC handler's group: a NIC crash killing
+     it mid-persist would leak [pending] and wedge every later
+     [wait_persisted] fsync barrier — the grant record lives in host
+     PM, which survives NIC resets. *)
+  Engine.spawn ?group:t.group ~name:"lease.persist" (fun () ->
       (* Record the grant in host PM and ship it to the replicas. *)
       Hw.Pm.write t.node.Hw.Node.pm lease_record_bytes;
       t.replicate ~bytes:lease_record_bytes;

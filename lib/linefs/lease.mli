@@ -35,6 +35,7 @@ val clear_observer : unit -> unit
 
 val create :
   ?current_epoch:(unit -> int) ->
+  ?group:Sim.Engine.group ->
   params:Params.t ->
   node:Hw.Node.t ->
   replicate:(bytes:int -> unit) ->
@@ -45,7 +46,9 @@ val create :
     [current_epoch] reads the owning NICFS's cluster epoch: a grant is
     stamped with it and a lease from an older epoch is invalid — the
     epoch bump at failure detection is a cluster-wide revocation
-    (§3.6).  Defaults to a constant, i.e. epochs disabled. *)
+    (§3.6).  Defaults to a constant, i.e. epochs disabled.
+    [group] hosts the background persist processes; pass a domain that
+    survives NIC crashes (the grant record is host-PM state). *)
 
 val acquire :
   t -> client:int -> inum:int -> ltype -> [ `Granted | `Conflict ]

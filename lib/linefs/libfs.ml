@@ -18,6 +18,8 @@ type t = {
   log_space : Cond.t;
   wlock : Semaphore.t; (* serializes log appends across client threads *)
   leases : (int, Time.t) Hashtbl.t; (* cached write leases *)
+  revgen : (int, int) Hashtbl.t;
+      (* inum -> revocations observed; detects revoke-during-grant *)
   prio : Hw.Cpu.prio;
   account : Stats.Busy.t option;
   tasks : (string, Hw.Cpu.task) Hashtbl.t;
@@ -66,6 +68,7 @@ let create ?(prio = Hw.Cpu.prio_normal) ?account ~params ~node ~nicfs ~fs ~id
       log_space = Cond.create ();
       wlock = Semaphore.create 1;
       leases = Hashtbl.create 16;
+      revgen = Hashtbl.create 16;
       prio;
       account;
       tasks = Hashtbl.create 8;
@@ -87,7 +90,19 @@ let create ?(prio = Hw.Cpu.prio_normal) ?account ~params ~node ~nicfs ~fs ~id
     ~on_revoke:(fun ~inum ->
       (* Quiesce: wait out any in-flight logged operation before the
          lease disappears from the cache. *)
-      Semaphore.with_permit t.wlock (fun () -> Hashtbl.remove t.leases inum));
+      Semaphore.with_permit t.wlock (fun () ->
+          Hashtbl.remove t.leases inum;
+          (* Mark the revocation so a [`Granted] response still in
+             flight for this inode is recognized as stale: the server
+             granted it BEFORE this revocation, so caching it would let
+             us keep logging under a lease the server already gave
+             away (or swept in an epoch bump). *)
+          let g =
+            match Hashtbl.find_opt t.revgen inum with
+            | Some g -> g
+            | None -> 0
+          in
+          Hashtbl.replace t.revgen inum (g + 1)));
   t
 
 let id t = t.cid
@@ -108,14 +123,24 @@ let ensure_lease t inum =
   | _ ->
       t.n_lease_miss <- t.n_lease_miss + 1;
       cpu_release t;
+      let gen () =
+        match Hashtbl.find_opt t.revgen inum with Some g -> g | None -> 0
+      in
       let rec acquire () =
+        let g0 = gen () in
         match
           Nicfs.lease_acquire t.nicfs ~from:(host_loc t) ~client:t.cid ~inum
             Lease.Write
         with
-        | `Granted ->
+        | `Granted when gen () = g0 ->
             Hashtbl.replace t.leases inum
               (Engine.now () + t.params.Params.lease_duration)
+        | `Granted ->
+            (* A revocation (conflict steal or epoch sweep) interleaved
+               with the grant in flight: the lease is already gone
+               server-side.  Caching it would be a single-writer
+               violation; go around again. *)
+            acquire ()
         | `Conflict ->
             Engine.sleep (Time.us 100);
             acquire ()
@@ -129,6 +154,14 @@ let ensure_lease t inum =
 let kick_pipeline t =
   Nicfs.start_pipeline t.nicfs ~from:(host_loc t) ~client:t.cid;
   t.unchunked <- 0
+
+(* The NICFS service level changed (crash-to-fallback, fail-back).
+   The endpoint itself retargets transparently — [start_pipeline]
+   always resolves the current plane — but kicks posted to a plane
+   that died with the old epoch are gone, so fire a fresh one: the
+   NICFS re-scans the log from its host-PM cursor and chunks whatever
+   the lost kicks covered. *)
+let note_service_change t = kick_pipeline t
 
 (* Observer hook: test harnesses capture every persisted entry here,
    at append time, before asynchronous publication can reclaim it from

@@ -45,6 +45,12 @@ val last_seq : t -> int
 val pending_bytes : t -> int
 (** Unreclaimed bytes in the private log. *)
 
+val note_service_change : t -> unit
+(** Tell the client its NICFS moved planes (crash-to-host-fallback or
+    fail-back).  RPC endpoints retarget transparently, but pipeline
+    kicks queued at the dead plane are lost — this fires a fresh kick
+    so the NICFS re-chunks from its durable cursor. *)
+
 (** {1 Counters} *)
 
 val ops_issued : t -> int

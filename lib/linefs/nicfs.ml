@@ -23,6 +23,11 @@ type client_state = {
          matters under retransmission: a replica re-acks duplicate
          deliveries, and counting those would complete a chunk without
          every replica having persisted it. *)
+  inflight : (int, Chunk.t) Hashtbl.t;
+      (* chunk idx -> chunk, from submission until both replicated and
+         published.  Chain reconfiguration needs the chunk back (its
+         last_seq, for completing the ack set against the surviving
+         replicas) after a dead node is dropped from the chain. *)
   mutable shared_pl : Chunk.t Pipeline.t option;
   mutable publish_pl : Chunk.t Pipeline.t option;
   mutable repl_pl : Chunk.t Pipeline.t option;
@@ -67,16 +72,42 @@ type t = {
   mutable epoch : int;
   history : Cluster.History.t;
   (* Fault injection: the NICFS's processes run in [group]; [crash]
-     kills it and [restart] brings the servers back in a fresh one. *)
+     kills it and [restart] brings the servers back in a fresh one.
+     [host_group] is the node's host-side domain — pipeline workers,
+     retransmitters, fsync waiters and lease persists live there, and
+     it is never killed by a NIC crash (the host OS outlives a NIC
+     reset; only a Node_death-style fault takes the whole node). *)
   mutable alive : bool;
   mutable group : Engine.group option;
+  host_group : Engine.group;
   mutable incarnation : int;
   repl_gate : (int, gate) Hashtbl.t; (* client id -> publication gate *)
+  (* Degraded mode (§3.6): with the NIC down but the host alive, the
+     kernel worker hosts the NICFS planes on host cores.  [fb_*] are
+     the host-side RPC servers standing in for the NIC ones. *)
+  mutable fallback : bool;
+  mutable fb_dserver : (dmsg, unit) Net.Rpc.t option;
+  mutable fb_cserver : (cmsg, cresp) Net.Rpc.t option;
+  mutable fb_episode : int;
+  (* Replication-chain membership as of the last (re)configuration:
+     the downstream node ids whose acks complete a chunk, or [None]
+     for the legacy fixed-threshold behaviour (any [replicas - 1]
+     ackers). *)
+  mutable repl_targets : int list option;
+  mutable required_acks : int;
 }
 
 and dmsg =
   | Start of { client : int }
-  | Repl_chunk of { chunk : Chunk.t; origin : t; wire : int }
+  | Repl_chunk of {
+      chunk : Chunk.t;
+      origin : t;
+      wire : int;
+      nic_mem : bool;
+          (* The sender staged the wire form in our NIC DRAM.  False
+             when we are in host fallback: the bytes were placed
+             straight into host PM and there is nothing to free. *)
+    }
   | Repl_direct of { chunk : Chunk.t; origin : t }
   | Repl_ack of {
       client : int;
@@ -100,18 +131,33 @@ let node t = t.node
 let lease_mgr t = t.lease
 let nic_loc t = Net.Loc.Nic t.node
 let nic_pool t = Hw.Smartnic.cpu t.node.Hw.Node.nic
-let nic_run t work = Hw.Cpu.run (nic_pool t) work
+
+(* The node's current NICFS compute plane: SmartNIC cores normally;
+   in degraded mode the host cores, billed through the kernel worker's
+   accounting hook so the host-CPU cost of fallback shows up in the
+   §5.2.1-style interference numbers. *)
+let nic_run t work =
+  if t.fallback then Kworker.host_run t.kworker work
+  else Hw.Cpu.run (nic_pool t) work
+
+(* Where this NICFS's traffic originates from. *)
+let src_loc t = if t.fallback then Net.Loc.Host t.node else nic_loc t
 
 (* Work executed inline on the reserved busy-poll core: wall time is
-   work scaled by NIC core speed, with no pool queueing. *)
+   work scaled by NIC core speed, with no pool queueing.  The host
+   fallback has no reserved spinning core — it charges the host pool. *)
 let poll_core_work t work =
-  Engine.sleep
-    (int_of_float (float_of_int work /. Hw.Cpu.speed (nic_pool t)))
+  if t.fallback then Kworker.host_run t.kworker work
+  else
+    Engine.sleep
+      (int_of_float (float_of_int work /. Hw.Cpu.speed (nic_pool t)))
 
 let is_last t = t.next_hop = None
 
 let dserver t =
-  match t.dserver with Some s -> s | None -> failwith "nicfs: not started"
+  match (if t.fallback then t.fb_dserver else t.dserver) with
+  | Some s -> s
+  | None -> failwith "nicfs: not started"
 
 let client_state t cid =
   match Hashtbl.find_opt t.clients cid with
@@ -123,14 +169,19 @@ let client_state t cid =
 (* ------------------------------------------------------------------ *)
 
 let nic_mem_acquire t bytes =
-  let nic = t.node.Hw.Node.nic in
-  let frac () = Hw.Smartnic.mem_frac nic in
-  if frac () >= t.params.Params.hi_watermark then t.flow_blocked <- true;
-  while t.flow_blocked && frac () > t.params.Params.lo_watermark do
-    Cond.await t.flow
-  done;
-  t.flow_blocked <- false;
-  Hw.Smartnic.alloc nic bytes
+  if t.fallback then ()
+    (* Host fallback stages chunks in host DRAM, which is not the
+       constrained resource the watermark flow control protects. *)
+  else begin
+    let nic = t.node.Hw.Node.nic in
+    let frac () = Hw.Smartnic.mem_frac nic in
+    if frac () >= t.params.Params.hi_watermark then t.flow_blocked <- true;
+    while t.flow_blocked && frac () > t.params.Params.lo_watermark do
+      Cond.await t.flow
+    done;
+    t.flow_blocked <- false;
+    Hw.Smartnic.alloc nic bytes
+  end
 
 let nic_mem_release t bytes =
   Hw.Smartnic.free t.node.Hw.Node.nic bytes;
@@ -138,20 +189,31 @@ let nic_mem_release t bytes =
 
 let chunk_mem_unref t (c : Chunk.t) =
   c.Chunk.mem_refs <- c.Chunk.mem_refs - 1;
-  if c.Chunk.mem_refs = 0 then nic_mem_release t c.Chunk.bytes
+  if c.Chunk.mem_refs = 0 && c.Chunk.nic_resident then
+    nic_mem_release t c.Chunk.bytes
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline stages                                                     *)
 (* ------------------------------------------------------------------ *)
 
 (* Fetch: pull the chunk from the host PM log into NIC memory over
-   PCIe (one-sided RDMA read). *)
+   PCIe (one-sided RDMA read).  Degraded mode reads the PM log with
+   host cores instead — no PCIe hop, no NIC DRAM. *)
 let fetch_work t (c : Chunk.t) =
-  nic_mem_acquire t c.Chunk.bytes;
-  c.Chunk.mem_refs <- 2;
-  Net.Rdma.move ~src_medium:`Pm
-    ~src:(Net.Loc.Host t.node)
-    ~dst:(nic_loc t) c.Chunk.bytes
+  if t.fallback then begin
+    c.Chunk.mem_refs <- 2;
+    c.Chunk.nic_resident <- false;
+    Hw.Pm.read t.node.Hw.Node.pm c.Chunk.bytes;
+    Kworker.host_run t.kworker (Hw.Node.copy_work t.node c.Chunk.bytes)
+  end
+  else begin
+    nic_mem_acquire t c.Chunk.bytes;
+    c.Chunk.mem_refs <- 2;
+    c.Chunk.nic_resident <- true;
+    Net.Rdma.move ~src_medium:`Pm
+      ~src:(Net.Loc.Host t.node)
+      ~dst:(nic_loc t) c.Chunk.bytes
+  end
 
 (* Validation (+ coalescing, same core for cache locality). *)
 let validate_work t (c : Chunk.t) =
@@ -186,7 +248,18 @@ let validate_work t (c : Chunk.t) =
                    validated lease ownership. *)
                 true
           in
-          if not ok then failwith "nicfs: lease violation in validation")
+          if not ok then
+            failwith
+              (Printf.sprintf
+                 "nicfs: lease violation in validation (client=%d seq=%d \
+                  inum=%d grandfather=%s)"
+                 e.Oplog.client e.Oplog.seq inum
+                 (match Hashtbl.find_opt t.clients e.Oplog.client with
+                 | Some owner -> (
+                     match Hashtbl.find_opt owner.grandfather inum with
+                     | Some l -> string_of_int l
+                     | None -> "none")
+                 | None -> "n/a")))
         (Oplog.touches e.op))
     c.Chunk.entries;
   if t.coalescing then begin
@@ -219,7 +292,7 @@ let publish_copy t ~bytes ~entries =
   if bytes > 0 then begin
     if t.kworker_ok && not t.is_isolated then begin
       match
-        Kworker.submit t.kworker ~from:(nic_loc t)
+        Kworker.submit t.kworker ~from:(src_loc t)
           { Kworker.total_bytes = bytes; list_entries = entries }
       with
       | `Ok -> ()
@@ -254,6 +327,18 @@ let publish_work t (c : Chunk.t) =
      very state local clients validate against.  Only the replica
      delivery path replays entry semantics. *)
 
+(* Drop a chunk from the in-flight table once nothing can still need
+   it: published locally and off the ack table (fully replicated, or
+   single-node).  Until then chain reconfiguration may need the chunk
+   back to complete its ack set against the surviving replicas. *)
+let retire_chunk cs idx =
+  match Hashtbl.find_opt cs.inflight idx with
+  | Some c
+    when Ivar.is_filled c.Chunk.published && not (Hashtbl.mem cs.acks idx)
+    ->
+      Hashtbl.remove cs.inflight idx
+  | _ -> ()
+
 (* The publication pipeline's sink: runs in order; acknowledge to
    LibFS so it can reclaim the log. *)
 let publish_sink t cs (c : Chunk.t) =
@@ -261,10 +346,11 @@ let publish_sink t cs (c : Chunk.t) =
   cs.published_seq <- c.Chunk.last_seq;
   let t0 = Engine.now () in
   (* ACK stage: small message back across PCIe to LibFS. *)
-  Net.Rdma.move ~src:(nic_loc t) ~dst:(Net.Loc.Host t.node) 64;
+  Net.Rdma.move ~src:(src_loc t) ~dst:(Net.Loc.Host t.node) 64;
   Stats.Series.add t.ack_lat (Time.to_us_f (Engine.now () - t0));
   cs.on_published ~upto_seq:c.Chunk.last_seq;
   Ivar.fill c.Chunk.published ();
+  retire_chunk cs c.Chunk.idx;
   Cond.broadcast cs.publish_progress
 
 (* Compression stage (optional, §3.3.2): real LZW over real payloads;
@@ -274,7 +360,10 @@ let publish_sink t cs (c : Chunk.t) =
    split across [compress_workers] SmartNIC threads so the stage never
    bottlenecks the pipeline (SS5.4). *)
 let compress_work t (c : Chunk.t) =
-  if t.compression then begin
+  (* Degraded mode skips compression entirely (§3.6): it exists to
+     save NIC-side network bandwidth at the price of NIC cycles, and
+     burning host cores on it would defeat the point of offload. *)
+  if t.compression && not t.fallback then begin
     let total_work =
       int_of_float
         (float_of_int c.Chunk.bytes /. t.params.Params.compress_bps *. 1e9)
@@ -328,20 +417,26 @@ let mark_chunk_replicated t cs ~idx ~last_seq =
 
 (* Ship one chunk to the successor [nxt].  The penultimate node writes
    directly into the last replica's host PM log, saving a SmartNIC
-   memory copy (§3.3.2, step 6'). *)
+   memory copy (§3.3.2, step 6').  A successor running in host
+   fallback has no NIC DRAM to stage into: the wire form goes straight
+   to its host PM and the message says so ([nic_mem = false]). *)
 let send_to_successor t nxt ~origin ~wire (c : Chunk.t) =
-  if is_last nxt && wire = c.Chunk.bytes then begin
+  let src = src_loc t in
+  if nxt.fallback then begin
+    Net.Rdma.move ~dst_medium:`Pm ~src ~dst:(Net.Loc.Host nxt.node) wire;
+    Net.Rpc.post (dserver nxt) ~from:src
+      (Repl_chunk { chunk = c; origin; wire; nic_mem = false })
+  end
+  else if is_last nxt && wire = c.Chunk.bytes then begin
     (* Uncompressed direct placement into the last host's PM log. *)
-    Net.Rdma.move ~dst_medium:`Pm ~src:(nic_loc t)
-      ~dst:(Net.Loc.Host nxt.node) wire;
-    Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
-      (Repl_direct { chunk = c; origin })
+    Net.Rdma.move ~dst_medium:`Pm ~src ~dst:(Net.Loc.Host nxt.node) wire;
+    Net.Rpc.post (dserver nxt) ~from:src (Repl_direct { chunk = c; origin })
   end
   else begin
     Hw.Smartnic.alloc nxt.node.Hw.Node.nic wire;
-    Net.Rdma.move ~src:(nic_loc t) ~dst:(Net.Loc.Nic nxt.node) wire;
-    Net.Rpc.post (dserver nxt) ~from:(nic_loc t)
-      (Repl_chunk { chunk = c; origin; wire })
+    Net.Rdma.move ~src ~dst:(Net.Loc.Nic nxt.node) wire;
+    Net.Rpc.post (dserver nxt) ~from:src
+      (Repl_chunk { chunk = c; origin; wire; nic_mem = true })
   end
 
 (* Transfer: ship the chunk to the chain successor. *)
@@ -353,9 +448,11 @@ let transfer_work t (c : Chunk.t) =
       | Some cs ->
           Hashtbl.remove cs.acks c.Chunk.idx;
           mark_chunk_replicated t cs ~idx:c.Chunk.idx
-            ~last_seq:c.Chunk.last_seq
+            ~last_seq:c.Chunk.last_seq;
+          retire_chunk cs c.Chunk.idx
       | None -> ());
-      Ivar.fill c.Chunk.replicated ()
+      if not (Ivar.is_filled c.Chunk.replicated) then
+        Ivar.fill c.Chunk.replicated ()
   | Some nxt ->
       (* We are the chunk's primary: acks come back here. *)
       let origin = t in
@@ -364,12 +461,19 @@ let transfer_work t (c : Chunk.t) =
       send_to_successor t nxt ~origin ~wire c;
       (* Under fault injection messages can be lost, so re-send until
          the ack set completes.  Replicas ack duplicate deliveries and
-         re-forward them, which also heals downstream links.  On a
-         perfect network (no hook installed) nothing is ever lost and
-         the retransmitter is not spawned, keeping event schedules of
+         re-forward them, which also heals downstream links.  The
+         retransmitter re-reads [t.next_hop] every round: after a
+         chain reconfiguration it redelivers the unacked suffix to the
+         NEW successor, which is how re-replication after a replica
+         death happens.  It also keeps running while this NICFS is
+         down-but-degraded ([fallback]) and across a crash-restart —
+         only a completed ack set (possibly completed by
+         [reeval_acks] when the chain shrank) stops it.  On a perfect
+         network (no hook installed) nothing is ever lost and the
+         retransmitter is not spawned, keeping event schedules of
          fault-free runs unchanged. *)
       if Net.Inject.active () then
-        Engine.spawn ~name:"nicfs.retx" (fun () ->
+        Engine.spawn ~group:t.host_group ~name:"nicfs.retx" (fun () ->
             let unacked () =
               match Hashtbl.find_opt t.clients c.Chunk.client with
               | None -> false
@@ -377,9 +481,14 @@ let transfer_work t (c : Chunk.t) =
             in
             let rec loop () =
               Engine.sleep t.params.Params.repl_retry_timeout;
-              if t.alive && unacked () then begin
-                t.repl_wire <- t.repl_wire + wire;
-                send_to_successor t nxt ~origin ~wire c;
+              if unacked () then begin
+                (if t.alive || t.fallback then
+                   match t.next_hop with
+                   | Some nxt ->
+                       t.repl_wire <- t.repl_wire + c.Chunk.wire_bytes;
+                       send_to_successor t nxt ~origin
+                         ~wire:c.Chunk.wire_bytes c
+                   | None -> ());
                 loop ()
               end
             in
@@ -428,7 +537,9 @@ let replica_deliver t (c : Chunk.t) =
   done
 
 let send_ack t (origin : t) (c : Chunk.t) =
-  Net.Rpc.post (dserver origin) ~from:(nic_loc t)
+  (* [dserver origin] resolves the origin's CURRENT plane — after the
+     primary fails over to its host, acks chase it there. *)
+  Net.Rpc.post (dserver origin) ~from:(src_loc t)
     (Repl_ack
        {
          client = c.Chunk.client;
@@ -438,7 +549,7 @@ let send_ack t (origin : t) (c : Chunk.t) =
          sent_at = Engine.now ();
        })
 
-let handle_repl_chunk t ~chunk:(c : Chunk.t) ~origin ~wire =
+let handle_repl_chunk t ~chunk:(c : Chunk.t) ~origin ~wire ~nic_mem =
   (* Decompress if the wire form was compressed. *)
   if wire < c.Chunk.bytes then
     nic_run t
@@ -449,7 +560,7 @@ let handle_repl_chunk t ~chunk:(c : Chunk.t) ~origin ~wire =
   let refs = ref (match t.next_hop with Some _ -> 2 | None -> 1) in
   let release () =
     decr refs;
-    if !refs = 0 then begin
+    if !refs = 0 && nic_mem then begin
       Hw.Smartnic.free t.node.Hw.Node.nic wire;
       Cond.broadcast t.flow
     end
@@ -469,8 +580,14 @@ let handle_repl_chunk t ~chunk:(c : Chunk.t) ~origin ~wire =
      crash, so an acked chunk must also be guaranteed to publish —
      acking first would open a crash window where the primary stops
      retransmitting a chunk this replica never published. *)
-  Hw.Pcie.transfer t.node.Hw.Node.pcie c.Chunk.bytes;
-  Hw.Pm.write t.node.Hw.Node.pm c.Chunk.bytes;
+  if nic_mem then begin
+    Hw.Pcie.transfer t.node.Hw.Node.pcie c.Chunk.bytes;
+    Hw.Pm.write t.node.Hw.Node.pm c.Chunk.bytes
+  end
+  else if wire < c.Chunk.bytes then
+    (* Host-fallback delivery: the wire form already landed in host
+       PM; only the decompressed full form still needs writing. *)
+    Hw.Pm.write t.node.Hw.Node.pm c.Chunk.bytes;
   replica_deliver t c;
   send_ack t origin c;
   release ()
@@ -480,6 +597,22 @@ let handle_repl_direct t ~chunk:(c : Chunk.t) ~origin =
      already persistent. *)
   replica_deliver t c;
   send_ack t origin c
+
+(* A chunk's ack set is complete when the configured replica set has
+   acked.  [repl_targets = None] is the legacy fixed threshold: any
+   [replicas - 1] distinct ackers.  With an explicit target list only
+   members count — an ack from a node since dropped from the chain
+   must not stand in for a surviving replica that never persisted. *)
+let acked_enough t ackers =
+  let counted =
+    match t.repl_targets with
+    | None -> Hashtbl.length ackers
+    | Some targets ->
+        List.fold_left
+          (fun n id -> if Hashtbl.mem ackers id then n + 1 else n)
+          0 targets
+  in
+  counted >= t.required_acks
 
 let handle_ack t ~client ~node ~idx ~last_seq ~sent_at =
   Stats.Series.add t.ack_lat (Time.to_us_f (Engine.now () - sent_at));
@@ -491,13 +624,43 @@ let handle_ack t ~client ~node ~idx ~last_seq ~sent_at =
       | Some ackers ->
           if not (Hashtbl.mem ackers node) then begin
             Hashtbl.replace ackers node ();
-            if
-              Hashtbl.length ackers >= max 0 (t.params.Params.replicas - 1)
-            then begin
+            if acked_enough t ackers then begin
               Hashtbl.remove cs.acks idx;
-              mark_chunk_replicated t cs ~idx ~last_seq
+              mark_chunk_replicated t cs ~idx ~last_seq;
+              retire_chunk cs idx
             end
           end)
+
+let set_repl_targets t ~targets =
+  t.repl_targets <- Some targets;
+  t.required_acks <- List.length targets
+
+(* After a chain reconfiguration shrank the replica set, ack sets that
+   were short only of dead nodes' acks are now complete.  Scan and
+   finish them (sorted, for a deterministic completion order). *)
+let reeval_acks t =
+  let cids = Hashtbl.fold (fun cid _ acc -> cid :: acc) t.clients [] in
+  List.iter
+    (fun cid ->
+      let cs = Hashtbl.find t.clients cid in
+      let ready =
+        Hashtbl.fold
+          (fun idx ackers acc ->
+            if acked_enough t ackers then idx :: acc else acc)
+          cs.acks []
+      in
+      List.iter
+        (fun idx ->
+          Hashtbl.remove cs.acks idx;
+          let last_seq =
+            match Hashtbl.find_opt cs.inflight idx with
+            | Some c -> c.Chunk.last_seq
+            | None -> cs.replicated_seq
+          in
+          mark_chunk_replicated t cs ~idx ~last_seq;
+          retire_chunk cs idx)
+        (List.sort compare ready))
+    (List.sort compare cids)
 
 (* ------------------------------------------------------------------ *)
 (* Chunking and the pipelines                                          *)
@@ -506,6 +669,7 @@ let handle_ack t ~client ~node ~idx ~last_seq ~sent_at =
 let submit_chunk t cs (c : Chunk.t) =
   ignore t;
   Hashtbl.replace cs.acks c.Chunk.idx (Hashtbl.create 4);
+  Hashtbl.replace cs.inflight c.Chunk.idx c;
   match (cs.seq_pl, cs.shared_pl) with
   | Some pl, _ -> Pipeline.submit pl c
   | None, Some pl -> Pipeline.submit pl c
@@ -554,11 +718,21 @@ let submit_chunks t cs ~urgent ~upto =
         end
   done
 
+(* Pipeline workers live in the node's [host_group], not the NIC
+   group: a worker is a logical stage executor whose compute charges
+   follow [t.fallback] call by call, so a NIC crash must not kill it
+   mid-item (which would wedge the in-order handoff forever) — the
+   chunks it carries sit in host PM and survive the crash.  What a NIC
+   crash does lose is the NIC RPC planes and their in-flight handlers;
+   stranded work is redriven by client retries and the
+   retransmitters. *)
 let build_pipelines t cs =
+  let group = t.host_group in
   if t.parallel then begin
     let scale_threshold = t.params.Params.scale_queue_threshold in
     let publish_pl =
-      Pipeline.create ~scale_threshold ~name:(Printf.sprintf "pub.c%d" cs.cid)
+      Pipeline.create ~scale_threshold ~group
+        ~name:(Printf.sprintf "pub.c%d" cs.cid)
         ~stages:[ Pipeline.stage "publication" (publish_work t) ]
         ~sink:(publish_sink t cs) ()
     in
@@ -571,13 +745,15 @@ let build_pipelines t cs =
       ]
     in
     let repl_pl =
-      Pipeline.create ~scale_threshold ~name:(Printf.sprintf "repl.c%d" cs.cid)
+      Pipeline.create ~scale_threshold ~group
+        ~name:(Printf.sprintf "repl.c%d" cs.cid)
         ~stages:repl_stages
         ~sink:(fun _ -> ())
         ()
     in
     let shared_pl =
-      Pipeline.create ~scale_threshold ~name:(Printf.sprintf "shared.c%d" cs.cid)
+      Pipeline.create ~scale_threshold ~group
+        ~name:(Printf.sprintf "shared.c%d" cs.cid)
         ~stages:
           [
             Pipeline.stage ~max_workers:2 "fetching" (fetch_work t);
@@ -595,7 +771,7 @@ let build_pipelines t cs =
   else begin
     (* LineFS-NotParallel: one chunk at a time through all stages. *)
     let seq_pl =
-      Pipeline.create ~name:(Printf.sprintf "seq.c%d" cs.cid)
+      Pipeline.create ~group ~name:(Printf.sprintf "seq.c%d" cs.cid)
         ~stages:
           [
             Pipeline.stage "sequential" (fun c ->
@@ -618,8 +794,8 @@ let handle_dmsg t = function
   | Start { client } ->
       let cs = client_state t client in
       submit_chunks t cs ~urgent:false ~upto:None
-  | Repl_chunk { chunk; origin; wire } ->
-      handle_repl_chunk t ~chunk ~origin ~wire
+  | Repl_chunk { chunk; origin; wire; nic_mem } ->
+      handle_repl_chunk t ~chunk ~origin ~wire ~nic_mem
   | Repl_direct { chunk; origin } -> handle_repl_direct t ~chunk ~origin
   | Repl_ack { client; node; idx; last_seq; sent_at } ->
       handle_ack t ~client ~node ~idx ~last_seq ~sent_at
@@ -630,7 +806,11 @@ let handle_cmsg t = function
       poll_core_work t (Time.us 1);
       submit_chunks t cs ~urgent:true ~upto:(Some upto);
       let done_iv = Ivar.create () in
-      Engine.spawn ~name:"nicfs.fsync-wait" (fun () ->
+      (* The waiter lives in the host group: once the client holds the
+         ivar, the fsync must complete even if the NIC plane that
+         accepted it dies — replication progress is host-PM-backed
+         state that a crash-restart (or the host fallback) resumes. *)
+      Engine.spawn ~group:t.host_group ~name:"nicfs.fsync-wait" (fun () ->
           while cs.replicated_seq < upto do
             Cond.await cs.repl_progress
           done;
@@ -650,7 +830,7 @@ let handle_cmsg t = function
             List.iter
               (fun holder ->
                 if holder <> client then begin
-                  Net.Rdma.move ~src:(nic_loc t)
+                  Net.Rdma.move ~src:(src_loc t)
                     ~dst:(Net.Loc.Host t.node) 64;
                   (match Hashtbl.find_opt t.clients holder with
                   | Some hcs ->
@@ -689,6 +869,10 @@ let handle_cmsg t = function
 let create ?(pipeline_parallelism = true) ?(coalescing = false)
     ?(compression = false) ?(apply_on_publish = false) ?group ~params ~node
     ~fs ~kworker () =
+  (* The node's host-side fault domain; never killed by a NIC crash. *)
+  let host_group =
+    Engine.make_group (Printf.sprintf "host%d" node.Hw.Node.id)
+  in
   let rec t =
     lazy
       {
@@ -697,7 +881,7 @@ let create ?(pipeline_parallelism = true) ?(coalescing = false)
         fs;
         kworker;
         lease =
-          Lease.create ~params ~node
+          Lease.create ~params ~node ~group:host_group
             ~current_epoch:(fun () -> (Lazy.force t).epoch)
             ~replicate:(fun ~bytes -> lease_replicate (Lazy.force t) ~bytes)
             ();
@@ -722,16 +906,28 @@ let create ?(pipeline_parallelism = true) ?(coalescing = false)
         history = Cluster.History.create ();
         alive = true;
         group;
+        host_group;
         incarnation = 0;
         repl_gate = Hashtbl.create 8;
+        fallback = false;
+        fb_dserver = None;
+        fb_cserver = None;
+        fb_episode = 0;
+        repl_targets = None;
+        required_acks = max 0 (params.Params.replicas - 1);
       }
   and lease_replicate t ~bytes =
-    (* Ship the lease record down the replication chain. *)
+    (* Ship the lease record down the replication chain; a hop in host
+       fallback receives it straight into host memory. *)
     let rec go cur =
       match cur.next_hop with
       | None -> ()
       | Some nxt ->
-          Net.Rdma.move ~src:(nic_loc cur) ~dst:(Net.Loc.Nic nxt.node) bytes;
+          let dst =
+            if nxt.fallback then Net.Loc.Host nxt.node
+            else Net.Loc.Nic nxt.node
+          in
+          Net.Rdma.move ~src:(src_loc cur) ~dst bytes;
           Hw.Pm.write nxt.node.Hw.Node.pm bytes;
           go nxt
     in
@@ -791,6 +987,72 @@ let restart t =
     t.alive <- true
   end
 
+(* ------------------------------------------------------------------ *)
+(* Degraded mode: host fallback and whole-node death (§3.6)            *)
+(* ------------------------------------------------------------------ *)
+
+let in_fallback t = t.fallback
+
+(* NIC dead, host alive: bring the NICFS planes up on host cores.
+   Driven by the cluster manager's service map (NIC probe failing,
+   host probe answering).  Clients and peers need no special casing —
+   [dserver]/[cserver] resolve to the fallback planes and every
+   compute/memory/endpoint decision consults [t.fallback]. *)
+let enter_fallback t =
+  if (not t.alive) && not t.fallback then begin
+    t.fb_episode <- t.fb_episode + 1;
+    let prio = Kworker.prio t.kworker in
+    let loc = Net.Loc.Host t.node in
+    let id = t.node.Hw.Node.id in
+    (* Event dispatch (not busy-poll) for the control plane: degraded
+       mode must not permanently steal a spinning host core. *)
+    t.fb_dserver <-
+      Some
+        (Net.Rpc.create ~group:t.host_group
+           ~name:(Printf.sprintf "nicfs%d.data.fb%d" id t.fb_episode)
+           ~loc
+           ~kind:(Net.Rpc.Event { workers = 4; prio })
+           ~handler:(fun m -> handle_dmsg t m)
+           ());
+    t.fb_cserver <-
+      Some
+        (Net.Rpc.create ~group:t.host_group
+           ~name:(Printf.sprintf "nicfs%d.ctrl.fb%d" id t.fb_episode)
+           ~loc
+           ~kind:(Net.Rpc.Event { workers = 1; prio })
+           ~handler:(fun m -> handle_cmsg t m)
+           ());
+    t.fallback <- true
+  end
+
+(* Fail-back after the NIC restarts: flip traffic back to the NIC
+   planes, migrate degraded-mode state across PCIe, then drain and
+   retire the host planes.  Shutdown is graceful — requests already
+   queued at the fallback servers are still served, by handlers that
+   now charge the NIC again. *)
+let exit_fallback t =
+  if t.fallback && t.alive then begin
+    t.fallback <- false;
+    let ds = t.fb_dserver and cs = t.fb_cserver in
+    t.fb_dserver <- None;
+    t.fb_cserver <- None;
+    Engine.spawn ~group:t.host_group ~name:"nicfs.failback" (fun () ->
+        (* Ship cursors / ack tables / lease table back to NIC memory. *)
+        Hw.Pcie.rpc_round_trip t.node.Hw.Node.pcie;
+        (match ds with Some s -> Net.Rpc.shutdown s | None -> ());
+        (match cs with Some s -> Net.Rpc.shutdown s | None -> ()))
+  end
+
+(* Whole-node failure (host included): beyond [crash], every host-side
+   process dies too — pipelines, retransmitters, fallback planes.
+   There is no matching un-kill; a dead node leaves the cluster. *)
+let kill_node t =
+  crash t;
+  t.fallback <- false;
+  t.fb_dserver <- None;
+  t.fb_cserver <- None;
+  Engine.kill t.host_group
+
 let start_monitor t =
   if not t.monitor_running then begin
     t.monitor_running <- true;
@@ -832,6 +1094,7 @@ let register_client t ~id ~log ~on_published ~on_revoke =
       completed_repl = Hashtbl.create 8;
       next_repl_idx = 0;
       acks = Hashtbl.create 8;
+      inflight = Hashtbl.create 8;
       shared_pl = None;
       publish_pl = None;
       repl_pl = None;
@@ -845,23 +1108,50 @@ let start_pipeline t ~from ~client =
   Net.Rpc.post (dserver t) ~from (Start { client })
 
 let cserver t =
-  match t.cserver with Some s -> s | None -> failwith "nicfs: not started"
+  match (if t.fallback then t.fb_cserver else t.cserver) with
+  | Some s -> s
+  | None -> failwith "nicfs: not started"
+
+(* Control-plane call with timeout + capped exponential backoff.  The
+   endpoint is re-resolved on EVERY attempt: after a NIC crash the
+   service moves to the host-fallback plane, and a retry must chase it
+   there instead of timing out against the dead NIC plane forever.
+   The growing timeout doubles as the backoff interval.  All handlers
+   are idempotent under re-execution (fsync re-submission dedups on
+   [fetched_seq], a re-granted lease refreshes expiry, open re-checks).
+   On a perfect network (no injection hook) this is the plain lossless
+   call — zero added events, fingerprints unchanged. *)
+let cserver_call t ~from req =
+  if not (Net.Inject.active ()) then Net.Rpc.call (cserver t) ~from req
+  else begin
+    let policy = Net.Backoff.default in
+    let rec go attempt =
+      match
+        Net.Rpc.call_timeout (cserver t) ~from
+          ~timeout:(Net.Backoff.delay policy ~attempt)
+          req
+      with
+      | Some r -> r
+      | None -> go (attempt + 1)
+    in
+    go 0
+  end
 
 let fsync t ~from ~client ~upto_seq =
-  match Net.Rpc.call (cserver t) ~from (C_fsync { client; upto = upto_seq }) with
+  match cserver_call t ~from (C_fsync { client; upto = upto_seq }) with
   | R_done iv ->
       Ivar.read iv;
       (* Completion notification back to LibFS. *)
-      Net.Rdma.move ~src:(nic_loc t) ~dst:from 64
+      Net.Rdma.move ~src:(src_loc t) ~dst:from 64
   | R_lease _ | R_check _ -> failwith "nicfs: protocol mismatch"
 
 let open_check t ~from ~client ~inum ~write =
-  match Net.Rpc.call (cserver t) ~from (C_open { client; inum; write }) with
+  match cserver_call t ~from (C_open { client; inum; write }) with
   | R_check r -> r
   | R_done _ | R_lease _ -> failwith "nicfs: protocol mismatch"
 
 let lease_acquire t ~from ~client ~inum lt =
-  match Net.Rpc.call (cserver t) ~from (C_lease { client; inum; lt }) with
+  match cserver_call t ~from (C_lease { client; inum; lt }) with
   | R_lease r -> r
   | R_done _ | R_check _ -> failwith "nicfs: protocol mismatch"
 
@@ -876,6 +1166,19 @@ let flush t ~client =
     Cond.await cs.publish_progress
   done;
   Lease.wait_persisted t.lease
+
+(* Pipeline-cursor snapshot for one client — DST triage of wedged
+   scenarios (is the stall in chunking, replication, or publication?). *)
+let debug_client_state t ~client =
+  match Hashtbl.find_opt t.clients client with
+  | None -> "no client state"
+  | Some cs ->
+      Printf.sprintf
+        "log_last=%d fetched=%d replicated=%d published=%d acks=%d \
+         inflight=%d next_repl_idx=%d chunk_count=%d"
+        (Oplog.Log.last_seq cs.log) cs.fetched_seq cs.replicated_seq
+        cs.published_seq (Hashtbl.length cs.acks)
+        (Hashtbl.length cs.inflight) cs.next_repl_idx cs.chunk_count
 
 let replicated_wire_bytes t = t.repl_wire
 let published_bytes t = t.pub_bytes

@@ -66,6 +66,48 @@ val restart : t -> unit
     before the crash are dropped; the primary's retransmission recovers
     lost replication traffic. *)
 
+val kill_node : t -> unit
+(** Whole-node failure: [crash] plus the host-side fault domain
+    (pipeline workers, retransmitters, fallback planes).  No matching
+    un-kill — a dead node leaves the cluster until re-added. *)
+
+(** {1 Degraded mode: host fallback (§3.6)}
+
+    With the NIC down but the host alive, the NICFS planes run on host
+    cores: RPC service moves to host-side servers, stage compute is
+    billed to the host CPU through the kernel worker's accounting
+    hook, chunks are staged in host memory (no NIC DRAM, no PCIe
+    fetch hop), and the compression stage is skipped — it exists to
+    save network bandwidth at the price of NIC cycles, and burning
+    host cores on it would defeat the point of offload.  Peers and
+    clients retarget transparently: endpoint accessors resolve the
+    fallback planes and control-plane calls re-resolve per retry
+    attempt. *)
+
+val enter_fallback : t -> unit
+(** Bring the host-fallback planes up (cluster-manager driven, on the
+    NIC-dead/host-alive service transition).  No-op unless the NICFS
+    is crashed and not already degraded.  Process context required. *)
+
+val exit_fallback : t -> unit
+(** Fail back to the restarted NIC: flip traffic to the NIC planes,
+    charge the state-migration cost, then drain and retire the host
+    planes gracefully.  No-op unless degraded and restarted. *)
+
+val in_fallback : t -> bool
+
+(** {1 Replication-chain reconfiguration} *)
+
+val set_repl_targets : t -> targets:int list -> unit
+(** Declare the exact replica set whose acks complete a chunk (node
+    ids downstream of this node in the current chain).  Until called,
+    the legacy rule applies: any [replicas - 1] distinct ackers. *)
+
+val reeval_acks : t -> unit
+(** Re-evaluate outstanding ack sets against the (shrunk) target set;
+    chunks short only of dead nodes' acks complete immediately.  Call
+    on the primary after a chain reconfiguration. *)
+
 (** {1 Client plane (used by LibFS)} *)
 
 val register_client :
@@ -109,6 +151,11 @@ val flush : t -> client:int -> unit
     is replicated and published (benchmark teardown). *)
 
 (** {1 Introspection} *)
+
+val debug_client_state : t -> client:int -> string
+(** One-line snapshot of a client's pipeline cursors (log/fetched/
+    replicated/published seqs, outstanding ack sets) for debugging
+    wedged DST scenarios. *)
 
 val replicated_wire_bytes : t -> int
 (** Bytes this node sent to its chain successor (post-compression). *)

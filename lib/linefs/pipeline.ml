@@ -23,6 +23,7 @@ type 'a stage_rt = {
 type 'a t = {
   name : string;
   scale_threshold : int;
+  group : Engine.group option;
   stages : 'a stage_rt array;
   sink : 'a -> unit;
   mutable next_idx : int;
@@ -33,7 +34,12 @@ let rec spawn_worker t si =
   let st = t.stages.(si) in
   st.nworkers <- st.nworkers + 1;
   let wname = Printf.sprintf "%s.%s.w%d" t.name st.spec.sname st.nworkers in
-  Engine.spawn ~name:wname (fun () ->
+  (* Workers spawn in the pipeline's own group when one was given,
+     not the caller's: dynamic scale-up can run inside an RPC handler
+     whose group is a different fault-injection domain, and inheriting
+     it would let a crash there kill a worker mid-item, wedging the
+     in-order handoff forever. *)
+  Engine.spawn ?group:t.group ~name:wname (fun () ->
       let rec loop () =
         let idx, enq_at, item = Mailbox.recv st.queue in
         Stats.Series.add st.wait (Time.to_us_f (Engine.now () - enq_at));
@@ -75,12 +81,13 @@ and enqueue t si idx item =
   then spawn_worker t si
 
 let create ?(scale_threshold = Params.default.Params.scale_queue_threshold)
-    ~name ~stages ~sink () =
+    ?group ~name ~stages ~sink () =
   if stages = [] then invalid_arg "Pipeline.create: no stages";
   let t =
     {
       name;
       scale_threshold;
+      group;
       stages =
         Array.of_list
           (List.map

@@ -31,6 +31,7 @@ val stage :
 
 val create :
   ?scale_threshold:int ->
+  ?group:Sim.Engine.group ->
   name:string ->
   stages:'a stage_spec list ->
   sink:('a -> unit) ->
@@ -39,7 +40,11 @@ val create :
 (** Build and start the pipeline (spawns workers; process context
     required).  [sink] receives items that completed the final stage,
     in submission order — use it to chain pipelines (the publish and
-    replication pipelines share their first two stages this way). *)
+    replication pipelines share their first two stages this way).
+    [group] pins every worker — including later dynamically scaled
+    ones — to one fault-injection domain; without it workers inherit
+    the group of whichever process spawned them, which for scaled-up
+    workers is the submitting context. *)
 
 val submit : 'a t -> 'a -> unit
 (** Enqueue into the first stage; never blocks. *)

@@ -1,0 +1,23 @@
+open Sim
+
+type t = {
+  base : Time.t;
+  factor : float;
+  cap : Time.t;
+}
+
+let default = { base = Time.us 200; factor = 2.0; cap = Time.ms 10 }
+
+let make ?(base = default.base) ?(factor = default.factor)
+    ?(cap = default.cap) () =
+  if base <= 0 then invalid_arg "Backoff.make: base must be positive";
+  if factor < 1.0 then invalid_arg "Backoff.make: factor must be >= 1";
+  { base; factor; cap }
+
+let delay t ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.delay: negative attempt";
+  (* base * factor^attempt, computed with an explicit overflow guard:
+     the float blows past [cap] long before it loses integer
+     precision. *)
+  let f = float_of_int t.base *. (t.factor ** float_of_int attempt) in
+  if f >= float_of_int t.cap then t.cap else int_of_float f

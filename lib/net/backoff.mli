@@ -1,0 +1,26 @@
+(** Shared capped-exponential backoff policy.
+
+    One policy object serves both roles a lossy RPC path needs:
+    the per-attempt timeout ladder (how long to wait for attempt [n]
+    before declaring it lost) and the inter-retry delay.  Using the
+    same growing, capped series for both keeps a storm of retries from
+    synchronizing while guaranteeing a bounded worst-case probe rate. *)
+
+open Sim
+
+type t = {
+  base : Time.t;  (** Delay/timeout of attempt 0. *)
+  factor : float;  (** Growth per attempt (>= 1). *)
+  cap : Time.t;  (** Upper bound on any delay. *)
+}
+
+val default : t
+(** 200 us base, doubling, capped at 10 ms — sized for simulated
+    intra-cluster RTTs (tens of microseconds) with headroom for
+    dispatch queueing. *)
+
+val make : ?base:Time.t -> ?factor:float -> ?cap:Time.t -> unit -> t
+
+val delay : t -> attempt:int -> Time.t
+(** [delay t ~attempt] = min(cap, base * factor^attempt).  Raises on a
+    negative attempt. *)

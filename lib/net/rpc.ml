@@ -106,7 +106,8 @@ let call t ~from ?(bytes = msg_bytes) req =
   | Inject.Drop ->
       (* The request is lost and the caller has no timeout: it waits
          forever, like a thread blocked on a dead peer.  Use
-         {!call_timeout} on paths that must survive message loss. *)
+         {!call_timeout} or {!call_retry} on paths that must survive
+         message loss. *)
       Rdma.move ~src:from ~dst:t.loc bytes;
       Engine.suspend (fun (_ : 'resp -> unit) -> ())
   | (Inject.Pass | Inject.Delay _) as v ->
@@ -137,6 +138,29 @@ let call_timeout t ~from ?(bytes = msg_bytes) ~timeout req =
       | Some resp ->
           Rdma.move ~src:t.loc ~dst:from msg_bytes;
           Some resp)
+
+let call_retry t ~from ?(bytes = msg_bytes) ?(policy = Backoff.default)
+    ?(attempts = max_int) req =
+  if not (Inject.active ()) then
+    (* Perfect network: a plain call always completes, and skipping the
+       timeout machinery keeps fault-free event schedules byte-identical
+       to the pre-retry behaviour. *)
+    Some (call t ~from ~bytes req)
+  else begin
+    let rec go attempt =
+      if attempt >= attempts then None
+      else
+        let timeout = Backoff.delay policy ~attempt in
+        match call_timeout t ~from ~bytes ~timeout req with
+        | Some _ as r -> r
+        | None ->
+            (* The per-attempt timeout ladder is itself the backoff: the
+               failed attempt already waited [timeout], and the next one
+               waits longer. *)
+            go (attempt + 1)
+    in
+    go 0
+  end
 
 let post t ~from ?(bytes = msg_bytes) req =
   let verdict =

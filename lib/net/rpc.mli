@@ -62,6 +62,21 @@ val call_timeout :
     injection, the server is dead, or the handler is simply slow.  On
     timeout a late response is discarded. *)
 
+val call_retry :
+  ('req, 'resp) t ->
+  from:Loc.t ->
+  ?bytes:int ->
+  ?policy:Backoff.t ->
+  ?attempts:int ->
+  'req ->
+  'resp option
+(** Loss-tolerant synchronous request: {!call_timeout} in a capped
+    exponential retry loop driven by [policy] (default
+    {!Backoff.default}), giving up as [None] after [attempts] tries
+    (default: retry until a response arrives).  When no fault-injection
+    hook is installed this is exactly {!call} — no timers are armed, so
+    fault-free simulations schedule identically. *)
+
 val post : ('req, 'resp) t -> from:Loc.t -> ?bytes:int -> 'req -> unit
 (** Fire-and-forget: pays the request transfer, does not wait for the
     handler to finish. *)

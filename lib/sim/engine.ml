@@ -51,9 +51,15 @@ let kill g = g.killed <- true
 let group_killed g = g.killed
 let group_name g = g.gname
 
+(* [group] is taken verbatim: [None] means "no group", not "inherit".
+   Inheritance decisions happen at the effect handlers, which capture
+   the performer's group at suspension time — a later fallback to
+   [t.current_group] here would run in the *waker's* context and tag a
+   groupless process's resumption with whatever group happened to wake
+   it (and a subsequent kill of that group would then drop an innocent
+   bystander's continuation). *)
 let schedule ?group t ~at ~name fn =
   let at = if at < t.now then t.now else at in
-  let group = match group with Some _ as g -> g | None -> t.current_group in
   t.seq <- t.seq + 1;
   Heap.push t.events ~key:at ~seq:t.seq { name; group; fn }
 

@@ -1,8 +1,12 @@
 #!/bin/sh
 # CI entry point: build everything and run the full test suite
-# (unit + integration + qcheck properties + the DST fault sweep).
+# (unit + integration + qcheck properties + the DST fault sweep),
+# then the standalone DST gate: a reduced seed sweep plus the four
+# explicit failover scenarios, with a determinism check that fails
+# the build on any fingerprint mismatch between identical runs.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest --force
+dune exec bin/dst_sweep.exe -- "${DST_SEEDS:-12}"

@@ -55,10 +55,10 @@ let test_manager_detects_failure () =
   run_sim (fun () ->
       let m = Manager.create ~heartbeat_interval:(Time.ms 100) () in
       let alive = ref true in
-      Manager.register m ~id:1 ~ping:(fun () -> !alive) ~on_epoch:(fun _ -> ());
+      Manager.register m ~id:1 ~ping:(fun () -> !alive) ~on_epoch:(fun _ -> ()) ();
       Manager.register m ~id:2
         ~ping:(fun () -> true)
-        ~on_epoch:(fun e -> detected_epoch := e);
+        ~on_epoch:(fun e -> detected_epoch := e) ();
       Manager.start m;
       Engine.sleep (Time.ms 250);
       Alcotest.(check (list int)) "both alive" [ 1; 2 ] (Manager.alive_members m);
@@ -72,7 +72,7 @@ let test_manager_detects_failure () =
 let test_manager_recovery_bumps_epoch () =
   run_sim (fun () ->
       let m = Manager.create () in
-      Manager.register m ~id:1 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ());
+      Manager.register m ~id:1 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ()) ();
       Alcotest.(check int) "initial epoch" 1 (Manager.epoch m);
       let e = Manager.bump_epoch m in
       Alcotest.(check int) "bumped" 2 e;
@@ -84,7 +84,7 @@ let test_manager_failed_ping_exception () =
       let m = Manager.create ~heartbeat_interval:(Time.ms 50) () in
       Manager.register m ~id:7
         ~ping:(fun () -> failwith "unreachable")
-        ~on_epoch:(fun _ -> ());
+        ~on_epoch:(fun _ -> ()) ();
       Manager.start m;
       Engine.sleep (Time.ms 120);
       Alcotest.(check bool) "exception = dead" true
@@ -94,8 +94,8 @@ let test_manager_failed_ping_exception () =
 let test_lease_root_delegation () =
   run_sim (fun () ->
       let m = Manager.create () in
-      Manager.register m ~id:1 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ());
-      Manager.register m ~id:2 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ());
+      Manager.register m ~id:1 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ()) ();
+      Manager.register m ~id:2 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ()) ();
       Alcotest.(check bool) "delegate to 1" true
         (Manager.delegate_lease_root m ~inum:1 ~node:1);
       Alcotest.(check bool) "node 2 refused" false
@@ -110,14 +110,160 @@ let test_lease_root_moves_on_failure () =
   run_sim (fun () ->
       let m = Manager.create ~heartbeat_interval:(Time.ms 50) () in
       let alive = ref true in
-      Manager.register m ~id:1 ~ping:(fun () -> !alive) ~on_epoch:(fun _ -> ());
-      Manager.register m ~id:2 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ());
+      Manager.register m ~id:1 ~ping:(fun () -> !alive) ~on_epoch:(fun _ -> ()) ();
+      Manager.register m ~id:2 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ()) ();
       ignore (Manager.delegate_lease_root m ~inum:1 ~node:1 : bool);
       Manager.start m;
       alive := false;
       Engine.sleep (Time.ms 120);
       (* The failed node's delegations expired; a live node takes over. *)
       Alcotest.(check bool) "takeover allowed" true
+        (Manager.delegate_lease_root m ~inum:1 ~node:2);
+      Manager.stop m)
+
+(* ------------------------------------------------------------------ *)
+(* Failure-detector state machine (§3.6 degraded mode)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* NIC probe dead but host probe answering classifies HostFallback
+   (degraded mode), not Down; when the host stops answering too, the
+   node is Down.  Each committed transition bumps the epoch. *)
+let test_detector_nic_dead_vs_node_dead () =
+  let transitions = ref [] in
+  run_sim (fun () ->
+      let m =
+        Manager.create ~heartbeat_interval:(Time.ms 10) ~suspect_after:2
+          ~probe_attempts:1 ()
+      in
+      let nic = ref true and host = ref true in
+      Manager.register m ~id:1
+        ~ping:(fun () -> !nic)
+        ~on_epoch:(fun _ -> ())
+        ~ping_host:(fun () -> !host)
+        ~on_service:(fun s -> transitions := s :: !transitions)
+        ();
+      Manager.start m;
+      Engine.sleep (Time.ms 25);
+      Alcotest.(check bool) "full service" true (Manager.service m 1 = Manager.Nic);
+      nic := false;
+      Engine.sleep (Time.ms 25);
+      Alcotest.(check bool) "host fallback" true
+        (Manager.service m 1 = Manager.HostFallback);
+      Alcotest.(check bool) "fallback is not dead" true
+        (Manager.member_state m 1 = Manager.Alive);
+      Alcotest.(check int) "epoch bumped once" 2 (Manager.epoch m);
+      host := false;
+      Engine.sleep (Time.ms 25);
+      Alcotest.(check bool) "node down" true (Manager.service m 1 = Manager.Down);
+      Alcotest.(check int) "epoch bumped again" 3 (Manager.epoch m);
+      Manager.stop m);
+  Alcotest.(check bool) "transition order" true
+    (List.rev !transitions = [ Manager.HostFallback; Manager.Down ])
+
+(* A flapping probe (fails every other round) never produces the
+   [suspect_after] consecutive suspect rounds a degradation needs: no
+   transition, no epoch churn. *)
+let test_detector_flap_suppression () =
+  run_sim (fun () ->
+      let m =
+        Manager.create ~heartbeat_interval:(Time.ms 10) ~suspect_after:2
+          ~probe_attempts:1 ()
+      in
+      let calls = ref 0 in
+      Manager.register m ~id:1
+        ~ping:(fun () ->
+          incr calls;
+          !calls mod 2 = 0)
+        ~on_epoch:(fun _ -> ())
+        ~ping_host:(fun () -> true)
+        ~on_service:(fun _ -> Alcotest.fail "flap committed a transition")
+        ();
+      Manager.start m;
+      Engine.sleep (Time.ms 200);
+      Alcotest.(check bool) "still full service" true
+        (Manager.service m 1 = Manager.Nic);
+      Alcotest.(check int) "no epoch churn" 1 (Manager.epoch m);
+      Manager.stop m)
+
+(* A sustained outage does commit after [suspect_after] rounds even if
+   the very first sighting looked like a flap. *)
+let test_detector_sustained_outage_commits () =
+  run_sim (fun () ->
+      let m =
+        Manager.create ~heartbeat_interval:(Time.ms 10) ~suspect_after:2
+          ~probe_attempts:1 ()
+      in
+      let nic = ref true in
+      Manager.register m ~id:1
+        ~ping:(fun () -> !nic)
+        ~on_epoch:(fun _ -> ())
+        ~ping_host:(fun () -> true)
+        ();
+      Manager.start m;
+      Engine.sleep (Time.ms 15);
+      nic := false;
+      (* One suspect round is not enough... *)
+      Engine.sleep (Time.ms 12);
+      Alcotest.(check bool) "one round: still Nic" true
+        (Manager.service m 1 = Manager.Nic);
+      (* ...two are. *)
+      Engine.sleep (Time.ms 12);
+      Alcotest.(check bool) "two rounds: fallback" true
+        (Manager.service m 1 = Manager.HostFallback);
+      Manager.stop m)
+
+(* Fail-back (an improvement) takes effect on the next round, without
+   waiting [suspect_after] sightings. *)
+let test_detector_failback_immediate () =
+  run_sim (fun () ->
+      let m =
+        Manager.create ~heartbeat_interval:(Time.ms 10) ~suspect_after:2
+          ~probe_attempts:1 ()
+      in
+      let nic = ref false in
+      Manager.register m ~id:1
+        ~ping:(fun () -> !nic)
+        ~on_epoch:(fun _ -> ())
+        ~ping_host:(fun () -> true)
+        ();
+      Manager.start m;
+      Engine.sleep (Time.ms 25);
+      Alcotest.(check bool) "degraded" true
+        (Manager.service m 1 = Manager.HostFallback);
+      nic := true;
+      Engine.sleep (Time.ms 12);
+      Alcotest.(check bool) "failed back in one round" true
+        (Manager.service m 1 = Manager.Nic);
+      Manager.stop m)
+
+(* Transitioning to Down sweeps the node's lease-root delegations so a
+   survivor can take them over; HostFallback keeps them (the node still
+   serves, via its host). *)
+let test_detector_lease_root_sweep () =
+  run_sim (fun () ->
+      let m =
+        Manager.create ~heartbeat_interval:(Time.ms 10) ~suspect_after:2
+          ~probe_attempts:1 ()
+      in
+      let nic = ref true and host = ref true in
+      Manager.register m ~id:1
+        ~ping:(fun () -> !nic)
+        ~on_epoch:(fun _ -> ())
+        ~ping_host:(fun () -> !host)
+        ();
+      Manager.register m ~id:2 ~ping:(fun () -> true) ~on_epoch:(fun _ -> ()) ();
+      ignore (Manager.delegate_lease_root m ~inum:1 ~node:1 : bool);
+      Manager.start m;
+      nic := false;
+      Engine.sleep (Time.ms 25);
+      Alcotest.(check bool) "degraded keeps delegation" false
+        (Manager.delegate_lease_root m ~inum:1 ~node:2);
+      host := false;
+      Engine.sleep (Time.ms 25);
+      Alcotest.(check bool) "down" true (Manager.service m 1 = Manager.Down);
+      Alcotest.(check (option int)) "delegation swept" None
+        (Manager.lease_root_holder m ~inum:1);
+      Alcotest.(check bool) "survivor takes over" true
         (Manager.delegate_lease_root m ~inum:1 ~node:2);
       Manager.stop m)
 
@@ -129,7 +275,7 @@ let test_recovery_flow_with_history () =
       let persisted_epoch = ref 0 in
       Manager.register m ~id:1
         ~ping:(fun () -> true)
-        ~on_epoch:(fun e -> persisted_epoch := e);
+        ~on_epoch:(fun e -> persisted_epoch := e) ();
       let replica_history = History.create () in
       (* Epoch 1: normal operation. *)
       History.record replica_history ~epoch:(Manager.epoch m) ~inum:100;
@@ -163,5 +309,14 @@ let () =
           tc "lease root delegation" `Quick test_lease_root_delegation;
           tc "lease root moves on failure" `Quick test_lease_root_moves_on_failure;
           tc "recovery flow with history" `Quick test_recovery_flow_with_history;
+        ] );
+      ( "failure detector",
+        [
+          tc "nic-dead vs node-dead" `Quick test_detector_nic_dead_vs_node_dead;
+          tc "flap suppression" `Quick test_detector_flap_suppression;
+          tc "sustained outage commits" `Quick
+            test_detector_sustained_outage_commits;
+          tc "fail-back is immediate" `Quick test_detector_failback_immediate;
+          tc "lease-root sweep on Down" `Quick test_detector_lease_root_sweep;
         ] );
     ]

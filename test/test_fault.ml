@@ -188,11 +188,59 @@ let test_stalled_nic () =
     Alcotest.fail "expected the stall to delay transfers"
 
 (* ------------------------------------------------------------------ *)
+(* Explicit failover scenarios (degraded mode, chain reconfiguration)  *)
+(* ------------------------------------------------------------------ *)
+
+let failover_scenarios =
+  [
+    ("primary-crash", Fault.Scenario.failover_primary_crash);
+    ("crash-during-failback", Fault.Scenario.failover_crash_during_failback);
+    ("replica-death", Fault.Scenario.failover_replica_death);
+    ("double-failure", Fault.Scenario.failover_double_failure);
+  ]
+
+let run_failover name mk =
+  List.iter
+    (fun seed ->
+      let o = Fault.Scenario.run (mk ~seed) in
+      check_outcome ~what:(Printf.sprintf "failover-%s seed %d" name seed) o;
+      if not o.Fault.Scenario.completed then
+        Alcotest.failf "failover-%s seed %d wedged" name seed)
+    [ 1; 2; 3 ]
+
+let test_failover_primary_crash () =
+  run_failover "primary-crash" Fault.Scenario.failover_primary_crash
+
+let test_failover_crash_during_failback () =
+  run_failover "crash-during-failback"
+    Fault.Scenario.failover_crash_during_failback
+
+let test_failover_replica_death () =
+  run_failover "replica-death" Fault.Scenario.failover_replica_death
+
+let test_failover_double_failure () =
+  run_failover "double-failure" Fault.Scenario.failover_double_failure
+
+(* Failover runs are as replayable as generated ones: same spec, same
+   fingerprint (digest, trace, op counts, fault tallies). *)
+let test_failover_deterministic () =
+  List.iter
+    (fun (name, mk) ->
+      let a = Fault.Dst.run_spec (mk ~seed:1)
+      and b = Fault.Dst.run_spec (mk ~seed:1) in
+      Alcotest.(check string)
+        (Printf.sprintf "failover-%s fingerprint stable" name)
+        (Fault.Dst.fingerprint a.Fault.Dst.outcome)
+        (Fault.Dst.fingerprint b.Fault.Dst.outcome))
+    failover_scenarios
+
+(* ------------------------------------------------------------------ *)
 (* The seeded scenario sweep                                           *)
 (* ------------------------------------------------------------------ *)
 
 let fault_kind = function
   | Fault.Plan.Crash _ -> "crash"
+  | Fault.Plan.Node_death _ -> "node-death"
   | Fault.Plan.Stall _ -> "stall"
   | Fault.Plan.Partition _ -> "partition"
   | Fault.Plan.Link_delay _ -> "delay"
@@ -275,6 +323,17 @@ let () =
           tc "tail crash with lossy link" `Quick
             test_tail_crash_with_lossy_link;
           tc "stalled nic" `Quick test_stalled_nic;
+        ] );
+      ( "failover",
+        [
+          tc "primary nic crash rides on host fallback" `Slow
+            test_failover_primary_crash;
+          tc "crash during failback" `Slow test_failover_crash_during_failback;
+          tc "permanent replica death reconfigures chain" `Slow
+            test_failover_replica_death;
+          tc "double failure" `Slow test_failover_double_failure;
+          tc "failover runs are deterministic" `Slow
+            test_failover_deterministic;
         ] );
       ( "sweep",
         [

@@ -653,7 +653,7 @@ let test_recovery_resyncs_missed_inodes () =
           Cluster.Manager.register manager
             ~id:(Nicfs.node nicfs).Hw.Node.id
             ~ping:(fun () -> Nicfs.ping nicfs)
-            ~on_epoch:(fun e -> Nicfs.set_epoch nicfs e))
+            ~on_epoch:(fun e -> Nicfs.set_epoch nicfs e) ())
         [ Deployment.primary d; Deployment.node d 2 ];
       (* Epoch 1: normal writes. *)
       let c = Deployment.add_client d ~id:1 in
@@ -693,7 +693,7 @@ let test_recovery_invalidates_stale_logs () =
       let mid = (Deployment.node d 1).Deployment.nicfs in
       Cluster.Manager.register manager ~id:1
         ~ping:(fun () -> true)
-        ~on_epoch:(fun _ -> ());
+        ~on_epoch:(fun _ -> ()) ();
       (* A stale local log on the recovering node touching an inode the
          primary has updated since. *)
       let c = Deployment.add_client d ~id:1 in

@@ -224,6 +224,78 @@ let test_rpc_queue_length () =
         Engine.sleep (Time.ms 1)
       done)
 
+(* ------------------------------------------------------------------ *)
+(* Backoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_series () =
+  let p = Backoff.make ~base:(Time.us 100) ~factor:2.0 ~cap:(Time.us 500) () in
+  Alcotest.(check int) "attempt 0" (Time.us 100) (Backoff.delay p ~attempt:0);
+  Alcotest.(check int) "attempt 1" (Time.us 200) (Backoff.delay p ~attempt:1);
+  Alcotest.(check int) "attempt 2" (Time.us 400) (Backoff.delay p ~attempt:2);
+  Alcotest.(check int) "attempt 3 capped" (Time.us 500)
+    (Backoff.delay p ~attempt:3);
+  (* The cap also bounds arbitrarily large attempt counts without
+     overflowing. *)
+  Alcotest.(check int) "attempt 60 capped" (Time.us 500)
+    (Backoff.delay p ~attempt:60);
+  Alcotest.(check bool) "negative attempt raises" true
+    (try
+       ignore (Backoff.delay p ~attempt:(-1) : Time.t);
+       false
+     with _ -> true)
+
+let test_backoff_default_bounds () =
+  let p = Backoff.default in
+  Alcotest.(check bool) "base positive" true (Backoff.delay p ~attempt:0 > 0);
+  Alcotest.(check bool) "monotone" true
+    (Backoff.delay p ~attempt:1 >= Backoff.delay p ~attempt:0);
+  Alcotest.(check int) "cap reached" p.Backoff.cap
+    (Backoff.delay p ~attempt:20)
+
+(* ------------------------------------------------------------------ *)
+(* call_timeout / call_retry                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_call_timeout_fault_free_passthrough () =
+  (* Without fault injection, call_timeout/call_retry behave exactly
+     like call: same answer, no timer-induced delay differences. *)
+  let a, _ = two_nodes () in
+  run_sim (fun () ->
+      let srv =
+        Rpc.create ~name:"echo" ~loc:(Loc.Nic a) ~kind:Rpc.Busy_poll
+          ~handler:(fun x -> x * 2)
+          ()
+      in
+      let t0 = Engine.now () in
+      let plain = Rpc.call srv ~from:(Loc.Host a) 21 in
+      let t_plain = Engine.now () - t0 in
+      let t1 = Engine.now () in
+      let timed = Rpc.call_timeout srv ~from:(Loc.Host a) ~timeout:(Time.ms 1) 21 in
+      let t_timed = Engine.now () - t1 in
+      let retried = Rpc.call_retry srv ~from:(Loc.Host a) 21 in
+      Alcotest.(check int) "plain" 42 plain;
+      Alcotest.(check (option int)) "timed" (Some 42) timed;
+      Alcotest.(check (option int)) "retried" (Some 42) retried;
+      Alcotest.(check int) "same latency" t_plain t_timed)
+
+let test_call_timeout_gives_up_on_slow_handler () =
+  let a, _ = two_nodes () in
+  run_sim (fun () ->
+      let srv =
+        Rpc.create ~name:"slow" ~loc:(Loc.Nic a)
+          ~kind:(Rpc.Event { workers = 1; prio = Hw.Cpu.prio_normal })
+          ~handler:(fun () -> Engine.sleep (Time.ms 20))
+          ()
+      in
+      let t0 = Engine.now () in
+      let r = Rpc.call_timeout srv ~from:(Loc.Host a) ~timeout:(Time.ms 2) () in
+      let waited = Engine.now () - t0 in
+      Alcotest.(check (option unit)) "timed out" None r;
+      check_between "gave up at the deadline" (Time.ms 2) (Time.ms 3) waited;
+      (* Let the abandoned handler finish so the simulation quiesces. *)
+      Engine.sleep (Time.ms 25))
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "net"
@@ -245,5 +317,17 @@ let () =
           tc "concurrent calls served" `Quick test_rpc_concurrent_calls_all_served;
           tc "post does not wait" `Quick test_rpc_post_does_not_wait;
           tc "queue length" `Quick test_rpc_queue_length;
+        ] );
+      ( "backoff",
+        [
+          tc "capped exponential series" `Quick test_backoff_series;
+          tc "default bounds" `Quick test_backoff_default_bounds;
+        ] );
+      ( "retry",
+        [
+          tc "fault-free passthrough" `Quick
+            test_call_timeout_fault_free_passthrough;
+          tc "timeout on slow handler" `Quick
+            test_call_timeout_gives_up_on_slow_handler;
         ] );
     ]
