@@ -62,6 +62,72 @@ let sim_events =
              done);
          Sim.Engine.run eng))
 
+(* -- data-plane kernels (the hot paths of the zero-copy rewrite) ----- *)
+
+(* A replication-chunk-shaped payload: a mix of real, synthetic and
+   zero pieces, concatenated into one rope. *)
+let mixed_pieces ~piece ~count =
+  List.init count (fun i ->
+      match i mod 3 with
+      | 0 ->
+          let b = Bytes.create piece in
+          for j = 0 to piece - 1 do
+            Bytes.unsafe_set b j (Char.unsafe_chr ((i + (j * 7)) land 0xFF))
+          done;
+          Storage.Data.real b
+      | 1 -> Storage.Data.synthetic ~seed:(i + 1) ~len:piece
+      | _ -> Storage.Data.zero ~len:piece)
+
+let data_concat_traverse =
+  let pieces = mixed_pieces ~piece:16384 ~count:64 in
+  let dst = Bytes.create (16384 * 64) in
+  Test.make ~name:"data.concat+blit-1MiB-64pieces"
+    (Staged.stage (fun () ->
+         let d = Storage.Data.concat pieces in
+         Storage.Data.blit_to d ~src_pos:0 ~dst ~dst_pos:0
+           ~len:(Storage.Data.length d)))
+
+let crc32_rope_1m =
+  let d = Storage.Data.concat (mixed_pieces ~piece:16384 ~count:64) in
+  Test.make ~name:"crc32.data-1MiB-rope"
+    (Staged.stage (fun () -> ignore (Storage.Crc32.data d : int32)))
+
+let lzw_encode_data_256k =
+  let rng = Sim.Rng.create 7 in
+  let d =
+    Storage.Data.concat
+      (List.init 4 (fun _ ->
+           Storage.Data.fill_ratio
+             (Storage.Data.zero ~len:65536)
+             ~zeros:0.6 ~rng))
+  in
+  Test.make ~name:"lzw.encode_data-256KiB-rope"
+    (Staged.stage (fun () ->
+         ignore (Compress.Lzw.encoded_length_data d : int)))
+
+let lzw_decode_256k =
+  let rng = Sim.Rng.create 9 in
+  let enc =
+    Compress.Lzw.encode
+      (Storage.Data.to_bytes
+         (Storage.Data.fill_ratio
+            (Storage.Data.zero ~len:262144)
+            ~zeros:0.6 ~rng))
+  in
+  Test.make ~name:"lzw.decode-256KiB"
+    (Staged.stage (fun () -> ignore (Compress.Lzw.decode enc : Bytes.t)))
+
+let heap_churn =
+  Test.make ~name:"heap.push+pop-10k"
+    (Staged.stage (fun () ->
+         let h = Sim.Heap.create () in
+         for i = 0 to 9_999 do
+           Sim.Heap.push h ~key:(i * 7919 mod 10_000) ~seq:i i
+         done;
+         while not (Sim.Heap.is_empty h) do
+           ignore (Sim.Heap.pop h : (int * int * int) option)
+         done))
+
 let all_tests =
   [
     extent_map_insert;
@@ -70,6 +136,11 @@ let all_tests =
     lzw_encode_64k;
     oplog_roundtrip;
     sim_events;
+    data_concat_traverse;
+    crc32_rope_1m;
+    lzw_encode_data_256k;
+    lzw_decode_256k;
+    heap_churn;
   ]
 
 let run () =

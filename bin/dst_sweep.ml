@@ -7,7 +7,15 @@
    family to assert fingerprint determinism.  Exits nonzero on any
    invariant violation, wedge, or determinism mismatch.
 
-   Usage: dst_sweep [generated-seed-count]  (default 12) *)
+   Usage:
+     dst_sweep [generated-seed-count]        sweep (default 12 seeds)
+     dst_sweep --print-fingerprints          print pinned-scenario fingerprints
+     dst_sweep --check-fingerprints FILE     compare against a committed file
+
+   The fingerprint modes pin a fixed set of scenarios so that pure
+   wall-clock optimisations of the data plane can be verified not to
+   drift virtual-time behaviour: the expected file is committed and CI
+   re-checks it on every change. *)
 
 let failures = ref 0
 
@@ -33,7 +41,76 @@ let check_deterministic ~what spec =
     fail "%s: fingerprint mismatch:\n  %s\n  %s" what f1 f2
   else Printf.printf "ok   %s (deterministic)\n%!" what
 
+(* Fixed scenarios whose fingerprints are pinned in
+   test/dst_fingerprints.expected. *)
+let pinned () =
+  List.concat
+    [
+      List.map
+        (fun seed ->
+          (Printf.sprintf "generated-%d" seed, Fault.Scenario.generate ~seed))
+        [ 1; 2; 3; 4; 5 ];
+      [
+        ("failover-primary-crash-1", Fault.Scenario.failover_primary_crash ~seed:1);
+        ( "failover-crash-during-failback-1",
+          Fault.Scenario.failover_crash_during_failback ~seed:1 );
+        ("failover-replica-death-1", Fault.Scenario.failover_replica_death ~seed:1);
+        ("failover-double-failure-1", Fault.Scenario.failover_double_failure ~seed:1);
+      ];
+    ]
+
+let fingerprint_lines () =
+  List.map
+    (fun (name, spec) ->
+      let r = Fault.Dst.run_spec spec in
+      Printf.sprintf "%s %s" name
+        (Fault.Dst.fingerprint r.Fault.Dst.outcome))
+    (pinned ())
+
+let print_fingerprints () =
+  List.iter print_endline (fingerprint_lines ());
+  exit 0
+
+let check_fingerprints file =
+  let ic = open_in file in
+  let expected = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then expected := line :: !expected
+     done
+   with End_of_file -> close_in ic);
+  let expected = List.rev !expected in
+  let actual = fingerprint_lines () in
+  let bad = ref 0 in
+  let rec cmp e a =
+    match (e, a) with
+    | [], [] -> ()
+    | e :: es, a :: as_ ->
+        if e <> a then begin
+          incr bad;
+          Printf.printf "MISMATCH\n  expected: %s\n  actual:   %s\n%!" e a
+        end
+        else Printf.printf "ok   %s\n%!" a;
+        cmp es as_
+    | _ ->
+        incr bad;
+        Printf.printf "MISMATCH: expected %d fingerprints, got %d\n%!"
+          (List.length expected) (List.length actual)
+  in
+  cmp expected actual;
+  if !bad > 0 then begin
+    Printf.printf "%d fingerprint mismatch(es) — virtual-time drift!\n%!" !bad;
+    exit 1
+  end;
+  print_endline "fingerprints match";
+  exit 0
+
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--print-fingerprints" :: _ -> print_fingerprints ()
+  | _ :: "--check-fingerprints" :: file :: _ -> check_fingerprints file
+  | _ -> ());
   let nseeds =
     match Array.to_list Sys.argv with
     | _ :: n :: _ -> int_of_string n

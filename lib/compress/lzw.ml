@@ -1,30 +1,92 @@
 (* Classic LZW with 12-bit codes. The dictionary freezes when it
    reaches 4096 entries (no reset), which keeps encoder and decoder
    trivially in lock-step; chunk-sized inputs (<= 4 MB) rarely benefit
-   from resets anyway. *)
+   from resets anyway.
+
+   The encoder is built for the hot replication path:
+   - the dictionary is a reusable open-addressed int table (no
+     per-encode Hashtbl, no boxing, generation-stamped so reuse is a
+     single counter bump);
+   - codes are packed into a preallocated [bytes] sized from the worst
+     case, not a growing [Buffer];
+   - [encode_data] consumes payload slices directly — real spans are
+     read in place, synthetic spans are fed from generator words, zero
+     runs feed constant bytes — so a 4 MB chunk is never materialized
+     just to measure its wire size. *)
 
 let max_code = 4096
 let first_free = 256
 
+(* -------------------- dictionary -------------------- *)
+
+(* Open addressing, linear probing.  Keys are [(prefix_code << 8) lor
+   byte] (20 bits); capacity 16384 keeps load under 25% for the 3840
+   insertable entries.  A slot is live iff its stamp equals the current
+   generation, so "clearing" is [incr generation]. *)
+let dict_bits = 14
+let dict_cap = 1 lsl dict_bits
+let dict_mask = dict_cap - 1
+let d_keys = Array.make dict_cap 0
+let d_vals = Array.make dict_cap 0
+let d_stamp = Array.make dict_cap (-1)
+let d_gen = ref 0
+
+let dict_reset () = incr d_gen
+
+let hash key = (key * 0x9E3779B1) lsr (31 - dict_bits) land dict_mask
+
+(* Find [key]; returns its code or -1. *)
+let rec dict_find_from key i =
+  if d_stamp.(i) <> !d_gen then -1
+  else if d_keys.(i) = key then d_vals.(i)
+  else dict_find_from key ((i + 1) land dict_mask)
+
+let dict_find key = dict_find_from key (hash key)
+
+(* Insert [key] (not present) with value [v]. *)
+let dict_add key v =
+  let i = ref (hash key) in
+  while d_stamp.(!i) = !d_gen do
+    i := (!i + 1) land dict_mask
+  done;
+  d_keys.(!i) <- key;
+  d_vals.(!i) <- v;
+  d_stamp.(!i) <- !d_gen
+
 (* -------------------- bit packing -------------------- *)
 
+(* Little-endian 12-bit packing into a preallocated buffer, identical
+   byte layout to the historical Buffer-based writer. *)
 module Bitwriter = struct
-  type t = { buf : Buffer.t; mutable acc : int; mutable bits : int }
+  type t = {
+    buf : bytes;
+    mutable pos : int;
+    mutable acc : int;
+    mutable bits : int;
+  }
 
-  let create () = { buf = Buffer.create 1024; acc = 0; bits = 0 }
+  (* Worst case: one 12-bit code per input byte plus the final code. *)
+  let create ~input_len ~header =
+    let code_bytes = (((input_len + 1) * 12) + 7) / 8 in
+    { buf = Bytes.create (header + code_bytes); pos = header; acc = 0; bits = 0 }
 
   let put t code =
     t.acc <- t.acc lor (code lsl t.bits);
     t.bits <- t.bits + 12;
     while t.bits >= 8 do
-      Buffer.add_uint8 t.buf (t.acc land 0xFF);
+      Bytes.unsafe_set t.buf t.pos (Char.unsafe_chr (t.acc land 0xFF));
+      t.pos <- t.pos + 1;
       t.acc <- t.acc lsr 8;
       t.bits <- t.bits - 8
     done
 
   let finish t =
-    if t.bits > 0 then Buffer.add_uint8 t.buf (t.acc land 0xFF);
-    Buffer.to_bytes t.buf
+    if t.bits > 0 then begin
+      Bytes.unsafe_set t.buf t.pos (Char.unsafe_chr (t.acc land 0xFF));
+      t.pos <- t.pos + 1;
+      t.bits <- 0
+    end;
+    if t.pos = Bytes.length t.buf then t.buf else Bytes.sub t.buf 0 t.pos
 end
 
 module Bitreader = struct
@@ -49,32 +111,118 @@ end
 
 (* -------------------- encode -------------------- *)
 
+(* The encoder automaton, fed one byte at a time through [step]; the
+   emit side is abstracted so the same loops serve both real encoding
+   and pure size measurement. *)
+
+let header_len = 8
+
+(* Shared mutable automaton state (single-threaded simulator). *)
+type enc = { mutable w : int; mutable next : int; emit : int -> unit }
+
+let enc_step e c =
+  if e.w < 0 then e.w <- c
+  else begin
+    let key = (e.w lsl 8) lor c in
+    let code = dict_find key in
+    if code >= 0 then e.w <- code
+    else begin
+      e.emit e.w;
+      if e.next < max_code then begin
+        dict_add key e.next;
+        e.next <- e.next + 1
+      end;
+      e.w <- c
+    end
+  end
+
+let enc_feed_bytes e buf ~pos ~len =
+  for i = pos to pos + len - 1 do
+    enc_step e (Char.code (Bytes.unsafe_get buf i))
+  done
+
+let enc_feed_zeros e n =
+  for _ = 1 to n do
+    enc_step e 0
+  done
+
+let enc_feed_synth e ~seed ~off ~len =
+  let o = ref off and n = ref len in
+  while !n > 0 && !o land 7 <> 0 do
+    let w = Storage.Data.synth_word seed (!o asr 3) in
+    enc_step e
+      (Int64.to_int (Int64.shift_right_logical w (8 * (!o land 7))) land 0xFF);
+    incr o;
+    decr n
+  done;
+  while !n >= 8 do
+    let w = Storage.Data.synth_word seed (!o asr 3) in
+    let lo = Int64.to_int (Int64.logand w 0xFFFFFFFFL) in
+    let hi = Int64.to_int (Int64.shift_right_logical w 32) in
+    enc_step e (lo land 0xFF);
+    enc_step e ((lo lsr 8) land 0xFF);
+    enc_step e ((lo lsr 16) land 0xFF);
+    enc_step e ((lo lsr 24) land 0xFF);
+    enc_step e (hi land 0xFF);
+    enc_step e ((hi lsr 8) land 0xFF);
+    enc_step e ((hi lsr 16) land 0xFF);
+    enc_step e ((hi lsr 24) land 0xFF);
+    o := !o + 8;
+    n := !n - 8
+  done;
+  while !n > 0 do
+    let w = Storage.Data.synth_word seed (!o asr 3) in
+    enc_step e
+      (Int64.to_int (Int64.shift_right_logical w (8 * (!o land 7))) land 0xFF);
+    incr o;
+    decr n
+  done
+
+let enc_feed_data e d =
+  Storage.Data.iter_slices d (fun s ->
+      match s with
+      | Storage.Data.Sreal r -> enc_feed_bytes e r.buf ~pos:r.pos ~len:r.len
+      | Storage.Data.Ssynth sy ->
+          enc_feed_synth e ~seed:sy.seed ~off:sy.off ~len:sy.len
+      | Storage.Data.Szero z -> enc_feed_zeros e z.len)
+
+let enc_finish e = if e.w >= 0 then e.emit e.w
+
 let encode input =
   let n = Bytes.length input in
-  let out = Bitwriter.create () in
-  let header = Bytes.create 8 in
-  Bytes.set_int64_le header 0 (Int64.of_int n);
-  if n = 0 then Bytes.cat header (Bitwriter.finish out)
+  let out = Bitwriter.create ~input_len:n ~header:header_len in
+  Bytes.set_int64_le out.Bitwriter.buf 0 (Int64.of_int n);
+  if n = 0 then Bitwriter.finish out
   else begin
-    (* dict: (prefix_code << 8 | byte) -> code *)
-    let dict = Hashtbl.create 4096 in
-    let next = ref first_free in
-    let w = ref (Char.code (Bytes.get input 0)) in
-    for i = 1 to n - 1 do
-      let c = Char.code (Bytes.get input i) in
-      let key = (!w lsl 8) lor c in
-      match Hashtbl.find_opt dict key with
-      | Some code -> w := code
-      | None ->
-          Bitwriter.put out !w;
-          if !next < max_code then begin
-            Hashtbl.add dict key !next;
-            incr next
-          end;
-          w := c
-    done;
-    Bitwriter.put out !w;
-    Bytes.cat header (Bitwriter.finish out)
+    dict_reset ();
+    let e = { w = -1; next = first_free; emit = Bitwriter.put out } in
+    enc_feed_bytes e input ~pos:0 ~len:n;
+    enc_finish e;
+    Bitwriter.finish out
+  end
+
+let encode_data d =
+  let n = Storage.Data.length d in
+  let out = Bitwriter.create ~input_len:n ~header:header_len in
+  Bytes.set_int64_le out.Bitwriter.buf 0 (Int64.of_int n);
+  if n > 0 then begin
+    dict_reset ();
+    let e = { w = -1; next = first_free; emit = Bitwriter.put out } in
+    enc_feed_data e d;
+    enc_finish e
+  end;
+  Storage.Data.real (Bitwriter.finish out)
+
+let encoded_length_data d =
+  let n = Storage.Data.length d in
+  if n = 0 then header_len
+  else begin
+    dict_reset ();
+    let codes = ref 0 in
+    let e = { w = -1; next = first_free; emit = (fun _ -> incr codes) } in
+    enc_feed_data e d;
+    enc_finish e;
+    header_len + (((!codes * 12) + 7) / 8)
   end
 
 (* -------------------- decode -------------------- *)
@@ -152,7 +300,6 @@ let decode input =
   if Bytes.length result <> n then invalid_arg "Lzw.decode: length mismatch";
   result
 
-let encode_data d = Storage.Data.real (encode (Storage.Data.to_bytes d))
 let decode_data d = Storage.Data.real (decode (Storage.Data.to_bytes d))
 
 let ratio ~original ~compressed =

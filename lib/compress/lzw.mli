@@ -5,8 +5,11 @@
     so the Tencent Sort experiment measures genuine compressibility of
     its input records.
 
-    The dictionary holds up to 4096 entries and is reset when full,
-    which bounds memory and keeps the codec streaming-friendly. *)
+    The dictionary holds up to 4096 entries and freezes when full,
+    which bounds memory and keeps the codec streaming-friendly.  The
+    encoder reuses an open-addressed int dictionary across calls, packs
+    bits into a worst-case-sized preallocated buffer, and can consume
+    payloads slice-by-slice without materializing them. *)
 
 val encode : Bytes.t -> Bytes.t
 (** Compress. Output starts with an 8-byte little-endian original
@@ -17,7 +20,15 @@ val decode : Bytes.t -> Bytes.t
     malformed input. *)
 
 val encode_data : Storage.Data.t -> Storage.Data.t
-(** Compress a payload (synthetic payloads are materialized first). *)
+(** Compress a payload by streaming its slices: real spans are read in
+    place, synthetic spans are fed from generator words, zero runs feed
+    constant bytes — the payload is never materialized.  The output is
+    byte-identical to [encode (Data.to_bytes d)]. *)
+
+val encoded_length_data : Storage.Data.t -> int
+(** Length in bytes of [encode_data d]'s output, computed without
+    allocating any output — the zero-copy path for sizing wire
+    transfers. *)
 
 val decode_data : Storage.Data.t -> Storage.Data.t
 

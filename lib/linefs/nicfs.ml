@@ -391,11 +391,14 @@ let compress_work t (c : Chunk.t) =
       List.fold_left (fun n d -> n + Data.length d) 0 payloads
     in
     if real_payload > 0 then begin
+      (* Zero-copy sizing: the encoder streams the rope's slices and
+         counts output codes — the joined chunk (up to 4 MB) is never
+         materialized into a flat buffer just to measure its wire
+         size. *)
       let joined = Data.concat payloads in
-      let compressed = Compress.Lzw.encode (Data.to_bytes joined) in
+      let compressed_len = Compress.Lzw.encoded_length_data joined in
       let meta = c.Chunk.bytes - real_payload in
-      c.Chunk.wire_bytes <-
-        min c.Chunk.bytes (meta + Bytes.length compressed)
+      c.Chunk.wire_bytes <- min c.Chunk.bytes (meta + compressed_len)
     end
   end
 

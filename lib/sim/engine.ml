@@ -18,8 +18,13 @@ type t = {
   mutable current_name : string;
   mutable current_group : group option;
   mutable live : int;
+  mutable executed : int;
   rng : Rng.t;
 }
+
+(* Process-wide tally across every engine, for wall-clock throughput
+   reporting (events per real second) in the bench harness. *)
+let total_executed = ref 0
 
 exception Process_failure of string * exn
 exception Not_in_process
@@ -40,11 +45,14 @@ let create ?(seed = 42) () =
     current_name = "<none>";
     current_group = None;
     live = 0;
+    executed = 0;
     rng = Rng.create seed;
   }
 
 let rng t = t.rng
 let current_time t = t.now
+let events_executed t = t.executed
+let global_events_executed () = !total_executed
 
 let make_group name = { gname = name; killed = false }
 let kill g = g.killed <- true
@@ -175,6 +183,8 @@ let run ?deadline t =
                 if time > t.now then t.now <- time;
                 t.current_name <- ev.name;
                 t.current_group <- ev.group;
+                t.executed <- t.executed + 1;
+                incr total_executed;
                 ev.fn ()))
   done
 

@@ -53,6 +53,14 @@ val rng : t -> Rng.t
 val current_time : t -> Time.t
 (** Clock value, readable from outside any process. *)
 
+val events_executed : t -> int
+(** Number of events this engine has executed (killed-group drops and
+    deadline discards excluded).  Monotonic across [run] calls. *)
+
+val global_events_executed : unit -> int
+(** Process-wide event tally across all engines ever created — the
+    basis for wall-clock events-per-second reporting in benchmarks. *)
+
 val spawn_root : ?name:string -> ?group:group -> t -> (unit -> unit) -> unit
 (** Schedule a top-level process to start at the current clock value.
     Usable from outside process context (before or between [run] calls). *)

@@ -1,66 +1,108 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Parallel-array layout: keys and seqs live in unboxed [int array]s so
+   the sift loops compare and move flat words instead of chasing entry
+   records — no per-push allocation, better cache behaviour on the
+   simulator's hottest structure.  Ordering is (key, seq) lexicographic;
+   [seq] values are unique per heap, so the order is total and pop
+   sequence is independent of layout. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+}
 
-let create () = { arr = [||]; len = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; len = 0 }
 let length h = h.len
 let is_empty h = h.len = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-let grow h entry =
-  let cap = Array.length h.arr in
+let grow h filler =
+  let cap = Array.length h.keys in
   if h.len = cap then begin
     let ncap = if cap = 0 then 64 else cap * 2 in
-    let narr = Array.make ncap entry in
-    Array.blit h.arr 0 narr 0 h.len;
-    h.arr <- narr
+    let nkeys = Array.make ncap 0 in
+    let nseqs = Array.make ncap 0 in
+    let nvals = Array.make ncap filler in
+    Array.blit h.keys 0 nkeys 0 h.len;
+    Array.blit h.seqs 0 nseqs 0 h.len;
+    Array.blit h.vals 0 nvals 0 h.len;
+    h.keys <- nkeys;
+    h.seqs <- nseqs;
+    h.vals <- nvals
   end
 
 let push h ~key ~seq value =
-  let e = { key; seq; value } in
-  grow h e;
-  (* Sift the new element up from the last position. *)
+  grow h value;
+  let keys = h.keys and seqs = h.seqs and vals = h.vals in
+  (* Sift up by moving parents down; place the new element once. *)
   let i = ref h.len in
   h.len <- h.len + 1;
-  h.arr.(!i) <- e;
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if less e h.arr.(parent) then begin
-      h.arr.(!i) <- h.arr.(parent);
-      h.arr.(parent) <- e;
-      i := parent
+    let p = (!i - 1) / 2 in
+    let pk = Array.unsafe_get keys p in
+    if key < pk || (key = pk && seq < Array.unsafe_get seqs p) then begin
+      Array.unsafe_set keys !i pk;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
+      Array.unsafe_set vals !i (Array.unsafe_get vals p);
+      i := p
     end
     else continue := false
-  done
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set vals !i value
 
 let pop h =
   if h.len = 0 then None
   else begin
-    let top = h.arr.(0) in
+    let keys = h.keys and seqs = h.seqs and vals = h.vals in
+    let top_key = keys.(0) and top_seq = seqs.(0) and top_val = vals.(0) in
     h.len <- h.len - 1;
-    if h.len > 0 then begin
-      let last = h.arr.(h.len) in
-      h.arr.(0) <- last;
-      (* Sift down. *)
+    let n = h.len in
+    if n > 0 then begin
+      (* Move the last element to the root, then sift it down. *)
+      let key = Array.unsafe_get keys n in
+      let seq = Array.unsafe_get seqs n in
+      let v = Array.unsafe_get vals n in
       let i = ref 0 in
       let continue = ref true in
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
-        if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.arr.(!i) in
-          h.arr.(!i) <- h.arr.(!smallest);
-          h.arr.(!smallest) <- tmp;
-          i := !smallest
+        let s = ref !i in
+        let sk = ref key and ss = ref seq in
+        if l < n then begin
+          let lk = Array.unsafe_get keys l in
+          if lk < !sk || (lk = !sk && Array.unsafe_get seqs l < !ss) then begin
+            s := l;
+            sk := lk;
+            ss := Array.unsafe_get seqs l
+          end
+        end;
+        if r < n then begin
+          let rk = Array.unsafe_get keys r in
+          if rk < !sk || (rk = !sk && Array.unsafe_get seqs r < !ss) then begin
+            s := r;
+            sk := rk;
+            ss := Array.unsafe_get seqs r
+          end
+        end;
+        if !s <> !i then begin
+          Array.unsafe_set keys !i !sk;
+          Array.unsafe_set seqs !i !ss;
+          Array.unsafe_set vals !i (Array.unsafe_get vals !s);
+          i := !s
         end
         else continue := false
-      done
+      done;
+      Array.unsafe_set keys !i key;
+      Array.unsafe_set seqs !i seq;
+      Array.unsafe_set vals !i v
     end;
-    Some (top.key, top.seq, top.value)
+    (* Overwrite the vacated tail slot so it doesn't pin its old value
+       against collection. *)
+    if n > 0 then Array.unsafe_set vals n (Array.unsafe_get vals 0);
+    Some (top_key, top_seq, top_val)
   end
 
-let peek_key h = if h.len = 0 then None else Some h.arr.(0).key
+let peek_key h = if h.len = 0 then None else Some h.keys.(0)

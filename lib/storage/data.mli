@@ -1,18 +1,33 @@
-(** File payload representation.
+(** File payload representation (rope).
 
     Payloads flow through logs, pipelines, replication and compression.
-    Two forms exist:
+    Leaves come in three forms:
     - [Real]: actual bytes (used wherever content matters: metadata,
       key-value records, sort inputs for the compression experiments);
-    - [Synthetic]: a deterministic pseudo-random block described by
+    - [Synth]: a deterministic pseudo-random block described by
       [(seed, offset, len)].  Synthetic data has stable content — the
       byte at logical position [i] depends only on [seed] and
       [offset + i] — but occupies O(1) memory, letting benchmarks move
-      gigabytes through the system without allocating them.
+      gigabytes through the system without allocating them;
+    - [Zero]: an all-zero block in O(1) memory (file holes).
+
+    Concatenation builds a rope node over the leaves in O(1) instead of
+    materializing, and consumers stream over the leaf {!slice}s with
+    {!iter_slices}/{!fold_slices}/{!blit_to}, so the hot data plane
+    (checksums, compression, digests) never copies whole payloads.
 
     All operations treat payloads as immutable. *)
 
 type t
+
+(** One leaf span of a payload, exposed for streaming consumers. *)
+type slice =
+  | Sreal of { buf : bytes; pos : int; len : int }
+      (** [len] actual bytes at [buf.[pos..]]. Do not mutate. *)
+  | Ssynth of { seed : int; off : int; len : int }
+      (** [len] synthetic bytes of stream [seed] starting at absolute
+          offset [off]. *)
+  | Szero of { len : int }  (** [len] zero bytes. *)
 
 val real : bytes -> t
 (** Wrap actual bytes. The buffer must not be mutated afterwards. *)
@@ -29,28 +44,67 @@ val empty : t
 val length : t -> int
 
 val sub : t -> pos:int -> len:int -> t
-(** Slice; content-stable for both forms. Raises [Invalid_argument] on
-    out-of-bounds. *)
+(** Slice; content-stable for all forms, O(log parts) and copy-free.
+    Raises [Invalid_argument] on out-of-bounds. *)
 
 val concat : t list -> t
-(** Concatenation. Adjacent synthetic slices of the same stream are
-    rejoined without materialization; mixed forms materialize. *)
+(** O(1)-per-part concatenation (no materialization).  Adjacent slices
+    of the same underlying stream — contiguous synthetic runs, zero
+    runs, adjacent windows of one buffer — are coalesced back into
+    single leaves. *)
 
 val to_bytes : t -> bytes
-(** Materialize the content (synthetic data is generated). *)
+(** Materialize the content (synthetic data is generated word-wise). *)
 
 val get : t -> int -> char
-(** Byte at position [i]. *)
+(** Byte at position [i]; O(log parts). *)
+
+val slice_length : slice -> int
+
+val blit_slice :
+  slice -> src_pos:int -> dst:bytes -> dst_pos:int -> len:int -> unit
+(** Materialize [len] bytes of one slice starting at [src_pos] into
+    [dst] at [dst_pos]. No bounds checks: the caller ranges over spans
+    obtained from {!iter_slices}. *)
+
+val iter_slices : t -> (slice -> unit) -> unit
+(** Visit every (nonempty) leaf span in order. *)
+
+val fold_slices : t -> init:'a -> f:('a -> slice -> 'a) -> 'a
+
+val blit_to : t -> src_pos:int -> dst:bytes -> dst_pos:int -> len:int -> unit
+(** Copy a window of the payload into [dst] without materializing the
+    rest. Raises [Invalid_argument] on out-of-bounds. *)
 
 val equal : t -> t -> bool
-(** Content equality (materializes synthetic data lazily per chunk). *)
+(** Content equality.  Structurally identical spans (same zero run,
+    same synthetic stream and offset, same buffer window) compare in
+    O(1); only mixed spans fall back to chunked byte comparison through
+    small reusable windows. *)
 
 val is_real : t -> bool
+(** True when the content is concrete bytes — [Real] leaves and rope
+    concatenations — as opposed to descriptor-backed [Synth]/[Zero]
+    blocks. (Concatenations count as real exactly like the materialized
+    buffers they replace.) *)
+
+val leaf_count : t -> int
+(** Number of leaves in the rope (1 for plain leaves). *)
 
 val fill_ratio : t -> zeros:float -> rng:Sim.Rng.t -> t
 (** [fill_ratio t ~zeros ~rng] is a {e real} payload of the same length
     where approximately [zeros] fraction of bytes are zero and the rest
     pseudo-random — the knob the Tencent Sort experiment uses to control
     compressibility. *)
+
+val synth_word : int -> int -> int64
+(** [synth_word seed widx] is the 8-byte little-endian word of stream
+    [seed] covering absolute offsets [8*widx .. 8*widx+7] — the direct
+    word path for streaming consumers (e.g. checksums). *)
+
+val synth_blit : seed:int -> off:int -> bytes -> pos:int -> len:int -> unit
+(** Generate [len] synthetic bytes of stream [seed] starting at
+    absolute offset [off] into a caller-provided buffer, word-at-a-time
+    where aligned. *)
 
 val pp : Format.formatter -> t -> unit

@@ -280,26 +280,27 @@ let writable t inum =
    root-reachable inodes count; orphans awaiting reclamation don't
    affect what clients can observe. *)
 let digest t =
-  let b = Buffer.create 1024 in
+  (* Streams the exact byte sequence the historical Buffer-based walk
+     produced straight into the CRC register, so digests are unchanged
+     while file contents (including holes) never materialize. *)
+  let crc = ref 0l in
+  let str s = crc := Crc32.update_string !crc s in
   let rec walk path inum =
     match inode t inum with
     | None -> ()
     | Some i -> (
-        Buffer.add_string b path;
-        Buffer.add_char b '|';
-        (match i.kind with
-        | Dir -> Buffer.add_char b 'd'
-        | File -> Buffer.add_char b 'f');
-        Buffer.add_string b (string_of_int i.size);
-        Buffer.add_char b ';';
+        str path;
+        str "|";
+        str (match i.kind with Dir -> "d" | File -> "f");
+        str (string_of_int i.size);
+        str ";";
         match i.kind with
         | File ->
-            let pieces =
-              List.map
-                (function `Data d -> d | `Hole n -> Data.zero ~len:n)
-                (Extent_map.read_range i.extents ~pos:0 ~len:i.size)
-            in
-            Buffer.add_bytes b (Data.to_bytes (Data.concat pieces))
+            List.iter
+              (function
+                | `Data d -> crc := Crc32.update_data !crc d
+                | `Hole n -> crc := Crc32.update_zeros !crc n)
+              (Extent_map.read_range i.extents ~pos:0 ~len:i.size)
         | Dir ->
             let names =
               List.sort compare
@@ -313,7 +314,7 @@ let digest t =
               names)
   in
   walk "" root_inum;
-  Crc32.bytes (Buffer.to_bytes b)
+  !crc
 
 let live_inodes t = Hashtbl.length t.inodes
 

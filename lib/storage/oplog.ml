@@ -50,17 +50,79 @@ let kind_code = function
   | Write _ -> 4
   | Truncate _ -> 5
 
-module Enc = struct
-  let u8 b v = Buffer.add_uint8 b (v land 0xFF)
-  let u16 b v = Buffer.add_uint16_le b (v land 0xFFFF)
-  let u32 b v = Buffer.add_int32_le b (Int32.of_int v)
-  let i32 b v = Buffer.add_int32_le b v
-  let u64 b v = Buffer.add_int64_le b (Int64.of_int v)
+(* Encoding is written against an abstract byte sink so the checksum
+   path can stream fields straight into the CRC register — no Buffer
+   round trip, and [Write] payloads are checksummed in place via
+   [Crc32.update_data] instead of being materialized. *)
+type writer = {
+  w_u8 : int -> unit;
+  w_u16 : int -> unit;
+  w_u32 : int -> unit;
+  w_i32 : int32 -> unit;
+  w_u64 : int -> unit;
+  w_str : string -> unit;
+  w_data : Data.t -> unit;
+}
 
-  let str b s =
-    u32 b (String.length s);
-    Buffer.add_string b s
-end
+let buffer_writer b =
+  let u8 v = Buffer.add_uint8 b (v land 0xFF) in
+  let u32 v = Buffer.add_int32_le b (Int32.of_int v) in
+  {
+    w_u8 = u8;
+    w_u16 = (fun v -> Buffer.add_uint16_le b (v land 0xFFFF));
+    w_u32 = u32;
+    w_i32 = (fun v -> Buffer.add_int32_le b v);
+    w_u64 = (fun v -> Buffer.add_int64_le b (Int64.of_int v));
+    w_str =
+      (fun s ->
+        u32 (String.length s);
+        Buffer.add_string b s);
+    w_data =
+      (fun d ->
+        let n = Data.length d in
+        let tmp = Bytes.create n in
+        Data.blit_to d ~src_pos:0 ~dst:tmp ~dst_pos:0 ~len:n;
+        Buffer.add_bytes b tmp);
+  }
+
+(* CRC sink: integer fields go through a small reusable scratch; the
+   payload streams through the slice-aware CRC. *)
+let crc_writer () =
+  let crc = ref 0l in
+  let scratch = Bytes.create 8 in
+  let add n =
+    crc := Crc32.update !crc scratch ~pos:0 ~len:n
+  in
+  let u8 v =
+    Bytes.unsafe_set scratch 0 (Char.unsafe_chr (v land 0xFF));
+    add 1
+  in
+  let u32 v =
+    Bytes.set_int32_le scratch 0 (Int32.of_int v);
+    add 4
+  in
+  ( {
+      w_u8 = u8;
+      w_u16 =
+        (fun v ->
+          Bytes.set_uint16_le scratch 0 (v land 0xFFFF);
+          add 2);
+      w_u32 = u32;
+      w_i32 =
+        (fun v ->
+          Bytes.set_int32_le scratch 0 v;
+          add 4);
+      w_u64 =
+        (fun v ->
+          Bytes.set_int64_le scratch 0 (Int64.of_int v);
+          add 8);
+      w_str =
+        (fun s ->
+          u32 (String.length s);
+          crc := Crc32.update_string !crc s);
+      w_data = (fun d -> crc := Crc32.update_data !crc d);
+    },
+    crc )
 
 module Dec = struct
   type t = { buf : Bytes.t; mutable pos : int }
@@ -113,55 +175,59 @@ module Dec = struct
     b
 end
 
-let encode_op b = function
+let encode_op w = function
   | Create { parent; name; inum; dir } ->
-      Enc.u64 b parent;
-      Enc.str b name;
-      Enc.u64 b inum;
-      Enc.u8 b (if dir then 1 else 0)
+      w.w_u64 parent;
+      w.w_str name;
+      w.w_u64 inum;
+      w.w_u8 (if dir then 1 else 0)
   | Unlink { parent; name; inum } ->
-      Enc.u64 b parent;
-      Enc.str b name;
-      Enc.u64 b inum
+      w.w_u64 parent;
+      w.w_str name;
+      w.w_u64 inum
   | Rename { src_parent; src_name; dst_parent; dst_name; inum } ->
-      Enc.u64 b src_parent;
-      Enc.str b src_name;
-      Enc.u64 b dst_parent;
-      Enc.str b dst_name;
-      Enc.u64 b inum
+      w.w_u64 src_parent;
+      w.w_str src_name;
+      w.w_u64 dst_parent;
+      w.w_str dst_name;
+      w.w_u64 inum
   | Write { inum; offset; data } -> (
-      Enc.u64 b inum;
-      Enc.u64 b offset;
+      w.w_u64 inum;
+      w.w_u64 offset;
       (* Real payloads embed bytes; synthetic ones their descriptor
          (cheap, deterministic, still covered by the checksum). *)
       match Data.is_real data with
       | true ->
-          Enc.u8 b 0;
-          Enc.u32 b (Data.length data);
-          Buffer.add_bytes b (Data.to_bytes data)
+          w.w_u8 0;
+          w.w_u32 (Data.length data);
+          w.w_data data
       | false ->
-          Enc.u8 b 1;
-          Enc.u32 b (Data.length data);
+          w.w_u8 1;
+          w.w_u32 (Data.length data);
           (* Descriptor: first 16 content bytes sampled + length is
              enough to pin content deterministically for the CRC. *)
           for i = 0 to min 15 (Data.length data - 1) do
-            Enc.u8 b (Char.code (Data.get data i))
+            w.w_u8 (Char.code (Data.get data i))
           done)
   | Truncate { inum; size } ->
-      Enc.u64 b inum;
-      Enc.u64 b size
+      w.w_u64 inum;
+      w.w_u64 size
 
-let encode_without_crc e =
-  let b = Buffer.create 64 in
-  Enc.u16 b magic;
-  Enc.u8 b (kind_code e.op);
-  Enc.u8 b 0;
-  Enc.u64 b e.seq;
-  Enc.u32 b e.client;
-  encode_op b e.op;
-  b
+let encode_entry w e =
+  w.w_u16 magic;
+  w.w_u8 (kind_code e.op);
+  w.w_u8 0;
+  w.w_u64 e.seq;
+  w.w_u32 e.client;
+  encode_op w e.op
 
-let compute_crc e = Crc32.bytes (Buffer.to_bytes (encode_without_crc e))
+(* Streams the entry's wire bytes straight into the CRC register —
+   identical byte sequence to [serialize] minus the trailing crc, so
+   the resulting value matches the historical Buffer-based path. *)
+let compute_crc e =
+  let w, crc = crc_writer () in
+  encode_entry w e;
+  !crc
 
 let make ~seq ~client op =
   let e = { seq; client; op; crc = 0l } in
@@ -170,11 +236,11 @@ let make ~seq ~client op =
 let check e = Int32.equal e.crc (compute_crc e)
 
 let serialize e =
-  let b = encode_without_crc e in
-  let out = Buffer.create (Buffer.length b + 4) in
-  Buffer.add_buffer out b;
-  Enc.i32 out e.crc;
-  Buffer.to_bytes out
+  let b = Buffer.create (size e + 16) in
+  let w = buffer_writer b in
+  encode_entry w e;
+  w.w_i32 e.crc;
+  Buffer.to_bytes b
 
 let deserialize buf =
   let d = Dec.{ buf; pos = 0 } in

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Wall-clock benchmark entry point.
+#
+# Runs the perf-trajectory harness (bench/wallclock.exe) and writes
+# BENCH_wallclock.json: per-kernel new-vs-legacy wall times and
+# speedups, plus wall time / GC pressure / engine events-per-second
+# for the measured experiments.  The harness exits nonzero if the
+# data-path geometric-mean speedup drops below 3x.
+#
+# Usage:
+#   scripts/bench.sh             # kernels + scaled fig4/fig9
+#   scripts/bench.sh --smoke     # kernels only, small sizes (CI)
+#   scripts/bench.sh --full      # adds paper-scale fig4/fig9 (slow!)
+#   scripts/bench.sh ... -o FILE # output path
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build bench/wallclock.exe
+dune exec bench/wallclock.exe -- "$@"

@@ -108,6 +108,126 @@ let prop_roundtrip_low_entropy =
       let s = String.concat "" (List.init reps (fun _ -> unit_s)) in
       roundtrip s = s)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-compatibility with the historical encoder                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Verbatim copy of the pre-streaming encoder (Buffer bitwriter,
+   per-call Hashtbl dictionary), kept as a reference oracle: the
+   rewritten encoder must produce byte-identical output. *)
+module Legacy = struct
+  let max_code = 4096
+  let first_free = 256
+
+  module Bitwriter = struct
+    type t = { buf : Buffer.t; mutable acc : int; mutable bits : int }
+
+    let create () = { buf = Buffer.create 1024; acc = 0; bits = 0 }
+
+    let put t code =
+      t.acc <- t.acc lor (code lsl t.bits);
+      t.bits <- t.bits + 12;
+      while t.bits >= 8 do
+        Buffer.add_uint8 t.buf (t.acc land 0xFF);
+        t.acc <- t.acc lsr 8;
+        t.bits <- t.bits - 8
+      done
+
+    let finish t =
+      if t.bits > 0 then Buffer.add_uint8 t.buf (t.acc land 0xFF);
+      Buffer.to_bytes t.buf
+  end
+
+  let encode input =
+    let n = Bytes.length input in
+    let out = Bitwriter.create () in
+    let header = Bytes.create 8 in
+    Bytes.set_int64_le header 0 (Int64.of_int n);
+    if n = 0 then Bytes.cat header (Bitwriter.finish out)
+    else begin
+      let dict = Hashtbl.create 4096 in
+      let next = ref first_free in
+      let w = ref (Char.code (Bytes.get input 0)) in
+      for i = 1 to n - 1 do
+        let c = Char.code (Bytes.get input i) in
+        let key = (!w lsl 8) lor c in
+        match Hashtbl.find_opt dict key with
+        | Some code -> w := code
+        | None ->
+            Bitwriter.put out !w;
+            if !next < max_code then begin
+              Hashtbl.add dict key !next;
+              incr next
+            end;
+            w := c
+      done;
+      Bitwriter.put out !w;
+      Bytes.cat header (Bitwriter.finish out)
+    end
+end
+
+let prop_encoder_matches_legacy =
+  QCheck.Test.make ~name:"rewritten encoder is byte-identical to legacy"
+    ~count:300
+    QCheck.(array_of_size Gen.(0 -- 2000) (int_bound 255))
+    (fun a ->
+      let b = Bytes.init (Array.length a) (fun i -> Char.chr a.(i)) in
+      Bytes.equal (Lzw.encode b) (Legacy.encode b))
+
+let test_legacy_dict_freeze_compat () =
+  (* Inputs big and diverse enough to fill all 4096 dictionary entries,
+     exercising the freeze path in both encoders. *)
+  let rng = Sim.Rng.create 17 in
+  let b = Bytes.create 200_000 in
+  Sim.Rng.fill_bytes rng b;
+  Alcotest.(check bytes) "random" (Legacy.encode b) (Lzw.encode b);
+  let rep =
+    Bytes.of_string
+      (String.concat "" (List.init 8000 (fun i -> Printf.sprintf "%x" i)))
+  in
+  Alcotest.(check bytes) "structured" (Legacy.encode rep) (Lzw.encode rep)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming entry points over payload forms                           *)
+(* ------------------------------------------------------------------ *)
+
+module Data = Storage.Data
+
+(* Payloads in every form the replication pipeline produces: real,
+   synthetic, zero, and rope concatenations of the three. *)
+let gen_payload =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [
+        (3, map (fun s -> Data.of_string s) (string_size ~gen:char (0 -- 500)));
+        (3, map2 (fun seed len -> Data.synthetic ~seed ~len) (1 -- 100) (0 -- 500));
+        (2, map (fun len -> Data.zero ~len) (0 -- 500));
+      ]
+  in
+  frequency
+    [ (1, leaf); (2, map Data.concat (list_size (0 -- 5) leaf)) ]
+
+let arb_payload =
+  QCheck.make gen_payload ~print:(Format.asprintf "%a" Data.pp)
+
+let prop_encode_data_matches_flat =
+  QCheck.Test.make ~name:"encode_data equals encode of materialized payload"
+    ~count:300 arb_payload (fun d ->
+      Bytes.equal
+        (Data.to_bytes (Lzw.encode_data d))
+        (Lzw.encode (Data.to_bytes d)))
+
+let prop_encoded_length_data =
+  QCheck.Test.make ~name:"encoded_length_data equals encode_data length"
+    ~count:300 arb_payload (fun d ->
+      Lzw.encoded_length_data d = Data.length (Lzw.encode_data d))
+
+let prop_roundtrip_data_forms =
+  QCheck.Test.make ~name:"lzw roundtrips every payload form" ~count:300
+    arb_payload (fun d ->
+      Data.equal (Lzw.decode_data (Lzw.encode_data d)) (Data.real (Data.to_bytes d)))
+
 let () =
   let tc = Alcotest.test_case in
   let qt = QCheck_alcotest.to_alcotest in
@@ -130,5 +250,13 @@ let () =
           qt prop_roundtrip;
           qt prop_roundtrip_bytes;
           qt prop_roundtrip_low_entropy;
+        ] );
+      ( "lzw-streaming",
+        [
+          tc "dict freeze compat" `Quick test_legacy_dict_freeze_compat;
+          qt prop_encoder_matches_legacy;
+          qt prop_encode_data_matches_flat;
+          qt prop_encoded_length_data;
+          qt prop_roundtrip_data_forms;
         ] );
     ]

@@ -203,6 +203,45 @@ let prop_heap_sorts =
       let out = drain [] in
       out = List.sort compare keys)
 
+(* Model check against a sorted-list reference: interleaved pushes and
+   pops (with values carried, not just keys) must match exactly,
+   including the (key, seq) lexicographic tiebreak the engine's
+   determinism rests on. *)
+let prop_heap_interleaved_model =
+  QCheck.Test.make ~name:"heap matches sorted-list model under interleaving"
+    ~count:300
+    QCheck.(list (pair bool (int_bound 50)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (push, key) ->
+          if push then begin
+            let v = (key, !seq) in
+            Heap.push h ~key ~seq:!seq v;
+            model :=
+              List.sort
+                (fun (k1, s1) (k2, s2) -> compare (k1, s1) (k2, s2))
+                ((key, !seq) :: !model);
+            incr seq
+          end
+          else
+            match (Heap.pop h, !model) with
+            | None, [] -> ()
+            | Some (k, s, v), (mk, ms) :: rest ->
+                if k <> mk || s <> ms || v <> (mk, ms) then ok := false
+                else model := rest
+            | Some _, [] | None, _ :: _ -> ok := false;
+          if Heap.length h <> List.length !model then ok := false;
+          match (Heap.peek_key h, !model) with
+          | None, [] -> ()
+          | Some k, (mk, _) :: _ -> if k <> mk then ok := false
+          | _ -> ok := false)
+        ops;
+      !ok)
+
 let prop_heap_length =
   QCheck.Test.make ~name:"heap length tracks pushes and pops" ~count:200
     QCheck.(list small_nat)
@@ -478,6 +517,7 @@ let () =
           tc "ordering with tiebreak" `Quick test_heap_ordering;
           qt prop_heap_sorts;
           qt prop_heap_length;
+          qt prop_heap_interleaved_model;
         ] );
       ( "sync",
         [

@@ -89,6 +89,114 @@ let prop_data_sub_of_sub =
       let direct = Data.sub d ~pos:(a + b) ~len:c in
       Data.equal s2 direct)
 
+(* -- rope model properties: random payload trees vs flat bytes -------- *)
+
+(* Generator for arbitrary payloads alongside a naive flat-bytes
+   reference: leaves are Real/Synth/Zero, inner nodes concatenate, and
+   every subtree may be wrapped in a random [sub]. *)
+let gen_data_model =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [
+        ( 3,
+          map
+            (fun s -> (Data.of_string s, Bytes.of_string s))
+            (string_size ~gen:printable (0 -- 40)) );
+        ( 3,
+          map2
+            (fun seed len ->
+              let d = Data.synthetic ~seed ~len in
+              (d, Data.to_bytes d))
+            (1 -- 1000) (0 -- 64) );
+        (2, map (fun len -> (Data.zero ~len, Bytes.make len '\000')) (0 -- 64));
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 3,
+            list_size (0 -- 4) (node (depth - 1)) >>= fun parts ->
+            let d = Data.concat (List.map fst parts) in
+            let b = Bytes.concat Bytes.empty (List.map snd parts) in
+            return (d, b) );
+          ( 1,
+            node (depth - 1) >>= fun (d, b) ->
+            let n = Data.length d in
+            0 -- n >>= fun pos ->
+            0 -- (n - pos) >>= fun len ->
+            return (Data.sub d ~pos ~len, Bytes.sub b pos len) );
+        ]
+  in
+  node 3
+
+let arb_data_model =
+  QCheck.make gen_data_model ~print:(fun (d, b) ->
+      Format.asprintf "%a (ref %d bytes)" Data.pp d (Bytes.length b))
+
+let prop_rope_matches_bytes_model =
+  QCheck.Test.make ~name:"rope to_bytes/get/length match flat model" ~count:300
+    arb_data_model (fun (d, b) ->
+      Data.length d = Bytes.length b
+      && Data.to_bytes d = b
+      && (Bytes.length b = 0
+         || Data.get d (Bytes.length b / 2) = Bytes.get b (Bytes.length b / 2)))
+
+let prop_rope_iter_slices_covers =
+  QCheck.Test.make ~name:"iter_slices reassembles the payload in order"
+    ~count:300 arb_data_model (fun (d, b) ->
+      let buf = Buffer.create 64 in
+      Data.iter_slices d (fun s ->
+          let n = Data.slice_length s in
+          let tmp = Bytes.create n in
+          Data.blit_slice s ~src_pos:0 ~dst:tmp ~dst_pos:0 ~len:n;
+          Buffer.add_bytes buf tmp);
+      Buffer.to_bytes buf = b)
+
+let prop_rope_blit_to =
+  QCheck.Test.make ~name:"blit_to writes exactly the requested range"
+    ~count:300
+    QCheck.(pair arb_data_model (pair small_nat small_nat))
+    (fun ((d, b), (p, l)) ->
+      let n = Bytes.length b in
+      let src_pos = if n = 0 then 0 else p mod (n + 1) in
+      let len = min l (n - src_pos) in
+      let dst = Bytes.make (len + 8) '\xAA' in
+      Data.blit_to d ~src_pos ~dst ~dst_pos:4 ~len;
+      Bytes.sub dst 4 len = Bytes.sub b src_pos len
+      && Bytes.sub_string dst 0 4 = "\xAA\xAA\xAA\xAA"
+      && Bytes.sub_string dst (4 + len) 4 = "\xAA\xAA\xAA\xAA")
+
+let prop_rope_sub_matches_model =
+  QCheck.Test.make ~name:"rope sub matches flat model sub" ~count:300
+    QCheck.(pair arb_data_model (pair small_nat small_nat))
+    (fun ((d, b), (p, l)) ->
+      let n = Bytes.length b in
+      let pos = if n = 0 then 0 else p mod (n + 1) in
+      let len = min l (n - pos) in
+      Data.to_bytes (Data.sub d ~pos ~len) = Bytes.sub b pos len)
+
+let prop_rope_equal_agrees_with_model =
+  QCheck.Test.make ~name:"Data.equal agrees with flat-bytes equality"
+    ~count:300
+    QCheck.(pair arb_data_model arb_data_model)
+    (fun ((d1, b1), (d2, b2)) -> Data.equal d1 d2 = (b1 = b2))
+
+let prop_rope_concat_is_flat =
+  QCheck.Test.make ~name:"concat never nests Cat nodes" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 6) arb_data_model)
+    (fun parts ->
+      let d = Data.concat (List.map fst parts) in
+      (* leaf_count counts leaves; a flat rope's slice walk emits
+         exactly that many slices (0 for empty). *)
+      let slices = ref 0 in
+      Data.iter_slices d (fun _ -> incr slices);
+      !slices = Data.leaf_count d
+      || (Data.length d = 0 && !slices = 0))
+
 (* ------------------------------------------------------------------ *)
 (* Crc32                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -116,6 +224,62 @@ let prop_crc32_detects_flip =
       let b = Bytes.of_string s in
       Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x42));
       Crc32.bytes b <> orig)
+
+(* Reference oracle: the pre-streaming [Crc32.data] walked the payload
+   in 8 KB sub+to_bytes chunks.  Kept here verbatim so the slice-aware
+   path is checked against the historical behaviour. *)
+let legacy_crc_data d =
+  let chunk = 8192 in
+  let len = Data.length d in
+  let crc = ref 0l in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = min chunk (len - !pos) in
+    let b = Data.to_bytes (Data.sub d ~pos:!pos ~len:n) in
+    crc := Crc32.update !crc b ~pos:0 ~len:n;
+    pos := !pos + n
+  done;
+  !crc
+
+let prop_crc32_data_matches_legacy =
+  QCheck.Test.make ~name:"slice-aware Crc32.data matches chunked legacy oracle"
+    ~count:300 arb_data_model (fun (d, b) ->
+      let streamed = Crc32.data d in
+      streamed = legacy_crc_data d && streamed = Crc32.bytes b)
+
+let prop_crc32_combine_law =
+  QCheck.Test.make ~name:"combine (crc a) (crc b) |b| = crc (a ++ b)"
+    ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 80)) (string_of_size Gen.(0 -- 80)))
+    (fun (a, b) ->
+      Crc32.combine (Crc32.string a) (Crc32.string b) (String.length b)
+      = Crc32.string (a ^ b))
+
+let prop_crc32_combine_zero_run =
+  (* Same law where B is a zero run, across the table-loop/matrix
+     threshold and up into multi-megabyte runs. *)
+  QCheck.Test.make ~name:"combine law holds for zero runs (update_zeros)"
+    ~count:60
+    QCheck.(pair (string_of_size Gen.(0 -- 40)) (int_bound 21))
+    (fun (a, log_n) ->
+      let n = (1 lsl log_n) + (log_n mod 3) in
+      let ca = Crc32.string a in
+      let via_update = Crc32.update_zeros ca n in
+      let via_combine = Crc32.combine ca (Crc32.update_zeros 0l n) n in
+      let reference =
+        Crc32.update ca (Bytes.make n '\000') ~pos:0 ~len:n
+      in
+      via_update = reference && via_combine = reference)
+
+let prop_crc32_update_synth =
+  QCheck.Test.make ~name:"update_synth equals materialized synthetic crc"
+    ~count:200
+    QCheck.(triple (int_range 1 500) (int_bound 50) (int_bound 200))
+    (fun (seed, off, len) ->
+      let materialized = Bytes.create len in
+      Data.synth_blit ~seed ~off materialized ~pos:0 ~len;
+      Crc32.update_synth 0xDEADBEEFl ~seed ~off ~len
+      = Crc32.update 0xDEADBEEFl materialized ~pos:0 ~len)
 
 (* ------------------------------------------------------------------ *)
 (* Extent_map                                                          *)
@@ -701,6 +865,12 @@ let () =
           tc "sub out of bounds" `Quick test_data_sub_out_of_bounds;
           tc "fill ratio" `Quick test_data_fill_ratio;
           qt prop_data_sub_of_sub;
+          qt prop_rope_matches_bytes_model;
+          qt prop_rope_iter_slices_covers;
+          qt prop_rope_blit_to;
+          qt prop_rope_sub_matches_model;
+          qt prop_rope_equal_agrees_with_model;
+          qt prop_rope_concat_is_flat;
         ] );
       ( "crc32",
         [
@@ -708,6 +878,10 @@ let () =
           tc "empty" `Quick test_crc32_empty;
           tc "incremental composes" `Quick test_crc32_incremental_composes;
           qt prop_crc32_detects_flip;
+          qt prop_crc32_data_matches_legacy;
+          qt prop_crc32_combine_law;
+          qt prop_crc32_combine_zero_run;
+          qt prop_crc32_update_synth;
         ] );
       ( "extent-map",
         [
