@@ -5,6 +5,7 @@
      dune exec bin/linefs_sim.exe -- --system linefs --clients 4
      dune exec bin/linefs_sim.exe -- --system assise --file-mb 64 --busy
      dune exec bin/linefs_sim.exe -- --system linefs-np --io-kb 4 --latency
+     dune exec bin/linefs_sim.exe -- --workload metastorm --files 2000
 *)
 
 open Sim
@@ -23,7 +24,13 @@ let system_conv =
       ("hyperloop", Hyperloop);
     ]
 
-let run_bench system clients file_mb io_kb log_mb busy latency_mode =
+type workload = Seq_write | Metastorm
+
+let workload_conv =
+  Arg.enum [ ("seq", Seq_write); ("metastorm", Metastorm) ]
+
+let run_bench system workload clients file_mb io_kb log_mb files duration_ms
+    busy latency_mode =
   let params =
     { Params.default with Params.log_bytes = log_mb * 1024 * 1024 }
   in
@@ -79,7 +86,19 @@ let run_bench system clients file_mb io_kb log_mb busy latency_mode =
       Fmt.pr "system: %s, %d client(s), %d MB file, %d KB IOs%s@." name clients
         file_mb io_kb
         (if busy then ", replicas busy" else "");
-      if latency_mode then begin
+      if workload = Metastorm then begin
+        let ops = client_ops 1 in
+        let r =
+          Workloads.Metastorm.run ~ops ~files ~threads:(clients * 4)
+            ~duration:(Time.ms duration_ms) ~seed:42 ()
+        in
+        Fmt.pr
+          "metastorm: %d ops in %a of simulated time: %.1f kops/s (%d files, %d \
+           threads)@."
+          r.Workloads.Metastorm.ops_done Time.pp r.Workloads.Metastorm.elapsed
+          r.Workloads.Metastorm.kops_per_sec files (clients * 4)
+      end
+      else if latency_mode then begin
         let ops = client_ops 1 in
         let series =
           Workloads.Microbench.write_fsync_latency ~ops ~path:"/lat"
@@ -136,6 +155,23 @@ let cmd =
   let log_mb =
     Arg.(value & opt int 32 & info [ "log-mb" ] ~doc:"Client log size in MB.")
   in
+  let workload =
+    Arg.(
+      value
+      & opt workload_conv Seq_write
+      & info [ "workload"; "w" ]
+          ~doc:"Workload to drive: $(docv)." ~docv:"seq|metastorm")
+  in
+  let files =
+    Arg.(
+      value & opt int 2000
+      & info [ "files" ] ~doc:"Metastorm working-set size (files).")
+  in
+  let duration_ms =
+    Arg.(
+      value & opt int 500
+      & info [ "duration-ms" ] ~doc:"Metastorm run duration (simulated ms).")
+  in
   let busy =
     Arg.(value & flag & info [ "busy" ] ~doc:"Run streamcluster on replicas.")
   in
@@ -147,7 +183,7 @@ let cmd =
   Cmd.v
     (Cmd.info "linefs_sim" ~doc:"LineFS simulation workbench")
     Term.(
-      const run_bench $ system $ clients $ file_mb $ io_kb $ log_mb $ busy
-      $ latency)
+      const run_bench $ system $ workload $ clients $ file_mb $ io_kb $ log_mb
+      $ files $ duration_ms $ busy $ latency)
 
 let () = exit (Cmd.eval cmd)

@@ -546,8 +546,10 @@ let do_read c fd ~pos ~len =
       d
   | Error e -> fail e f.fpath
 
-let do_fsync c _fd =
+let do_fsync c fd =
   c.n_ops <- c.n_ops + 1;
+  (* Unknown fds are Einval everywhere (LineFS checks first). *)
+  ignore (the_file c fd);
   let t = c.sys in
   client_cpu c t.prm.Params.fs_op_cost;
   let upto = c.next_seq - 1 in

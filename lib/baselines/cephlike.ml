@@ -198,6 +198,14 @@ let ops c =
         client_cpu c client_per_op;
         (* One metadata round trip to the server. *)
         let inum = resolve_exn c path in
+        (* Same open permission check as LineFS and Assise (with the
+           default rw mode it always passes; the conformance matrix
+           still demands the same code on the same denial). *)
+        if
+          not
+            (Fs_state.writable c.sys.fs inum
+            || Fs_state.readable c.sys.fs inum)
+        then fail Fs_state.Eacces path;
         Net.Rdma.move
           ~src:(Net.Loc.Host c.sys.client_node)
           ~dst:(Net.Loc.Host c.sys.server_node)
@@ -217,21 +225,33 @@ let ops c =
     read =
       (fun fd ~pos ~len ->
         let f = the_file c fd in
-        client_cpu c (cpu_work len client_copy_bps client_per_op);
-        (* Fetch from the server. *)
+        client_cpu c client_per_op;
+        (* Request round trip; validation happens at the server. *)
         Net.Rdma.move
           ~src:(Net.Loc.Host c.sys.client_node)
           ~dst:(Net.Loc.Host c.sys.server_node)
           64;
-        Hw.Pm.read c.sys.server_node.Hw.Node.pm len;
-        Net.Rdma.move
-          ~src:(Net.Loc.Host c.sys.server_node)
-          ~dst:(Net.Loc.Host c.sys.client_node)
-          len;
         match Fs_state.read c.sys.fs ~inum:f.inum ~pos ~len with
-        | Ok d -> d
-        | Error e -> fail e f.fpath);
-    fsync = (fun _fd -> drain c);
+        | Error e -> fail e f.fpath
+        | Ok d ->
+            (* Bill PM, wire and client copy for the bytes actually
+               returned (the EOF-clamped count), never the asked-for
+               [len] — reads past EOF move no data. *)
+            let actual = Data.length d in
+            if actual > 0 then begin
+              Hw.Pm.read c.sys.server_node.Hw.Node.pm actual;
+              Net.Rdma.move
+                ~src:(Net.Loc.Host c.sys.server_node)
+                ~dst:(Net.Loc.Host c.sys.client_node)
+                actual;
+              client_cpu c (cpu_work actual client_copy_bps 0)
+            end;
+            d);
+    fsync =
+      (fun fd ->
+        (* Unknown fds are Einval everywhere (LineFS checks first). *)
+        ignore (the_file c fd : file);
+        drain c);
     mkdir =
       (fun path ->
         let parent_path, name = Dfs_intf.split_path path in

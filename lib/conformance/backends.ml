@@ -1,0 +1,52 @@
+open Sim
+
+type t = Linefs | Assise | Cephlike
+
+let all = [ Linefs; Assise; Cephlike ]
+
+let name = function
+  | Linefs -> "linefs"
+  | Assise -> "assise"
+  | Cephlike -> "cephlike"
+
+let of_string = function
+  | "linefs" -> Some Linefs
+  | "assise" -> Some Assise
+  | "cephlike" | "ceph" -> Some Cephlike
+  | _ -> None
+
+let default_params =
+  {
+    Linefs.Params.default with
+    Linefs.Params.chunk_bytes = 256 * 1024;
+    log_bytes = 8 * 1024 * 1024;
+  }
+
+let in_sim ?seed f =
+  let eng = Engine.create ?seed () in
+  let result = ref None in
+  Engine.spawn_root eng (fun () -> result := Some (f ()));
+  Engine.run eng;
+  match !result with
+  | Some v -> v
+  | None -> failwith "Backends.in_sim: simulation did not complete"
+
+let with_ops ?(params = default_params) t f =
+  match t with
+  | Linefs ->
+      let d = Linefs.Deployment.create ~params ~nodes:3 () in
+      let r = f (Linefs.Libfs.ops (Linefs.Deployment.add_client d ~id:1)) in
+      Linefs.Deployment.stop d;
+      r
+  | Assise ->
+      let a = Baselines.Assise.create ~params ~nodes:3 () in
+      let r = f (Baselines.Assise.ops (Baselines.Assise.add_client a ~id:1)) in
+      Baselines.Assise.stop a;
+      r
+  | Cephlike ->
+      let c = Baselines.Cephlike.create ~nodes:3 () in
+      let r = f (Baselines.Cephlike.ops (Baselines.Cephlike.add_client c ~id:1)) in
+      Baselines.Cephlike.flush_all c;
+      r
+
+let run ?seed ?params t f = in_sim ?seed (fun () -> with_ops ?params t f)

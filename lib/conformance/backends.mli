@@ -1,0 +1,25 @@
+(** The systems under test, named, and the glue to stand a fresh one up
+    inside a simulation and hand its {!Linefs.Dfs_intf.ops} to a
+    harness. *)
+
+type t = Linefs | Assise | Cephlike
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option
+
+val default_params : Linefs.Params.t
+(** Conformance-friendly sizing: 256 KiB chunks, 8 MiB client log —
+    the same parameters the conformance matrix always used. *)
+
+val in_sim : ?seed:int -> (unit -> 'a) -> 'a
+(** Run [f] to completion in a fresh engine (process context), fail if
+    the simulation wedges. *)
+
+val with_ops : ?params:Linefs.Params.t -> t -> (Linefs.Dfs_intf.ops -> 'a) -> 'a
+(** Build a fresh 3-node instance of the backend, run [f] with a client
+    attached to it, tear the instance down.  Must be called from
+    simulation-process context — compose with {!in_sim}. *)
+
+val run : ?seed:int -> ?params:Linefs.Params.t -> t -> (Linefs.Dfs_intf.ops -> 'a) -> 'a
+(** [in_sim] + [with_ops] in one call. *)

@@ -1,0 +1,80 @@
+module I = Linefs.Dfs_intf
+
+type report = {
+  backend : string;
+  divergences : Exec.divergence list;
+  state_diffs : string list;
+}
+
+let report_failed r = r.divergences <> [] || r.state_diffs <> []
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>%s: %s" r.backend
+    (if report_failed r then "FAIL" else "ok");
+  List.iter
+    (fun d -> Format.fprintf fmt "@,  %a" Exec.pp_divergence d)
+    r.divergences;
+  List.iter (fun s -> Format.fprintf fmt "@,  state: %s" s) r.state_diffs;
+  Format.fprintf fmt "@]"
+
+let str_of d = Bytes.to_string (Storage.Data.to_bytes d)
+
+(* Sweep the final state through the client interface: everything the
+   model holds must be present with the right kind, size and contents;
+   everything the trace ever mentioned that the model lacks must be
+   absent. *)
+let final_state_diffs ~(model : Model.t) ~(ops : I.ops) trace =
+  let diffs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> diffs := s :: !diffs) fmt in
+  List.iter
+    (fun (e : Model.entry) ->
+      match ops.file_size e.path with
+      | None -> add "%s: absent on backend (model: %d bytes)" e.path e.size
+      | Some sz ->
+          if sz <> e.size then
+            add "%s: size %d on backend, %d in model" e.path sz e.size;
+          if e.kind = `File then (
+            let expected =
+              match Model.content model e.path with Some c -> c | None -> ""
+            in
+            match
+              Exec.capture (fun () ->
+                  let fd = ops.open_file e.path in
+                  let d = ops.read fd ~pos:0 ~len:(max 1 e.size) in
+                  ops.close fd;
+                  str_of d)
+            with
+            | Error err ->
+                add "%s: read-back raised %s" e.path
+                  (Storage.Fs_state.error_to_string err)
+            | Ok got ->
+                if got <> expected then
+                  add "%s: contents differ (backend %d bytes, model %d)"
+                    e.path (String.length got) (String.length expected)))
+    (Model.paths model);
+  List.iter
+    (fun p ->
+      if Model.file_size model p = None then
+        match (try ops.file_size p with I.Fs_error _ -> None) with
+        | None -> ()
+        | Some sz ->
+            add "%s: present on backend (size %d), absent in model" p sz)
+    (Opgen.mentioned_paths trace);
+  List.rev !diffs
+
+let check_backend ?bug ?seed backend trace =
+  Backends.run ?seed backend (fun ops ->
+      let model, divergences =
+        Exec.run ~ops ~model:(Model.create ?bug ()) ~trace ()
+      in
+      let state_diffs = final_state_diffs ~model ~ops trace in
+      { backend = Backends.name backend; divergences; state_diffs })
+
+let run ?bug ?(backends = Backends.all) trace =
+  List.map (fun b -> check_backend ?bug b trace) backends
+
+let failed reports = List.exists report_failed reports
+
+let minimize ?bug backend trace =
+  Opgen.minimize trace ~fails:(fun t ->
+      report_failed (check_backend ?bug backend t))

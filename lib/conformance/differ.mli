@@ -1,0 +1,34 @@
+(** Differential checking: one trace, every backend, one oracle.
+
+    A backend passes a trace when (a) the lockstep execution recorded
+    no divergence (same error codes in the same places, same read
+    results, same sizes) and (b) the final observable state — every
+    path the model holds plus every path the trace ever mentioned —
+    matches the model through the client interface (existence, kind,
+    size, full contents). *)
+
+type report = {
+  backend : string;
+  divergences : Exec.divergence list;
+  state_diffs : string list;  (** Final-state mismatches, rendered. *)
+}
+
+val report_failed : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+val check_backend :
+  ?bug:Model.bug -> ?seed:int -> Backends.t -> Opgen.t -> report
+(** Run the trace against one backend in a fresh simulation.  [bug]
+    seeds a deliberate model bug — for mutation-testing the framework
+    (a correct backend must then {e fail} the diff). *)
+
+val run : ?bug:Model.bug -> ?backends:Backends.t list -> Opgen.t -> report list
+(** [check_backend] over a backend list (default: all three). *)
+
+val failed : report list -> bool
+
+val minimize :
+  ?bug:Model.bug -> Backends.t -> Opgen.t -> Opgen.t * int
+(** Shrink a failing trace with {!Opgen.minimize}, re-running the
+    single offending backend per candidate.  Returns the minimal trace
+    and the number of candidate executions. *)

@@ -1,0 +1,142 @@
+module I = Linefs.Dfs_intf
+module Fs_state = Storage.Fs_state
+
+type divergence = {
+  step : int;
+  op : Opgen.op;
+  expected : string;
+  actual : string;
+}
+
+let pp_divergence fmt d =
+  Format.fprintf fmt "step %d: %a — model: %s, backend: %s" d.step
+    Opgen.pp_op d.op d.expected d.actual
+
+let err_str e = "error " ^ Fs_state.error_to_string e
+
+(* Run a backend thunk, reifying its Fs_error outcome. *)
+let capture f = match f () with v -> Ok v | exception I.Fs_error (e, _) -> Error e
+
+let preview s =
+  let n = String.length s in
+  if n <= 24 then Printf.sprintf "%d bytes %S" n s
+  else Printf.sprintf "%d bytes %S..." n (String.sub s 0 24)
+
+let run ?on_step ?pace ~(ops : I.ops) ~model ~trace () =
+  let fds : (int, I.fd) Hashtbl.t = Hashtbl.create 16 in
+  let model = ref model in
+  let divs = ref [] in
+  let record step op expected actual =
+    divs := { step; op; expected; actual } :: !divs
+  in
+  (* Compare a model result against a backend result; advance the model
+     on its own Ok; [describe_ok] renders the success values (and flags
+     a mismatch between two successes, for read/size). *)
+  let sync step op ~(mres : (Model.t, Model.error) result) bres =
+    (match mres with Ok m -> model := m | Error _ -> ());
+    match (mres, bres) with
+    | Ok _, Ok _ -> ()
+    | Error e, Error e' when e = e' -> ()
+    | Ok _, Error e' -> record step op "ok" (err_str e')
+    | Error e, Ok _ -> record step op (err_str e) "ok"
+    | Error e, Error e' -> record step op (err_str e) (err_str e')
+  in
+  let step i (op : Opgen.op) =
+    match op with
+    | Create { h; path } ->
+        let mres = Model.create_file !model ~h path in
+        let bres = capture (fun () -> ops.create path) in
+        (match bres with Ok fd -> Hashtbl.replace fds h fd | Error _ -> ());
+        sync i op ~mres (Result.map ignore bres)
+    | Open { h; path } ->
+        let mres = Model.open_file !model ~h path in
+        let bres = capture (fun () -> ops.open_file path) in
+        (match bres with Ok fd -> Hashtbl.replace fds h fd | Error _ -> ());
+        sync i op ~mres (Result.map ignore bres)
+    | Close { h } -> (
+        match Hashtbl.find_opt fds h with
+        | None -> ()
+        | Some fd ->
+            model := Model.close !model ~h;
+            Hashtbl.remove fds h;
+            ops.close fd)
+    | Write { h; pos; len; dseed } -> (
+        match Hashtbl.find_opt fds h with
+        | None -> ()
+        | Some fd ->
+            let mres =
+              Model.write !model ~h ~pos (Opgen.payload_string ~dseed ~len)
+            in
+            let bres =
+              capture (fun () ->
+                  ops.write fd ~pos (Opgen.payload ~dseed ~len))
+            in
+            sync i op ~mres bres)
+    | Append { h; len; dseed } -> (
+        match Hashtbl.find_opt fds h with
+        | None -> ()
+        | Some fd ->
+            let mres =
+              Model.append !model ~h (Opgen.payload_string ~dseed ~len)
+            in
+            let bres =
+              capture (fun () -> ops.append fd (Opgen.payload ~dseed ~len))
+            in
+            sync i op ~mres bres)
+    | Read { h; pos; len } -> (
+        match Hashtbl.find_opt fds h with
+        | None -> ()
+        | Some fd -> (
+            let mres = Model.read !model ~h ~pos ~len in
+            let bres = capture (fun () -> ops.read fd ~pos ~len) in
+            match (mres, bres) with
+            | Ok s, Ok d ->
+                let s' = Bytes.to_string (Storage.Data.to_bytes d) in
+                if s <> s' then record i op (preview s) (preview s')
+            | Error e, Error e' when e = e' -> ()
+            | Ok s, Error e' -> record i op (preview s) (err_str e')
+            | Error e, Ok d ->
+                record i op (err_str e)
+                  (preview (Bytes.to_string (Storage.Data.to_bytes d)))
+            | Error e, Error e' -> record i op (err_str e) (err_str e')))
+    | Fsync { h } -> (
+        match Hashtbl.find_opt fds h with
+        | None -> ()
+        | Some fd -> (
+            let mres = Model.fsync !model ~h in
+            let bres = capture (fun () -> ops.fsync fd) in
+            match (mres, bres) with
+            | Ok (), Ok () -> ()
+            | Error e, Error e' when e = e' -> ()
+            | Ok (), Error e' -> record i op "ok" (err_str e')
+            | Error e, Ok () -> record i op (err_str e) "ok"
+            | Error e, Error e' -> record i op (err_str e) (err_str e')))
+    | Mkdir { path } ->
+        sync i op
+          ~mres:(Model.mkdir !model path)
+          (capture (fun () -> ops.mkdir path))
+    | Unlink { path } ->
+        sync i op
+          ~mres:(Model.unlink !model path)
+          (capture (fun () -> ops.unlink path))
+    | Rename { src; dst } ->
+        sync i op
+          ~mres:(Model.rename !model ~src ~dst)
+          (capture (fun () -> ops.rename src dst))
+    | Size { path } ->
+        let msz = Model.file_size !model path in
+        let bsz = ops.file_size path in
+        if msz <> bsz then
+          let show = function
+            | Some n -> Printf.sprintf "size %d" n
+            | None -> "absent"
+          in
+          record i op (show msz) (show bsz)
+  in
+  List.iteri
+    (fun i op ->
+      step i op;
+      (match on_step with Some f -> f i !model | None -> ());
+      match pace with Some f -> f i | None -> ())
+    trace.Opgen.ops;
+  (!model, List.rev !divs)

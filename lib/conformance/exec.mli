@@ -1,0 +1,45 @@
+(** Lockstep trace executor: runs one {!Opgen.t} against a backend's
+    {!Linefs.Dfs_intf.ops} and against the {!Model} simultaneously,
+    recording every divergence (error-code mismatches, wrong read
+    contents, wrong sizes) without halting.
+
+    Slot discipline: the executor owns the slot-to-fd table.  An
+    operation whose slot is unbound — its Create/Open failed or was
+    deleted by the shrinker — is skipped on {e both} sides, so the
+    model and the backend always see the same effective operation
+    sequence.  The model is advanced whenever {e it} accepts an
+    operation, even if the backend disagreed (the disagreement is
+    recorded; keeping the model on its own trajectory makes the first
+    divergence the meaningful one and matches the generator's
+    tracking model exactly).
+
+    Must be called from simulation-process context (backend operations
+    block for their modelled duration). *)
+
+type divergence = {
+  step : int;  (** Index of the operation in the trace. *)
+  op : Opgen.op;
+  expected : string;  (** What the model did. *)
+  actual : string;  (** What the backend did. *)
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val capture : (unit -> 'a) -> ('a, Storage.Fs_state.error) result
+(** Run a backend thunk, reifying a raised
+    {!Linefs.Dfs_intf.Fs_error} as [Error]. *)
+
+val run :
+  ?on_step:(int -> Model.t -> unit) ->
+  ?pace:(int -> unit) ->
+  ops:Linefs.Dfs_intf.ops ->
+  model:Model.t ->
+  trace:Opgen.t ->
+  unit ->
+  Model.t * divergence list
+(** Execute the trace.  [on_step i m] fires after operation [i] with
+    the model state at that point (skipped operations fire it with the
+    unchanged state) — the litmus harness uses it to snapshot the legal
+    state history.  [pace i] fires after each operation too; pass an
+    [Engine.sleep] to spread the trace over a fault plan's horizon.
+    Returns the final model and the divergences in trace order. *)

@@ -1,0 +1,64 @@
+(** Crash-consistency litmus: one conformance trace, one fault plan,
+    one verdict.
+
+    A litmus run drives an {!Opgen.t} trace through a LineFS cluster
+    paced over a {!Fault.Plan.t} window (NIC crashes, node deaths,
+    partitions, stalls — the PR 1/2 fault layer), then heals, recovers
+    the crashed nodes, drains, and checks:
+
+    - {b lockstep conformance}: even mid-fault, every operation's
+      outcome matches the {!Model} (LineFS retries through faults
+      rather than surfacing them, so a divergence is a real bug);
+    - {b prefix crash consistency} of the persisted oplog and lease
+      single-writer safety ({!Fault.Invariant});
+    - {b model-final}: the recovered primary's
+      {!Storage.Fs_state.digest} equals the model's final digest;
+    - {b model-prefix}: a permanently dead node's digest appears in the
+      model's state history — the state it froze at must be one a
+      crash at some operation boundary could legally expose (§3.2).
+
+    Trace payloads stay far below one replication chunk, so each
+    mutating operation persists as exactly one oplog entry and
+    operation boundaries coincide with entry boundaries — which is
+    what makes the model-history digest set the right prefix oracle. *)
+
+open Sim
+
+type spec = {
+  seed : int;
+  trace : Opgen.t;
+  plan : Fault.Plan.t;
+  horizon : Time.t;  (** Window the trace is paced over. *)
+}
+
+(** Harness mutation for self-testing: corrupt the observed history
+    before checking and demand the checker notices. *)
+type mutation =
+  | Drop_entry
+      (** Silently drop a mid-sequence persisted entry — a lost-update
+          recovery bug; prefix consistency must flag the seq gap. *)
+
+type outcome = {
+  completed : bool;
+  divergences : Exec.divergence list;
+  violations : Fault.Invariant.violation list;
+  model_digest : int32;
+  fs_digest : int32;  (** Recovered primary digest. *)
+}
+
+val failed : outcome -> bool
+
+val generate : seed:int -> spec
+(** Seed-derived spec: a 30–60 op trace (60% metadata) over a 20 ms
+    window, with one of four plan shapes — generated multi-fault,
+    primary NIC crash, permanent tail death, or partition + crash. *)
+
+val run : ?mutate:mutation -> spec -> outcome
+
+val minimize : ?mutate:mutation -> spec -> spec * int
+(** Shrink a failing spec's trace ({!Opgen.minimize}, re-running the
+    full litmus per candidate; the plan is kept).  Returns the shrunk
+    spec and the number of candidate runs. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,394 @@
+(* Reference semantics for Dfs_intf.ops over a pure tree.
+
+   The error-code *order* matters as much as the codes themselves: the
+   real clients split the path first (Einval), resolve parent
+   directories next (Enoent/Enotdir), and only then run the operation's
+   own precondition checks (Fs_state.validate).  Every function below
+   performs the same checks in the same order, so the differential
+   runner can compare codes exactly. *)
+
+module Fs_state = Storage.Fs_state
+module IntMap = Map.Make (Int)
+module StrMap = Map.Make (String)
+
+type error = Fs_state.error
+
+type bug = Rename_no_overwrite
+
+type node = File of string | Dir of int StrMap.t
+
+type t = {
+  nodes : node IntMap.t;
+  next_id : int;
+  handles : (int * int) IntMap.t; (* slot -> (node id, append position) *)
+  bug : bug option;
+}
+
+let root_id = 1
+
+let create ?bug () =
+  {
+    nodes = IntMap.singleton root_id (Dir StrMap.empty);
+    next_id = root_id + 1;
+    handles = IntMap.empty;
+    bug;
+  }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* Mirror of Dfs_intf.split_path, result-typed. *)
+let split_path path =
+  if String.length path = 0 || path.[0] <> '/' then Error Fs_state.Einval
+  else
+    match String.rindex_opt path '/' with
+    | None | Some 0 -> Ok ("/", String.sub path 1 (String.length path - 1))
+    | Some i ->
+        Ok
+          ( String.sub path 0 i,
+            String.sub path (i + 1) (String.length path - i - 1) )
+
+(* Mirror of Fs_state.resolve: lookup does the dir check per step. *)
+let resolve t path =
+  if path = "" || path.[0] <> '/' then Error Fs_state.Einval
+  else
+    let parts =
+      List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+    in
+    List.fold_left
+      (fun acc name ->
+        let* dir = acc in
+        match IntMap.find_opt dir t.nodes with
+        | None -> Error Fs_state.Enoent
+        | Some (File _) -> Error Fs_state.Enotdir
+        | Some (Dir children) -> (
+            match StrMap.find_opt name children with
+            | Some id -> Ok id
+            | None -> Error Fs_state.Enoent))
+      (Ok root_id) parts
+
+let get_dir t id =
+  match IntMap.find_opt id t.nodes with
+  | None -> Error Fs_state.Enoent
+  | Some (File _) -> Error Fs_state.Enotdir
+  | Some (Dir children) -> Ok children
+
+let node_size = function File c -> String.length c | Dir _ -> 0
+
+let bad_name name = name = "" || String.contains name '/'
+
+(* Shared by create_file and mkdir: the clients' create path (split,
+   resolve parent, Fs_state's Create precheck). *)
+let create_node t path ~dir =
+  let* parent_path, name = split_path path in
+  let* parent = resolve t parent_path in
+  let* children = get_dir t parent in
+  if bad_name name then Error Fs_state.Einval
+  else if StrMap.mem name children then Error Fs_state.Eexist
+  else
+    let id = t.next_id in
+    let fresh = if dir then Dir StrMap.empty else File "" in
+    let nodes =
+      IntMap.add id fresh
+        (IntMap.add parent (Dir (StrMap.add name id children)) t.nodes)
+    in
+    Ok ({ t with nodes; next_id = id + 1 }, id)
+
+let create_file t ~h path =
+  let* t, id = create_node t path ~dir:false in
+  Ok { t with handles = IntMap.add h (id, 0) t.handles }
+
+let open_file t ~h path =
+  let* id = resolve t path in
+  (* Backends then run a permission check; with the default rw mode it
+     always passes (the ops interface exposes no chmod). *)
+  let pos =
+    match IntMap.find_opt id t.nodes with
+    | Some n -> node_size n
+    | None -> 0
+  in
+  Ok { t with handles = IntMap.add h (id, pos) t.handles }
+
+let close t ~h = { t with handles = IntMap.remove h t.handles }
+
+let get_file_handle t ~h =
+  match IntMap.find_opt h t.handles with
+  | None -> Error Fs_state.Einval
+  | Some (id, ap) -> (
+      match IntMap.find_opt id t.nodes with
+      | None -> Error Fs_state.Enoent (* unlinked while open *)
+      | Some (Dir _) -> Error Fs_state.Eisdir
+      | Some (File content) -> Ok (id, ap, content))
+
+(* Overwrite [data] into [content] at [pos], zero-padding any gap (the
+   hole semantics of the extent maps). *)
+let splice content pos data =
+  let clen = String.length content and dlen = String.length data in
+  let size = max clen (pos + dlen) in
+  String.init size (fun i ->
+      if i >= pos && i < pos + dlen then data.[i - pos]
+      else if i < clen then content.[i]
+      else '\000')
+
+let write t ~h ~pos data =
+  let* id, ap, content = get_file_handle t ~h in
+  if pos < 0 then Error Fs_state.Einval
+  else
+    let nodes = IntMap.add id (File (splice content pos data)) t.nodes in
+    let ap' = max ap (pos + String.length data) in
+    Ok { t with nodes; handles = IntMap.add h (id, ap') t.handles }
+
+let append t ~h data =
+  match IntMap.find_opt h t.handles with
+  | None -> Error Fs_state.Einval
+  | Some (_, ap) -> write t ~h ~pos:ap data
+
+let read t ~h ~pos ~len =
+  let* _, _, content = get_file_handle t ~h in
+  if pos < 0 || len < 0 then Error Fs_state.Einval
+  else
+    let n = max 0 (min len (String.length content - pos)) in
+    Ok (if n = 0 then "" else String.sub content pos n)
+
+let fsync t ~h =
+  match IntMap.find_opt h t.handles with
+  | None -> Error Fs_state.Einval
+  | Some _ -> Ok ()
+
+let mkdir t path =
+  let* t, _ = create_node t path ~dir:true in
+  Ok t
+
+let unlink t path =
+  let* parent_path, name = split_path path in
+  let* parent = resolve t parent_path in
+  let* id = resolve t path in
+  let* children = get_dir t parent in
+  match StrMap.find_opt name children with
+  | None -> Error Fs_state.Enoent
+  | Some child when child <> id -> Error Fs_state.Einval
+  | Some child -> (
+      match IntMap.find_opt child t.nodes with
+      | Some (Dir ch) when not (StrMap.is_empty ch) ->
+          Error Fs_state.Enotempty
+      | _ ->
+          let nodes =
+            IntMap.remove child
+              (IntMap.add parent (Dir (StrMap.remove name children)) t.nodes)
+          in
+          Ok { t with nodes })
+
+(* Is [id] equal to [anc] or inside its subtree?  (The tree has unique
+   parents, so descending from [anc] is equivalent to Fs_state's
+   parent-chain climb.) *)
+let rec in_subtree t ~anc id =
+  anc = id
+  ||
+  match IntMap.find_opt anc t.nodes with
+  | Some (Dir children) ->
+      StrMap.exists (fun _ child -> in_subtree t ~anc:child id) children
+  | _ -> false
+
+let rename t ~src ~dst =
+  let* sp_path, sname = split_path src in
+  let* dp_path, dname = split_path dst in
+  let* sp = resolve t sp_path in
+  let* dp = resolve t dp_path in
+  let* id = resolve t src in
+  let* sp_children = get_dir t sp in
+  let* dp_children = get_dir t dp in
+  if bad_name dname then Error Fs_state.Einval
+  else
+    match StrMap.find_opt sname sp_children with
+    | None -> Error Fs_state.Enoent
+    | Some moved when moved <> id -> Error Fs_state.Einval
+    | Some moved -> (
+        let mnode = IntMap.find moved t.nodes in
+        let is_dir = match mnode with Dir _ -> true | File _ -> false in
+        if is_dir && in_subtree t ~anc:moved dp then Error Fs_state.Ecycle
+        else
+          let finish ~drop =
+            (* Apply in Fs_state order: detach the source entry, drop
+               any overwritten node, attach under the destination —
+               re-reading the destination directory after the detach so
+               same-directory renames stay correct. *)
+            let nodes =
+              IntMap.add sp (Dir (StrMap.remove sname sp_children)) t.nodes
+            in
+            let nodes =
+              match drop with Some e -> IntMap.remove e nodes | None -> nodes
+            in
+            let dp_children' =
+              match IntMap.find dp nodes with
+              | Dir ch -> ch
+              | File _ -> assert false
+            in
+            Ok
+              {
+                t with
+                nodes =
+                  IntMap.add dp (Dir (StrMap.add dname moved dp_children'))
+                    nodes;
+              }
+          in
+          match StrMap.find_opt dname dp_children with
+          | None -> finish ~drop:None
+          | Some existing when existing = moved -> Ok t (* same entry *)
+          | Some existing -> (
+              if t.bug = Some Rename_no_overwrite then Error Fs_state.Eexist
+              else
+                match IntMap.find existing t.nodes with
+                | Dir _ when not is_dir -> Error Fs_state.Eisdir
+                | File _ when is_dir -> Error Fs_state.Enotdir
+                | Dir ch when not (StrMap.is_empty ch) ->
+                    Error Fs_state.Enotempty
+                | _ -> finish ~drop:(Some existing)))
+
+let file_size t path =
+  match resolve t path with
+  | Error _ -> None
+  | Ok id -> (
+      match IntMap.find_opt id t.nodes with
+      | Some n -> Some (node_size n)
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Observation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { path : string; kind : [ `File | `Dir ]; size : int }
+
+let walk t f =
+  let rec go path id =
+    match IntMap.find_opt id t.nodes with
+    | None -> ()
+    | Some (File c) -> f { path; kind = `File; size = String.length c } id
+    | Some (Dir children) ->
+        if id <> root_id then f { path; kind = `Dir; size = 0 } id;
+        StrMap.iter (fun name child -> go (path ^ "/" ^ name) child) children
+  in
+  go "" root_id
+
+let paths t =
+  let acc = ref [] in
+  walk t (fun e _ -> acc := e :: !acc);
+  List.sort compare !acc
+
+let content t path =
+  match resolve t path with
+  | Error _ -> None
+  | Ok id -> (
+      match IntMap.find_opt id t.nodes with
+      | Some (File c) -> Some c
+      | _ -> None)
+
+let files t =
+  List.filter_map
+    (fun e -> if e.kind = `File then Some e.path else None)
+    (paths t)
+
+let dirs t =
+  "/"
+  :: List.filter_map
+       (fun e -> if e.kind = `Dir then Some e.path else None)
+       (paths t)
+
+let handle_valid t ~h = IntMap.mem h t.handles
+
+let to_fs_state t =
+  let fs = Fs_state.create () in
+  let inum_of = Hashtbl.create 16 in
+  Hashtbl.replace inum_of root_id Fs_state.root_inum;
+  (* paths come out sorted, so parents precede children. *)
+  List.iter
+    (fun e ->
+      match split_path e.path with
+      | Error _ -> ()
+      | Ok (parent_path, name) -> (
+          match resolve t parent_path with
+          | Error _ -> ()
+          | Ok pid ->
+              let parent = Hashtbl.find inum_of pid in
+              let inum = Fs_state.alloc_inum fs in
+              (match resolve t e.path with
+              | Ok id -> Hashtbl.replace inum_of id inum
+              | Error _ -> ());
+              (match
+                 Fs_state.apply fs
+                   (Storage.Oplog.Create
+                      { parent; name; inum; dir = e.kind = `Dir })
+               with
+              | Ok () -> ()
+              | Error err ->
+                  failwith
+                    (Printf.sprintf "Model.to_fs_state: create %s: %s" e.path
+                       (Fs_state.error_to_string err)));
+              if e.kind = `File && e.size > 0 then
+                let data =
+                  Storage.Data.of_string
+                    (match content t e.path with Some c -> c | None -> "")
+                in
+                match
+                  Fs_state.apply fs
+                    (Storage.Oplog.Write { inum; offset = 0; data })
+                with
+                | Ok () -> ()
+                | Error err ->
+                    failwith
+                      (Printf.sprintf "Model.to_fs_state: write %s: %s" e.path
+                         (Fs_state.error_to_string err))))
+    (paths t);
+  fs
+
+let digest t = Fs_state.digest (to_fs_state t)
+
+(* ------------------------------------------------------------------ *)
+(* The model as a backend                                              *)
+(* ------------------------------------------------------------------ *)
+
+let as_ops r =
+  let next_fd = ref 3 in
+  let fail e path = Linefs.Dfs_intf.fail e path in
+  let fresh_fd () =
+    let fd = !next_fd in
+    incr next_fd;
+    fd
+  in
+  let mutate path = function
+    | Ok t -> r := t
+    | Error e -> fail e path
+  in
+  {
+    Linefs.Dfs_intf.sysname = "Model";
+    create =
+      (fun path ->
+        let fd = fresh_fd () in
+        mutate path (create_file !r ~h:fd path);
+        fd);
+    open_file =
+      (fun path ->
+        let fd = fresh_fd () in
+        mutate path (open_file !r ~h:fd path);
+        fd);
+    close = (fun fd -> r := close !r ~h:fd);
+    write =
+      (fun fd ~pos data ->
+        mutate "write"
+          (write !r ~h:fd ~pos
+             (Bytes.to_string (Storage.Data.to_bytes data))));
+    append =
+      (fun fd data ->
+        mutate "append"
+          (append !r ~h:fd (Bytes.to_string (Storage.Data.to_bytes data))));
+    read =
+      (fun fd ~pos ~len ->
+        match read !r ~h:fd ~pos ~len with
+        | Ok s -> Storage.Data.of_string s
+        | Error e -> fail e "read");
+    fsync =
+      (fun fd ->
+        match fsync !r ~h:fd with Ok () -> () | Error e -> fail e "fsync");
+    mkdir = (fun path -> mutate path (mkdir !r path));
+    unlink = (fun path -> mutate path (unlink !r path));
+    rename = (fun src dst -> mutate src (rename !r ~src ~dst));
+    file_size = (fun path -> file_size !r path);
+  }

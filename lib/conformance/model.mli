@@ -1,0 +1,83 @@
+(** Model FS: the reference implementation of {!Linefs.Dfs_intf.ops}
+    semantics over a pure tree.
+
+    Every backend in this repository (LineFS, Assise, the Ceph-like
+    baseline) must behave exactly like this model — same observable
+    state, same {!Storage.Fs_state.error} codes, checked in the same
+    order the real clients check them (path splitting, then parent
+    resolution, then the operation's own preconditions).  The model is
+    persistent (applicative maps), so snapshotting a history of states
+    is free — the crash-consistency harness keeps one snapshot per
+    operation and compares recovered states against them.
+
+    File handles are caller-chosen integer names ("slots"), decoupled
+    from whatever fd numbers a backend hands out; the differential
+    executor maintains the slot-to-fd mapping. *)
+
+type error = Storage.Fs_state.error
+
+(** Deliberately wrong semantics for mutation-testing the framework
+    itself: a harness that cannot catch a seeded bug proves nothing. *)
+type bug =
+  | Rename_no_overwrite
+      (** Rename onto an existing entry reports [Eexist] instead of
+          replacing it. *)
+
+type t
+
+val create : ?bug:bug -> unit -> t
+(** Fresh model containing only the root directory. *)
+
+(** {1 Operations}
+
+    Each mirrors one field of {!Linefs.Dfs_intf.ops}.  State-changing
+    operations return the new model; failures leave it unchanged.
+    [h] is the caller's handle slot; using an unbound slot is [Einval]
+    (the backends' unknown-fd behaviour). *)
+
+val create_file : t -> h:int -> string -> (t, error) result
+val open_file : t -> h:int -> string -> (t, error) result
+val close : t -> h:int -> t
+val write : t -> h:int -> pos:int -> string -> (t, error) result
+val append : t -> h:int -> string -> (t, error) result
+val read : t -> h:int -> pos:int -> len:int -> (string, error) result
+val fsync : t -> h:int -> (unit, error) result
+val mkdir : t -> string -> (t, error) result
+val unlink : t -> string -> (t, error) result
+val rename : t -> src:string -> dst:string -> (t, error) result
+val file_size : t -> string -> int option
+
+(** {1 Observation} *)
+
+type entry = { path : string; kind : [ `File | `Dir ]; size : int }
+
+val paths : t -> entry list
+(** Every root-reachable path, sorted, root excluded. *)
+
+val content : t -> string -> string option
+(** File content by path ([None] for directories and absent paths). *)
+
+val files : t -> string list
+(** Paths of plain files, sorted. *)
+
+val dirs : t -> string list
+(** Paths of directories, sorted, root ("/") included. *)
+
+val handle_valid : t -> h:int -> bool
+(** Is the slot bound (open and not yet closed)?  The node it points
+    to may have been unlinked — that is still a bound slot. *)
+
+val to_fs_state : t -> Storage.Fs_state.t
+(** Materialize the tree into a fresh {!Storage.Fs_state.t} (fresh
+    inode numbering; contents and shape identical). *)
+
+val digest : t -> int32
+(** [Storage.Fs_state.digest] of the materialized tree: directly
+    comparable with a backend node's digest, since the digest covers
+    paths, kinds, sizes and contents but not inode numbers. *)
+
+val as_ops : t ref -> Linefs.Dfs_intf.ops
+(** Present the model itself through the common DFS interface
+    (raising {!Linefs.Dfs_intf.Fs_error} like every backend), so the
+    conformance matrix can run the model in the same harness as the
+    systems under test. *)

@@ -1,0 +1,287 @@
+open Sim
+
+type op =
+  | Create of { h : int; path : string }
+  | Open of { h : int; path : string }
+  | Close of { h : int }
+  | Write of { h : int; pos : int; len : int; dseed : int }
+  | Append of { h : int; len : int; dseed : int }
+  | Read of { h : int; pos : int; len : int }
+  | Fsync of { h : int }
+  | Mkdir of { path : string }
+  | Unlink of { path : string }
+  | Rename of { src : string; dst : string }
+  | Size of { path : string }
+
+type t = { seed : int; ops : op list }
+
+let payload ~dseed ~len = Storage.Data.synthetic ~seed:dseed ~len
+
+let payload_string ~dseed ~len =
+  Bytes.to_string (Storage.Data.to_bytes (payload ~dseed ~len))
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The generator runs the model alongside itself so it knows which
+   paths exist, which are directories, and which slots are open — it
+   can then steer between definitely-valid operations and deliberate
+   error-raisers, at a controlled ratio, without ever producing
+   behaviour the model cannot predict. *)
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+
+let generate ?(meta_ratio = 0.5) ?(error_ratio = 0.15) ?(fsyncs = true) ~ops
+    ~seed () =
+  let rng = Rng.create seed in
+  let model = ref (Model.create ()) in
+  let open_slots = ref [] in
+  let acc = ref [] in
+  let names = [ "a"; "b"; "c"; "d"; "e" ] in
+  (* A path that may or may not exist: a name under root or under an
+     existing directory. *)
+  let some_path () =
+    let dir = pick rng (Model.dirs !model) in
+    let name = pick rng names in
+    if dir = "/" then "/" ^ name else dir ^ "/" ^ name
+  in
+  let existing_file () =
+    match Model.files !model with [] -> None | fs -> Some (pick rng fs)
+  in
+  let existing_dir_non_root () =
+    match List.filter (fun d -> d <> "/") (Model.dirs !model) with
+    | [] -> None
+    | ds -> Some (pick rng ds)
+  in
+  let missing_path () =
+    (* A path whose parent is missing too, some of the time. *)
+    if Rng.bool rng then "/missing/" ^ pick rng names
+    else
+      let rec go tries =
+        if tries = 0 then "/nowhere"
+        else
+          let p = some_path () in
+          if Model.file_size !model p = None then p else go (tries - 1)
+      in
+      go 8
+  in
+  let emit op =
+    (* Keep the generator's model in sync by executing the op on it the
+       same way the executor will. *)
+    let m = !model in
+    (match op with
+    | Create { h; path } -> (
+        match Model.create_file m ~h path with
+        | Ok m' ->
+            model := m';
+            open_slots := h :: !open_slots
+        | Error _ -> ())
+    | Open { h; path } -> (
+        match Model.open_file m ~h path with
+        | Ok m' ->
+            model := m';
+            open_slots := h :: !open_slots
+        | Error _ -> ())
+    | Close { h } ->
+        model := Model.close m ~h;
+        open_slots := List.filter (fun s -> s <> h) !open_slots
+    | Write { h; pos; len; dseed } -> (
+        match Model.write m ~h ~pos (payload_string ~dseed ~len) with
+        | Ok m' -> model := m'
+        | Error _ -> ())
+    | Append { h; len; dseed } -> (
+        match Model.append m ~h (payload_string ~dseed ~len) with
+        | Ok m' -> model := m'
+        | Error _ -> ())
+    | Read _ | Fsync _ | Size _ -> ()
+    | Mkdir { path } -> (
+        match Model.mkdir m path with Ok m' -> model := m' | Error _ -> ())
+    | Unlink { path } -> (
+        match Model.unlink m path with Ok m' -> model := m' | Error _ -> ())
+    | Rename { src; dst } -> (
+        match Model.rename m ~src ~dst with
+        | Ok m' -> model := m'
+        | Error _ -> ()));
+    acc := op :: !acc
+  in
+  for i = 0 to ops - 1 do
+    let h = i in
+    let slot () =
+      match !open_slots with [] -> None | l -> Some (pick rng l)
+    in
+    let meta = Rng.float rng 1.0 < meta_ratio in
+    let errish = Rng.float rng 1.0 < error_ratio in
+    let dlen = 1 + Rng.int rng 256 in
+    let dseed = (seed * 1_000_003) + i in
+    if meta then
+      match Rng.int rng 7 with
+      | 0 ->
+          (* create: fresh path, or an existing one to draw Eexist *)
+          let path =
+            if errish then
+              match
+                if Rng.bool rng then existing_file ()
+                else existing_dir_non_root ()
+              with
+              | Some p -> p
+              | None -> some_path ()
+            else some_path ()
+          in
+          emit (Create { h; path })
+      | 1 ->
+          let path =
+            if errish then missing_path ()
+            else
+              match existing_file () with
+              | Some p -> p
+              | None -> some_path ()
+          in
+          emit (Open { h; path })
+      | 2 -> ( match slot () with Some h -> emit (Close { h }) | None -> ())
+      | 3 ->
+          let path =
+            if errish then
+              match existing_dir_non_root () with
+              | Some p -> p
+              | None -> missing_path ()
+            else some_path ()
+          in
+          emit (Mkdir { path })
+      | 4 ->
+          let path =
+            if errish then missing_path ()
+            else
+              match
+                if Rng.bool rng then existing_file ()
+                else existing_dir_non_root ()
+              with
+              | Some p -> p
+              | None -> some_path ()
+          in
+          emit (Unlink { path })
+      | 5 ->
+          let src =
+            if errish then missing_path ()
+            else
+              match
+                if Rng.int rng 4 = 0 then existing_dir_non_root ()
+                else existing_file ()
+              with
+              | Some p -> p
+              | None -> some_path ()
+          in
+          (* Destination: fresh, existing (overwrite / kind clash), or —
+             for directories — inside the moved subtree (Ecycle). *)
+          let dst =
+            match Rng.int rng 4 with
+            | 0 -> (
+                match existing_file () with
+                | Some p -> p
+                | None -> some_path ())
+            | 1 when errish -> src ^ "/" ^ pick rng names
+            | _ -> some_path ()
+          in
+          emit (Rename { src; dst })
+      | _ ->
+          let path =
+            match existing_file () with
+            | Some p when not errish -> p
+            | _ -> some_path ()
+          in
+          emit (Size { path })
+    else
+      match Rng.int rng (if fsyncs then 4 else 3) with
+      | 0 -> (
+          match slot () with
+          | Some h ->
+              let pos = if errish then -1 else Rng.int rng 1024 in
+              emit (Write { h; pos; len = dlen; dseed })
+          | None -> ())
+      | 1 -> (
+          match slot () with
+          | Some h -> emit (Append { h; len = dlen; dseed })
+          | None -> ())
+      | 2 -> (
+          match slot () with
+          | Some h ->
+              let pos = if errish then -3 else Rng.int rng 1024 in
+              emit (Read { h; pos; len = Rng.int rng 512 })
+          | None -> ())
+      | _ -> (
+          match slot () with Some h -> emit (Fsync { h }) | None -> ())
+  done;
+  { seed; ops = List.rev !acc }
+
+(* ------------------------------------------------------------------ *)
+(* Observation helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let op_paths = function
+  | Create { path; _ } | Open { path; _ } | Mkdir { path } | Unlink { path }
+  | Size { path } ->
+      [ path ]
+  | Rename { src; dst } -> [ src; dst ]
+  | Close _ | Write _ | Append _ | Read _ | Fsync _ -> []
+
+let mentioned_paths t =
+  List.sort_uniq compare (List.concat_map op_paths t.ops)
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* ddmin-lite: remove windows of ops, halving the window size, keeping
+   any removal under which the failure persists.  Slot references to
+   deleted Creates/Opens become unbound and are skipped by the
+   executor, so every candidate is well-formed. *)
+let minimize ~fails t =
+  let runs = ref 0 in
+  let still_fails ops =
+    incr runs;
+    fails { t with ops }
+  in
+  let drop_window l ~at ~len =
+    List.filteri (fun i _ -> i < at || i >= at + len) l
+  in
+  let rec pass ops window =
+    if window = 0 then ops
+    else
+      let rec scan at ops =
+        if at >= List.length ops then ops
+        else
+          let candidate = drop_window ops ~at ~len:window in
+          if List.length candidate < List.length ops && still_fails candidate
+          then scan at candidate
+          else scan (at + window) ops
+      in
+      pass (scan 0 ops) (window / 2)
+  in
+  let ops = pass t.ops (max 1 (List.length t.ops / 2)) in
+  ({ t with ops }, !runs)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_op fmt = function
+  | Create { h; path } -> Format.fprintf fmt "create h%d %s" h path
+  | Open { h; path } -> Format.fprintf fmt "open h%d %s" h path
+  | Close { h } -> Format.fprintf fmt "close h%d" h
+  | Write { h; pos; len; dseed } ->
+      Format.fprintf fmt "write h%d pos=%d len=%d seed=%d" h pos len dseed
+  | Append { h; len; dseed } ->
+      Format.fprintf fmt "append h%d len=%d seed=%d" h len dseed
+  | Read { h; pos; len } -> Format.fprintf fmt "read h%d pos=%d len=%d" h pos len
+  | Fsync { h } -> Format.fprintf fmt "fsync h%d" h
+  | Mkdir { path } -> Format.fprintf fmt "mkdir %s" path
+  | Unlink { path } -> Format.fprintf fmt "unlink %s" path
+  | Rename { src; dst } -> Format.fprintf fmt "rename %s -> %s" src dst
+  | Size { path } -> Format.fprintf fmt "size %s" path
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>seed=%d ops=%d" t.seed (List.length t.ops);
+  List.iteri (fun i op -> Format.fprintf fmt "@,%3d: %a" i pp_op op) t.ops;
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,66 @@
+(** Seeded operation-trace generator with a greedy shrinker.
+
+    A trace is a flat list of DFS operations over a small namespace.
+    File handles are named by integer slots chosen at generation time;
+    an operation whose slot is unbound when it executes (because the
+    opening operation failed, or was deleted by the shrinker) is
+    skipped by the executor — so every sublist of a trace is itself a
+    well-formed trace, which is what makes delta-debugging-style
+    shrinking sound.
+
+    Payloads are described by [(dseed, len)] descriptors and
+    materialized identically on every backend and in the model
+    ({!payload}), so traces stay tiny and printable. *)
+
+type op =
+  | Create of { h : int; path : string }
+  | Open of { h : int; path : string }
+  | Close of { h : int }
+  | Write of { h : int; pos : int; len : int; dseed : int }
+  | Append of { h : int; len : int; dseed : int }
+  | Read of { h : int; pos : int; len : int }
+  | Fsync of { h : int }
+  | Mkdir of { path : string }
+  | Unlink of { path : string }
+  | Rename of { src : string; dst : string }
+  | Size of { path : string }
+
+type t = { seed : int; ops : op list }
+
+val generate :
+  ?meta_ratio:float ->
+  ?error_ratio:float ->
+  ?fsyncs:bool ->
+  ops:int ->
+  seed:int ->
+  unit ->
+  t
+(** [meta_ratio] is the probability that an operation is a metadata op
+    (create/open/close/mkdir/rename/unlink/stat) rather than a data op
+    (write/append/read/fsync); default 0.5.  The metadata-storm shape
+    is [~meta_ratio:0.9].  [error_ratio] (default 0.15) is the
+    probability of deliberately generating an operation that should
+    fail (create over an existing path, unlink of a missing one, ...) —
+    the differential runner checks the error codes agree too.
+    [fsyncs:false] (default true) suppresses fsync ops, for harnesses
+    that must keep the client log unreclaimed. *)
+
+val payload : dseed:int -> len:int -> Storage.Data.t
+(** The concrete bytes every executor uses for a [(dseed, len)]
+    descriptor. *)
+
+val payload_string : dseed:int -> len:int -> string
+
+val mentioned_paths : t -> string list
+(** Every path a trace names, sorted and deduplicated (the universe the
+    final-state check sweeps). *)
+
+val minimize : fails:(t -> bool) -> t -> t * int
+(** Greedy delta-debugging: repeatedly drop chunks (halving window
+    sizes down to single operations) while [fails] keeps returning
+    true.  Returns the minimal failing trace and the number of
+    candidate runs spent.  [fails t] must be true on entry. *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -214,6 +214,8 @@ let fault_proc trace net (dep : D.t) (f : Plan.fault) =
       note trace "drop over %d<->%d" a b;
       Netfault.set_drop net ~a ~b 0.0
 
+let drive_fault = fault_proc
+
 let crashed_nodes plan =
   List.filter_map
     (function Plan.Crash { node; _ } -> Some node | _ -> None)

@@ -66,3 +66,20 @@ val run : spec -> outcome
 
 val pp_spec : Format.formatter -> spec -> unit
 val pp_outcome : Format.formatter -> outcome -> unit
+
+(** {1 Reuse by other fault harnesses}
+
+    The conformance litmus harness drives the same fault machinery over
+    its own workload; sharing the driver keeps fault semantics (and
+    [DST_DEBUG] timelines) identical across both. *)
+
+val drive_fault : Trace.t -> Netfault.t -> Linefs.Deployment.t -> Plan.fault -> unit
+(** Sleep until the fault's injection time, apply it, and see it
+    through to its end (restart/heal/expiry).  Spawn one process per
+    fault of a plan. *)
+
+val crashed_nodes : Plan.t -> int list
+(** Nodes a plan crash-restarts (candidates for post-plan recovery). *)
+
+val dead_nodes : Plan.t -> int list
+(** Nodes a plan kills permanently. *)

@@ -1,0 +1,102 @@
+open Sim
+open Storage
+open Linefs
+
+type result = { ops_done : int; elapsed : Time.t; kops_per_sec : float }
+
+(* Tiny payloads: the storm is about namespace churn, not bandwidth. *)
+let payload_bytes = 512
+
+let fname dir i = Printf.sprintf "%s/f%05d" dir i
+let tmpname dir i = Printf.sprintf "%s/.tmp%05d" dir i
+
+(* One gateway request cycle over the thread's file range. An NFS
+   gateway translating stateless client requests makes a fresh open
+   for almost every call, writes through small temp files, and renames
+   them into place (the classic "write-new + rename" update). *)
+let storm_flow (ops : Dfs_intf.ops) rng dir ~lo ~hi =
+  let pick () = lo + Rng.int rng (hi - lo) in
+  let count = ref 0 in
+  let op () = incr count in
+  (* LOOKUP+GETATTR: stat a few names, some of which never existed. *)
+  for _ = 1 to 3 do
+    let i = pick () in
+    ignore (ops.Dfs_intf.file_size (fname dir i) : int option);
+    op ()
+  done;
+  ignore (ops.Dfs_intf.file_size (fname dir (hi + 17)) : int option);
+  op ();
+  (* WRITE via temp + RENAME into place (atomic replace). *)
+  let i = pick () in
+  (try ops.Dfs_intf.unlink (tmpname dir i) with Dfs_intf.Fs_error _ -> ());
+  let fd = ops.Dfs_intf.create (tmpname dir i) in
+  op ();
+  ops.Dfs_intf.append fd (Data.synthetic ~seed:i ~len:payload_bytes);
+  op ();
+  ops.Dfs_intf.fsync fd;
+  op ();
+  ops.Dfs_intf.close fd;
+  op ();
+  ops.Dfs_intf.rename (tmpname dir i) (fname dir i);
+  op ();
+  (* READ: short-lived open, one small read, close. *)
+  let j = pick () in
+  (match ops.Dfs_intf.file_size (fname dir j) with
+  | Some size when size > 0 ->
+      let fd = ops.Dfs_intf.open_file (fname dir j) in
+      op ();
+      ignore (ops.Dfs_intf.read fd ~pos:0 ~len:payload_bytes : Data.t);
+      op ();
+      ops.Dfs_intf.close fd;
+      op ()
+  | _ -> ());
+  (* REMOVE: occasionally delete an entry (a later cycle recreates it). *)
+  if Rng.int rng 4 = 0 then begin
+    let k = pick () in
+    (try
+       ops.Dfs_intf.unlink (fname dir k);
+       op ()
+     with Dfs_intf.Fs_error _ -> ())
+  end;
+  !count
+
+let run ~(ops : Dfs_intf.ops) ?(files = 10_000) ?(threads = 16) ?ts ~duration
+    ~seed () =
+  let dir = "/metastorm" in
+  (match ops.Dfs_intf.file_size dir with
+  | Some _ -> ()
+  | None -> ops.Dfs_intf.mkdir dir);
+  (* Pre-allocate the working set (not timed). *)
+  for i = 0 to files - 1 do
+    let fd = ops.Dfs_intf.create (fname dir i) in
+    ops.Dfs_intf.append fd (Data.synthetic ~seed:i ~len:payload_bytes);
+    ops.Dfs_intf.close fd
+  done;
+  let t0 = Engine.now () in
+  let deadline = t0 + duration in
+  let total = ref 0 in
+  let live = ref threads in
+  let finished = Ivar.create () in
+  let per_thread = files / threads in
+  for th = 0 to threads - 1 do
+    let thread_rng = Rng.create (seed + (th * 7919)) in
+    let lo = th * per_thread and hi = (th + 1) * per_thread in
+    Engine.spawn ~name:(Printf.sprintf "metastorm.t%d" th) (fun () ->
+        while Engine.now () < deadline do
+          let n = storm_flow ops thread_rng dir ~lo ~hi in
+          total := !total + n;
+          match ts with
+          | Some series ->
+              Stats.Timeseries.add series ~at:(Engine.now ()) (float_of_int n)
+          | None -> ()
+        done;
+        decr live;
+        if !live = 0 then Ivar.fill finished ())
+  done;
+  Ivar.read finished;
+  let elapsed = Engine.now () - t0 in
+  {
+    ops_done = !total;
+    elapsed;
+    kops_per_sec = float_of_int !total /. Time.to_sec_f elapsed /. 1000.0;
+  }

@@ -1,0 +1,32 @@
+(** Metadata storm: an NFS-gateway-style namespace churn workload.
+
+    Each request cycle is dominated by metadata operations — lookups
+    (stat), short-lived opens, write-new-temp-then-rename updates, and
+    occasional unlinks — with tiny (512 B) payloads, so throughput is
+    bounded by the metadata path rather than bandwidth.  This is the
+    access pattern that makes DFS clients behind an NFS gateway
+    metadata-bound: the gateway re-opens for nearly every stateless
+    client call instead of caching handles.
+
+    Threads work on disjoint file subsets and run until a deadline,
+    like the filebench profiles. *)
+
+open Sim
+
+type result = {
+  ops_done : int;  (** Primitive file operations completed. *)
+  elapsed : Time.t;
+  kops_per_sec : float;
+}
+
+val run :
+  ops:Linefs.Dfs_intf.ops ->
+  ?files:int ->
+  ?threads:int ->
+  ?ts:Stats.Timeseries.t ->
+  duration:Time.t ->
+  seed:int ->
+  unit ->
+  result
+(** [files] defaults to a 10 K working set; [threads] to 16.  [ts]
+    (optional) accumulates completed operations over time. *)

@@ -3,10 +3,18 @@
 # (unit + integration + qcheck properties + the DST fault sweep),
 # then the standalone DST gate: a reduced seed sweep plus the four
 # explicit failover scenarios, with a determinism check that fails
-# the build on any fingerprint mismatch between identical runs.
+# the build on any fingerprint mismatch between identical runs;
+# then the conformance/crash litmus sweep: differential checks of
+# every backend against the model oracle plus faulted litmus runs,
+# and the --mutate self-test that proves planted bugs are caught.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest --force
 dune exec bin/dst_sweep.exe -- "${DST_SEEDS:-12}"
+dune exec bin/litmus_sweep.exe -- \
+  --differ-seeds "${LITMUS_SEEDS:-50}" \
+  --litmus-seeds "${LITMUS_SEEDS:-50}" \
+  --out "${LITMUS_OUT:-_litmus_reports}"
+dune exec bin/litmus_sweep.exe -- --mutate --out "${LITMUS_OUT:-_litmus_reports}"

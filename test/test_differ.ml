@@ -1,0 +1,218 @@
+(* The conformance framework's own tests: the model oracle's tree
+   semantics, the differential property (every backend agrees with the
+   model on random traces), the shrinker's soundness, and the mutation
+   checks that prove the harness can actually catch planted bugs. *)
+
+open Conformance
+module Fs_state = Storage.Fs_state
+
+(* ------------------------------------------------------------------ *)
+(* Model unit checks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected %s" (Fs_state.error_to_string e)
+
+let expect_code want = function
+  | Ok _ -> Alcotest.failf "expected %s" (Fs_state.error_to_string want)
+  | Error e ->
+      Alcotest.(check string)
+        "code"
+        (Fs_state.error_to_string want)
+        (Fs_state.error_to_string e)
+
+let test_model_tree () =
+  let m = Model.create () in
+  let m = ok (Model.mkdir m "/d") in
+  let m = ok (Model.create_file m ~h:1 "/d/f") in
+  let m = ok (Model.append m ~h:1 "hello") in
+  Alcotest.(check (option string)) "content" (Some "hello")
+    (Model.content m "/d/f");
+  Alcotest.(check (option int)) "size" (Some 5) (Model.file_size m "/d/f");
+  let m = ok (Model.write m ~h:1 ~pos:10 "end") in
+  Alcotest.(check (option string)) "zero-padded hole"
+    (Some "hello\000\000\000\000\000end")
+    (Model.content m "/d/f");
+  let m = ok (Model.rename m ~src:"/d/f" ~dst:"/g") in
+  Alcotest.(check (option int)) "moved" (Some 13) (Model.file_size m "/g");
+  Alcotest.(check (option int)) "gone" None (Model.file_size m "/d/f");
+  (* The open handle follows the inode across the rename. *)
+  Alcotest.(check string) "read via handle" "end"
+    (ok (Model.read m ~h:1 ~pos:10 ~len:8))
+
+let test_model_errors () =
+  let m = Model.create () in
+  expect_code Fs_state.Enoent (Model.create_file m ~h:1 "/nope/f");
+  expect_code Fs_state.Einval (Model.create_file m ~h:1 "relative");
+  let m = ok (Model.create_file m ~h:1 "/f") in
+  expect_code Fs_state.Eexist (Model.create_file m ~h:2 "/f");
+  expect_code Fs_state.Enotdir (Model.create_file m ~h:2 "/f/under");
+  expect_code Fs_state.Einval (Model.write m ~h:9 ~pos:0 "x");
+  expect_code Fs_state.Einval (Model.read m ~h:1 ~pos:(-1) ~len:4);
+  let m' = ok (Model.unlink m "/f") in
+  (* Open fd over an unlinked file: Enoent on use, like the backends. *)
+  expect_code Fs_state.Enoent (Model.read m' ~h:1 ~pos:0 ~len:1);
+  expect_code Fs_state.Enotempty
+    (let m = ok (Model.mkdir m "/d") in
+     let m = ok (Model.create_file m ~h:3 "/d/x") in
+     Model.unlink m "/d")
+
+let test_model_digest_roundtrip () =
+  (* Materialized Fs_state digests are inum-independent, so two
+     different construction orders of the same tree agree. *)
+  let build ops =
+    List.fold_left
+      (fun (m, h) -> function
+        | `Mkdir p -> (ok (Model.mkdir m p), h)
+        | `File (p, data) ->
+            let m = ok (Model.create_file m ~h p) in
+            let m = ok (Model.append m ~h data) in
+            (Model.close m ~h, h + 1))
+      (Model.create (), 1)
+      ops
+    |> fst
+  in
+  let a = build [ `Mkdir "/d"; `File ("/d/x", "xx"); `File ("/y", "yy") ] in
+  let b = build [ `File ("/y", "yy"); `Mkdir "/d"; `File ("/d/x", "xx") ] in
+  Alcotest.(check int32) "same digest" (Model.digest a) (Model.digest b);
+  let c = build [ `File ("/y", "YY"); `Mkdir "/d"; `File ("/d/x", "xx") ] in
+  Alcotest.(check bool) "content changes digest" true
+    (Model.digest a <> Model.digest c)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property (the qcheck satellite)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* All three backends agree with the model on final tree contents,
+   file sizes, and raised error codes, for random seeded traces of
+   varying metadata:data mix. *)
+let prop_backends_match_model =
+  QCheck.Test.make ~name:"differ: all backends agree with model on random traces"
+    ~count:12
+    QCheck.(pair (int_bound 10_000) (int_bound 100))
+    (fun (seed, meta_pct) ->
+      let meta_ratio = float_of_int meta_pct /. 100.0 in
+      let trace = Opgen.generate ~meta_ratio ~ops:40 ~seed () in
+      let reports = Differ.run trace in
+      if Differ.failed reports then
+        QCheck.Test.fail_reportf "%a"
+          (Format.pp_print_list Differ.pp_report)
+          (List.filter Differ.report_failed reports)
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation checks: the framework must catch planted bugs             *)
+(* ------------------------------------------------------------------ *)
+
+let overwrite_trace =
+  {
+    Opgen.seed = 0;
+    ops =
+      [
+        Opgen.Create { h = 1; path = "/a" };
+        Opgen.Append { h = 1; len = 8; dseed = 7 };
+        Opgen.Create { h = 2; path = "/b" };
+        Opgen.Rename { src = "/a"; dst = "/b" };
+      ];
+  }
+
+let test_mutation_caught () =
+  (* A correct backend vs a model with a planted rename bug: the diff
+     must fire (otherwise the harness proves nothing). *)
+  let bug = Model.Rename_no_overwrite in
+  List.iter
+    (fun b ->
+      let r = Differ.check_backend ~bug b overwrite_trace in
+      Alcotest.(check bool)
+        (Backends.name b ^ " catches planted bug")
+        true
+        (Differ.report_failed r))
+    Backends.all;
+  (* And without the bug the same trace is clean. *)
+  Alcotest.(check bool) "clean without bug" false
+    (Differ.failed (Differ.run overwrite_trace))
+
+let test_mutation_shrinks_minimal () =
+  (* Pad the failing kernel with noise; the shrinker must cut it back
+     down to the create/create/rename core. *)
+  let noise = Opgen.generate ~ops:30 ~seed:5 () in
+  let trace =
+    { noise with Opgen.ops = noise.Opgen.ops @ overwrite_trace.Opgen.ops }
+  in
+  let bug = Model.Rename_no_overwrite in
+  let shrunk, _runs = Differ.minimize ~bug Backends.Linefs trace in
+  let n = List.length shrunk.Opgen.ops in
+  if n > 3 then
+    Alcotest.failf "shrunk to %d ops, expected <= 3:\n%s" n
+      (Opgen.to_string shrunk);
+  (* The shrunk trace still reproduces. *)
+  Alcotest.(check bool) "still fails" true
+    (Differ.report_failed (Differ.check_backend ~bug Backends.Linefs shrunk))
+
+let test_shrinker_skips_unbound_slots () =
+  (* Deleting the Create that binds a slot must leave a runnable trace
+     (ops on the unbound slot are skipped, not errors). *)
+  let trace =
+    {
+      Opgen.seed = 0;
+      ops =
+        [
+          Opgen.Create { h = 1; path = "/a" };
+          Opgen.Append { h = 1; len = 4; dseed = 1 };
+          Opgen.Read { h = 1; pos = 0; len = 4 };
+          Opgen.Close { h = 1 };
+        ];
+    }
+  in
+  let without_create =
+    { trace with Opgen.ops = List.tl trace.Opgen.ops }
+  in
+  Alcotest.(check bool) "sublist is clean" false
+    (Differ.failed (Differ.run ~backends:[ Backends.Linefs ] without_create))
+
+(* ------------------------------------------------------------------ *)
+(* Litmus smoke + litmus mutation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_litmus_green () =
+  let o = Litmus.run (Litmus.generate ~seed:2) in
+  if Litmus.failed o then
+    Alcotest.failf "litmus seed 2 failed: %a" Litmus.pp_outcome o
+
+let test_litmus_mutation_caught () =
+  let spec = Litmus.generate ~seed:1 in
+  let o = Litmus.run ~mutate:Litmus.Drop_entry spec in
+  Alcotest.(check bool) "dropped entry detected" true (Litmus.failed o);
+  Alcotest.(check bool) "flagged as a log-prefix violation" true
+    (List.exists
+       (fun v -> v.Fault.Invariant.name = "log-gap")
+       o.Litmus.violations)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "differ"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "tree semantics" `Quick test_model_tree;
+          Alcotest.test_case "error codes" `Quick test_model_errors;
+          Alcotest.test_case "digest roundtrip" `Quick
+            test_model_digest_roundtrip;
+        ] );
+      ("property", [ qt prop_backends_match_model ]);
+      ( "mutation",
+        [
+          Alcotest.test_case "planted bug caught" `Quick test_mutation_caught;
+          Alcotest.test_case "shrinks to minimal" `Quick
+            test_mutation_shrinks_minimal;
+          Alcotest.test_case "shrinker skips unbound slots" `Quick
+            test_shrinker_skips_unbound_slots;
+        ] );
+      ( "litmus",
+        [
+          Alcotest.test_case "seeded run green" `Quick test_litmus_green;
+          Alcotest.test_case "dropped entry caught" `Quick
+            test_litmus_mutation_caught;
+        ] );
+    ]

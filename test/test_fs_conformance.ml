@@ -1,50 +1,35 @@
 (* FS conformance suite (the xfstests role): a matrix of generic POSIX
    behaviour checks executed against every DFS implementation through
-   the common interface. *)
+   the common interface — LineFS, Assise, the Ceph-like baseline, and
+   the model oracle itself (if the model fails a generic check, the
+   oracle is wrong, not the backends). *)
 
-open Sim
 open Storage
 open Linefs
 
-let params =
-  {
-    Params.default with
-    Params.chunk_bytes = 256 * 1024;
-    log_bytes = 8 * 1024 * 1024;
-  }
+let with_system sys f =
+  match sys with
+  | `Model -> f (Conformance.Model.as_ops (ref (Conformance.Model.create ())))
+  | `Backend b -> Conformance.Backends.run b f
 
-let run_sim f =
-  let eng = Engine.create () in
-  let result = ref None in
-  Engine.spawn_root eng (fun () -> result := Some (f ()));
-  Engine.run eng;
-  match !result with
-  | Some v -> v
-  | None -> Alcotest.fail "simulation did not complete"
-
-(* Run [f] with a fresh client of the named system. *)
-let with_system sysname f =
-  run_sim (fun () ->
-      match sysname with
-      | `Linefs ->
-          let d = Deployment.create ~params ~nodes:3 () in
-          let r = f (Libfs.ops (Deployment.add_client d ~id:1)) in
-          Deployment.stop d;
-          r
-      | `Assise ->
-          let a = Baselines.Assise.create ~params ~nodes:3 () in
-          let r = f (Baselines.Assise.ops (Baselines.Assise.add_client a ~id:1)) in
-          Baselines.Assise.stop a;
-          r)
-
-let systems = [ ("linefs", `Linefs); ("assise", `Assise) ]
+let systems =
+  ("model", `Model)
+  :: List.map
+       (fun b -> (Conformance.Backends.name b, `Backend b))
+       Conformance.Backends.all
 
 let str_of d = Bytes.to_string (Data.to_bytes d)
 
-let expect_enoent f =
+let expect_err err f =
   match f () with
-  | _ -> Alcotest.fail "expected ENOENT"
-  | exception Dfs_intf.Fs_error (Fs_state.Enoent, _) -> ()
+  | () -> Alcotest.failf "expected %s" (Fs_state.error_to_string err)
+  | exception Dfs_intf.Fs_error (e, _) ->
+      Alcotest.(check string)
+        "error code"
+        (Fs_state.error_to_string err)
+        (Fs_state.error_to_string e)
+
+let expect_enoent f = expect_err Fs_state.Enoent (fun () -> ignore (f ()))
 
 (* ------------------------------------------------------------------ *)
 (* The generic checks (each runs on every system)                      *)
@@ -124,6 +109,7 @@ let generic_008_rename_overwrites (ops : Dfs_intf.ops) =
   ops.append fd (Data.of_string "loser");
   ops.close fd;
   ops.rename "/g008a" "/g008b";
+  Alcotest.(check (option int)) "source gone" None (ops.file_size "/g008a");
   let fd = ops.open_file "/g008b" in
   Alcotest.(check string) "target replaced" "winner"
     (str_of (ops.read fd ~pos:0 ~len:16));
@@ -156,7 +142,8 @@ let generic_010_many_small_files (ops : Dfs_intf.ops) =
   done
 
 let generic_011_open_missing_parent (ops : Dfs_intf.ops) =
-  expect_enoent (fun () -> ops.create "/no-such-dir/f")
+  expect_enoent (fun () -> ops.create "/no-such-dir/f");
+  expect_err Fs_state.Enoent (fun () -> ops.mkdir "/no-such-dir/d")
 
 let generic_012_interleaved_fds (ops : Dfs_intf.ops) =
   let fd1 = ops.create "/g012a" in
@@ -168,6 +155,72 @@ let generic_012_interleaved_fds (ops : Dfs_intf.ops) =
   Alcotest.(check string) "fd2" "two" (str_of (ops.read fd2 ~pos:0 ~len:16));
   ops.close fd1;
   ops.close fd2
+
+(* Metadata edge cases the original matrix skipped. *)
+
+let generic_013_unlink_open_fd (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g013" in
+  ops.append fd (Data.of_string "data");
+  ops.unlink "/g013";
+  Alcotest.(check (option int)) "path gone" None (ops.file_size "/g013");
+  (* The inode is dropped with the name (nlink=1, no orphan list), so
+     the still-open fd observes Enoent — on every backend alike. *)
+  expect_err Fs_state.Enoent (fun () -> ignore (ops.read fd ~pos:0 ~len:4));
+  expect_err Fs_state.Enoent (fun () ->
+      ops.append fd (Data.of_string "late"));
+  ops.close fd
+
+let generic_014_mkdir_existing (ops : Dfs_intf.ops) =
+  ops.mkdir "/g014";
+  expect_err Fs_state.Eexist (fun () -> ops.mkdir "/g014");
+  let fd = ops.create "/g014f" in
+  ops.close fd;
+  expect_err Fs_state.Eexist (fun () -> ops.mkdir "/g014f");
+  expect_err Fs_state.Eexist (fun () -> ignore (ops.create "/g014"))
+
+let generic_015_fsync_closed_fd (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g015" in
+  ops.fsync fd;
+  ops.close fd;
+  expect_err Fs_state.Einval (fun () -> ops.fsync fd);
+  expect_err Fs_state.Einval (fun () -> ops.fsync 9999)
+
+let generic_016_rename_into_own_subtree (ops : Dfs_intf.ops) =
+  ops.mkdir "/g016";
+  ops.mkdir "/g016/sub";
+  expect_err Fs_state.Ecycle (fun () -> ops.rename "/g016" "/g016/sub/x");
+  expect_err Fs_state.Ecycle (fun () -> ops.rename "/g016" "/g016/y")
+
+let generic_017_rename_kind_clash (ops : Dfs_intf.ops) =
+  ops.mkdir "/g017d";
+  ops.mkdir "/g017full";
+  let fd = ops.create "/g017full/x" in
+  ops.close fd;
+  let fd = ops.create "/g017f" in
+  ops.close fd;
+  (* file onto dir: Eisdir; dir onto file: Enotdir; anything onto a
+     nonempty dir of the same kind: Enotempty. *)
+  expect_err Fs_state.Eisdir (fun () -> ops.rename "/g017f" "/g017d");
+  expect_err Fs_state.Enotdir (fun () -> ops.rename "/g017d" "/g017f");
+  expect_err Fs_state.Enotempty (fun () -> ops.rename "/g017d" "/g017full");
+  expect_err Fs_state.Enoent (fun () -> ops.rename "/g017missing" "/g017f")
+
+let generic_018_rename_same_entry (ops : Dfs_intf.ops) =
+  let fd = ops.create "/g018" in
+  ops.append fd (Data.of_string "stay");
+  ops.close fd;
+  ops.rename "/g018" "/g018";
+  Alcotest.(check (option int)) "still there" (Some 4) (ops.file_size "/g018")
+
+let generic_019_unlink_nonempty_dir (ops : Dfs_intf.ops) =
+  ops.mkdir "/g019";
+  let fd = ops.create "/g019/x" in
+  ops.close fd;
+  expect_err Fs_state.Enotempty (fun () -> ops.unlink "/g019");
+  ops.unlink "/g019/x";
+  ops.unlink "/g019";
+  Alcotest.(check (option int)) "dir gone" None (ops.file_size "/g019");
+  expect_err Fs_state.Enoent (fun () -> ops.unlink "/g019")
 
 let all_generics =
   [
@@ -183,6 +236,13 @@ let all_generics =
     ("010 many small files", generic_010_many_small_files);
     ("011 missing parent", generic_011_open_missing_parent);
     ("012 interleaved fds", generic_012_interleaved_fds);
+    ("013 unlink open fd", generic_013_unlink_open_fd);
+    ("014 mkdir existing", generic_014_mkdir_existing);
+    ("015 fsync closed fd", generic_015_fsync_closed_fd);
+    ("016 rename into own subtree", generic_016_rename_into_own_subtree);
+    ("017 rename kind clash", generic_017_rename_kind_clash);
+    ("018 rename same entry", generic_018_rename_same_entry);
+    ("019 unlink nonempty dir", generic_019_unlink_nonempty_dir);
   ]
 
 let () =

@@ -239,6 +239,36 @@ let test_filebench_timeseries () =
     (List.length buckets >= 3)
 
 (* ------------------------------------------------------------------ *)
+(* Metastorm                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_metastorm_runs () =
+  let r =
+    with_linefs (fun _d ops ->
+        Metastorm.run ~ops ~files:60 ~threads:4 ~duration:(Time.ms 200)
+          ~seed:7 ())
+  in
+  Alcotest.(check bool)
+    "metastorm makes progress" true
+    (r.Metastorm.ops_done > 0 && r.Metastorm.kops_per_sec > 0.0)
+
+let test_metastorm_namespace_stays_sane () =
+  (* After the storm every surviving file is a complete 512 B payload
+     (the temp+rename update is atomic — no torn in-place writes), and
+     no temp names leak once their cycle completes the rename. *)
+  with_linefs (fun _d ops ->
+      let _ =
+        Metastorm.run ~ops ~files:60 ~threads:4 ~duration:(Time.ms 200)
+          ~seed:7 ()
+      in
+      for i = 0 to 59 do
+        match ops.Dfs_intf.file_size (Printf.sprintf "/metastorm/f%05d" i) with
+        | Some size ->
+            Alcotest.(check int) (Printf.sprintf "file %d complete" i) 512 size
+        | None -> () (* unlinked by a REMOVE phase: fine *)
+      done)
+
+(* ------------------------------------------------------------------ *)
 (* Tencent sort                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -325,6 +355,11 @@ let () =
         [
           tc "profiles run" `Quick test_filebench_profiles_run;
           tc "timeseries" `Quick test_filebench_timeseries;
+        ] );
+      ( "metastorm",
+        [
+          tc "runs" `Quick test_metastorm_runs;
+          tc "namespace stays sane" `Quick test_metastorm_namespace_stays_sane;
         ] );
       ( "tencent-sort",
         [
