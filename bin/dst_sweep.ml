@@ -9,8 +9,15 @@
 
    Usage:
      dst_sweep [generated-seed-count]        sweep (default 12 seeds)
+     dst_sweep --adversary N                 Byzantine-fabric sweep (N seeds)
      dst_sweep --print-fingerprints          print pinned-scenario fingerprints
      dst_sweep --check-fingerprints FILE     compare against a committed file
+
+   The adversary sweep draws plans only from duplication, reordering,
+   corruption and storage faults at aggressive probabilities — the
+   profile that exercises idempotent RPC, end-to-end integrity
+   trailers and the recovery scrub — and re-checks one seed for
+   fingerprint determinism.
 
    The fingerprint modes pin a fixed set of scenarios so that pure
    wall-clock optimisations of the data plane can be verified not to
@@ -50,6 +57,11 @@ let pinned () =
         (fun seed ->
           (Printf.sprintf "generated-%d" seed, Fault.Scenario.generate ~seed))
         [ 1; 2; 3; 4; 5 ];
+      List.map
+        (fun seed ->
+          ( Printf.sprintf "adversary-%d" seed,
+            Fault.Scenario.generate_adversary ~seed ))
+        [ 1; 2 ];
       [
         ("failover-primary-crash-1", Fault.Scenario.failover_primary_crash ~seed:1);
         ( "failover-crash-during-failback-1",
@@ -106,10 +118,26 @@ let check_fingerprints file =
   print_endline "fingerprints match";
   exit 0
 
+let adversary_sweep n =
+  for seed = 1 to n do
+    check_spec
+      ~what:(Printf.sprintf "adversary seed %d" seed)
+      (Fault.Scenario.generate_adversary ~seed)
+  done;
+  check_deterministic ~what:"adversary seed 1"
+    (Fault.Scenario.generate_adversary ~seed:1);
+  if !failures > 0 then begin
+    Printf.printf "%d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  print_endline "adversary sweep clean";
+  exit 0
+
 let () =
   (match Array.to_list Sys.argv with
   | _ :: "--print-fingerprints" :: _ -> print_fingerprints ()
   | _ :: "--check-fingerprints" :: file :: _ -> check_fingerprints file
+  | _ :: "--adversary" :: n :: _ -> adversary_sweep (int_of_string n)
   | _ -> ());
   let nseeds =
     match Array.to_list Sys.argv with

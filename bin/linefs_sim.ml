@@ -135,7 +135,15 @@ let run_bench system workload clients file_mb io_kb log_mb files duration_ms
       end;
       stop_bg ();
       teardown ());
-  Engine.run eng
+  Engine.run eng;
+  (* Robustness event counters (retransmits, dedup hits, NACKed
+     frames, scrub actions...) — all zero, and therefore silent, on a
+     fault-free run. *)
+  match Counters.all () with
+  | [] -> ()
+  | counters ->
+      Fmt.pr "events:@.";
+      List.iter (fun (name, n) -> Fmt.pr "  %-24s %d@." name n) counters
 
 let cmd =
   let system =

@@ -131,6 +131,44 @@ let mutation_differ () =
       fail "mutation differ: shrunk trace has %d ops, expected <= 5" n
   end
 
+let run_mutation ~what ~mutate ~want spec =
+  let o = Conformance.Litmus.run ~mutate spec in
+  let caught =
+    List.exists
+      (fun (v : Fault.Invariant.violation) -> List.mem v.name want)
+      o.Conformance.Litmus.violations
+  in
+  if not caught then
+    fail "%s: planted bug was NOT caught (wanted one of: %s; got: %s)" what
+      (String.concat ", " want)
+      (Format.asprintf "%a" Conformance.Litmus.pp_outcome o)
+  else begin
+    let shrunk, runs = Conformance.Litmus.minimize ~mutate spec in
+    Printf.printf "ok   %s: caught, shrunk %d -> %d ops (%d runs)\n%!" what
+      (List.length spec.Conformance.Litmus.trace.Conformance.Opgen.ops)
+      (List.length shrunk.Conformance.Litmus.trace.Conformance.Opgen.ops)
+      runs;
+    write_report ~name:what
+      (Format.asprintf "planted bug: %s\n%a\n" what Conformance.Opgen.pp
+         shrunk.Conformance.Litmus.trace)
+  end
+
+(* Disabling the dedup layers (RPC reply cache + publication gate)
+   under an aggressive duplication fault must surface as a dup-apply
+   (or knock-on divergence) violation — proof the caches are
+   load-bearing, not dead code. *)
+let mutation_no_dedup () =
+  run_mutation ~what:"mutation-no-dedup" ~mutate:Conformance.Litmus.No_dedup
+    ~want:[ "dup-apply"; "divergence"; "model-final" ]
+    (Conformance.Litmus.adversary_dup_spec ~seed:1)
+
+(* Disabling the torn-record re-fetch must wedge the damaged replica's
+   publication gate and be flagged as divergence. *)
+let mutation_no_scrub () =
+  run_mutation ~what:"mutation-no-scrub" ~mutate:Conformance.Litmus.No_scrub
+    ~want:[ "divergence" ]
+    (Conformance.Litmus.adversary_torn_spec ~seed:1)
+
 let mutation_litmus () =
   let spec = Conformance.Litmus.generate ~seed:1 in
   let o = Conformance.Litmus.run ~mutate:Conformance.Litmus.Drop_entry spec in
@@ -187,7 +225,9 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !mutate then begin
     mutation_differ ();
-    mutation_litmus ()
+    mutation_litmus ();
+    mutation_no_dedup ();
+    mutation_no_scrub ()
   end
   else begin
     for seed = 1 to !differ_seeds do

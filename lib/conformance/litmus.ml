@@ -14,7 +14,7 @@ type spec = {
   horizon : Time.t;
 }
 
-type mutation = Drop_entry
+type mutation = Drop_entry | No_dedup | No_scrub
 
 type outcome = {
   completed : bool;
@@ -53,18 +53,40 @@ let generate ~seed =
     Opgen.generate ~meta_ratio:0.6 ~ops:(30 + Rng.int rng 31) ~seed ()
   in
   let plan =
-    match Rng.int rng 4 with
+    match Rng.int rng 5 with
     | 0 -> Plan.generate ~rng ~nodes:3 ~horizon
     | 1 ->
         [ Plan.Crash { node = 0; at = Time.ms 4; restart_after = Time.ms 8 } ]
     | 2 -> [ Plan.Node_death { node = 2; at = Time.ms 5 } ]
-    | _ ->
+    | 3 ->
         [
           Plan.Partition { a = 0; b = 1; at = Time.ms 3; heal_after = Time.ms 4 };
           Plan.Crash { node = 1; at = Time.ms 9; restart_after = Time.ms 5 };
         ]
+    | _ ->
+        (* Byzantine-fabric adversary: duplication / reordering /
+           corruption / storage faults only. *)
+        Plan.generate_adversary ~rng ~nodes:3 ~horizon
   in
   { seed; trace; plan; horizon }
+
+(* Crafted specs for the mutation self-tests: plans that reliably put
+   the disabled defence on the critical path. *)
+
+let adversary_dup_spec ~seed =
+  let base = generate ~seed in
+  {
+    base with
+    plan =
+      [
+        Plan.Link_dup
+          { a = 0; b = 1; at = Time.ms 2; duration = Time.ms 14; p = 0.6 };
+      ];
+  }
+
+let adversary_torn_spec ~seed =
+  let base = generate ~seed in
+  { base with plan = [ Plan.Torn_tail { node = 1; at = Time.ms 3 } ] }
 
 let sleep_until at =
   let now = Engine.now () in
@@ -82,7 +104,22 @@ let mutate_histories = function
    — same params, same failover driver, same recovery policy — with
    the seeded random clients replaced by one lockstep Exec client. *)
 let run ?mutate (spec : spec) =
+  (* Planted-bug knobs: [No_dedup] turns off both dedup layers (the
+     RPC reply cache and the replica publication gate); [No_scrub]
+     suppresses torn-record re-fetch.  Restored unconditionally. *)
+  (match mutate with
+  | Some No_dedup ->
+      Net.Rpc.disable_dedup := true;
+      Nicfs.chaos_no_dedup := true
+  | Some No_scrub -> Nicfs.chaos_no_scrub := true
+  | Some Drop_entry | None -> ());
+  Fun.protect ~finally:(fun () ->
+      Net.Rpc.disable_dedup := false;
+      Nicfs.chaos_no_dedup := false;
+      Nicfs.chaos_no_scrub := false)
+  @@ fun () ->
   let eng = Engine.create ~seed:spec.seed () in
+  Sim.Counters.reset ();
   let trace_log = Trace.create () in
   let histories : (int, Storage.Oplog.entry list ref) Hashtbl.t =
     Hashtbl.create 4
@@ -204,7 +241,7 @@ let run ?mutate (spec : spec) =
   let histories =
     match mutate with
     | Some Drop_entry -> mutate_histories histories
-    | None -> histories
+    | Some (No_dedup | No_scrub) | None -> histories
   in
   let model_digest = Model.digest !final_model in
   let violations, fs_digest =
@@ -223,9 +260,18 @@ let run ?mutate (spec : spec) =
               if List.mem id dead then None else Some (id, rt.D.fs))
             (D.replicas dep)
         in
+        let journals =
+          List.filter_map
+            (fun (rt : D.node_rt) ->
+              let id = rt.D.node.Hw.Node.id in
+              if List.mem id dead then None
+              else Some (id, Nicfs.apply_journal rt.D.nicfs))
+            (D.replicas dep)
+        in
         let vs =
           Invariant.check_prefix_consistency ~histories
           @ Invariant.check_single_writer trace_log
+          @ Invariant.check_no_duplicate_apply ~journals
           @
           if not !completed then []
           else

@@ -37,6 +37,15 @@ type mutation =
   | Drop_entry
       (** Silently drop a mid-sequence persisted entry — a lost-update
           recovery bug; prefix consistency must flag the seq gap. *)
+  | No_dedup
+      (** Disable both dedup layers (the RPC reply cache and the
+          replica publication gate): fabric duplicates double-apply and
+          the no-duplicate-apply invariant must flag it.  Pair with
+          {!adversary_dup_spec}. *)
+  | No_scrub
+      (** Disable the torn-record re-fetch: a torn tail wedges the
+          replica's publication gate and convergence must flag the
+          divergence.  Pair with {!adversary_torn_spec}. *)
 
 type outcome = {
   completed : bool;
@@ -50,8 +59,20 @@ val failed : outcome -> bool
 
 val generate : seed:int -> spec
 (** Seed-derived spec: a 30–60 op trace (60% metadata) over a 20 ms
-    window, with one of four plan shapes — generated multi-fault,
-    primary NIC crash, permanent tail death, or partition + crash. *)
+    window, with one of five plan shapes — generated multi-fault,
+    primary NIC crash, permanent tail death, partition + crash, or the
+    Byzantine-fabric adversary (duplication / reordering / corruption /
+    storage faults). *)
+
+val adversary_dup_spec : seed:int -> spec
+(** [generate]'s trace under a single aggressive duplication fault on
+    the primary→replica link — the plan the [No_dedup] mutation must
+    be caught under. *)
+
+val adversary_torn_spec : seed:int -> spec
+(** [generate]'s trace under a single torn-tail storage fault on
+    replica 1 — the plan the [No_scrub] mutation must be caught
+    under. *)
 
 val run : ?mutate:mutation -> spec -> outcome
 

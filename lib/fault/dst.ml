@@ -9,9 +9,12 @@ let run_spec spec = { spec; outcome = Scenario.run spec }
 (* The determinism fingerprint: every field that a re-run of the same
    seed must reproduce bit-for-bit. *)
 let fingerprint (o : Scenario.outcome) =
-  Format.asprintf "digest=%08lx trace=%d ops=%d drops=%d delays=%d ok=%b [%a]"
+  Format.asprintf
+    "digest=%08lx trace=%d ops=%d drops=%d delays=%d dups=%d reorders=%d \
+     corrupts=%d scrubbed=%d ok=%b [%a]"
     o.Scenario.fs_digest o.Scenario.trace_events o.Scenario.ops_logged
-    o.Scenario.drops o.Scenario.delays
+    o.Scenario.drops o.Scenario.delays o.Scenario.dups o.Scenario.reorders
+    o.Scenario.corrupts o.Scenario.scrubbed
     (not (Scenario.failed o))
     (Format.pp_print_list
        ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")

@@ -124,6 +124,38 @@ let check_single_writer (trace : Trace.t) =
   List.rev !bad
 
 (* ------------------------------------------------------------------ *)
+(* Idempotent application                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every accepted operation applies exactly once per replica: a
+   duplicated (client, seq) pair in a node's application journal means
+   a fabric duplicate or a retransmission slipped past both dedup
+   layers (RPC cache and publication gate).  State-level idempotence
+   can mask that — [Fs_state.apply] tolerates Write replays — so the
+   journal, not the digest, is the evidence. *)
+let check_no_duplicate_apply ~(journals : (int * (int * int) list) list) =
+  List.concat_map
+    (fun (node, entries) ->
+      let seen = Hashtbl.create 64 in
+      let bad = ref [] in
+      List.iter
+        (fun (client, seq) ->
+          if Hashtbl.mem seen (client, seq) then begin
+            if not (Hashtbl.find seen (client, seq)) then begin
+              Hashtbl.replace seen (client, seq) true;
+              bad :=
+                v "dup-apply"
+                  "node %d: op (client=%d, seq=%d) applied more than once"
+                  node client seq
+                :: !bad
+            end
+          end
+          else Hashtbl.replace seen (client, seq) false)
+        entries;
+      List.rev !bad)
+    journals
+
+(* ------------------------------------------------------------------ *)
 (* Replica convergence                                                 *)
 (* ------------------------------------------------------------------ *)
 

@@ -1,6 +1,6 @@
 (** Post-scenario invariant checking.
 
-    Three families of checks, run after the simulated cluster has been
+    Four families of checks, run after the simulated cluster has been
     shaken by a fault plan, healed, recovered and drained:
 
     - {b prefix crash consistency}: every prefix of every client's
@@ -11,6 +11,9 @@
     - {b lease single-writer safety}: the lease trace never shows two
       clients holding conflicting leases on an inode at once, modulo
       expiry and epoch-bump revocation (§3.4, §3.6);
+    - {b idempotent application}: no replica applies an accepted
+      operation more than once, even under fabric duplication and
+      retransmission;
     - {b replica convergence}: byte-exact file-content agreement
       between the primary and every replica (§3.3.2). *)
 
@@ -26,6 +29,15 @@ val check_prefix_consistency :
     enough). *)
 
 val check_single_writer : Trace.t -> violation list
+
+val check_no_duplicate_apply :
+  journals:(int * (int * int) list) list -> violation list
+(** [journals] maps each replica node id to its chronological
+    application journal of [(client, seq)] pairs
+    ({!Linefs.Nicfs.apply_journal}).  Any pair applied more than once
+    on one node is a "dup-apply" violation: a fabric duplicate or
+    retransmission slipped past both the RPC dedup cache and the
+    publication gate.  One violation per duplicated pair. *)
 
 val check_convergence :
   primary:Storage.Fs_state.t ->

@@ -4,6 +4,10 @@ type link = {
   mutable partitioned : bool;
   mutable extra_delay : Time.t;
   mutable drop_p : float;
+  mutable dup_p : float;
+  mutable reorder_p : float;
+  mutable reorder_delay : Time.t;
+  mutable corrupt_p : float;
 }
 
 type t = {
@@ -12,6 +16,9 @@ type t = {
   rng : Rng.t;
   mutable drops : int;
   mutable delays : int;
+  mutable dups : int;
+  mutable reorders : int;
+  mutable corrupts : int;
 }
 
 let create ~rng =
@@ -21,6 +28,9 @@ let create ~rng =
     rng;
     drops = 0;
     delays = 0;
+    dups = 0;
+    reorders = 0;
+    corrupts = 0;
   }
 
 let key a b = (min a b, max a b)
@@ -31,7 +41,15 @@ let link t a b =
   | Some l -> l
   | None ->
       let l =
-        { partitioned = false; extra_delay = Time.ns 0; drop_p = 0.0 }
+        {
+          partitioned = false;
+          extra_delay = Time.ns 0;
+          drop_p = 0.0;
+          dup_p = 0.0;
+          reorder_p = 0.0;
+          reorder_delay = Time.ns 0;
+          corrupt_p = 0.0;
+        }
       in
       Hashtbl.replace t.links k l;
       l
@@ -39,6 +57,14 @@ let link t a b =
 let set_partition t ~a ~b on = (link t a b).partitioned <- on
 let set_delay t ~a ~b d = (link t a b).extra_delay <- d
 let set_drop t ~a ~b p = (link t a b).drop_p <- p
+let set_dup t ~a ~b p = (link t a b).dup_p <- p
+
+let set_reorder t ~a ~b ~p ~delay =
+  let l = link t a b in
+  l.reorder_p <- p;
+  l.reorder_delay <- delay
+
+let set_corrupt t ~a ~b p = (link t a b).corrupt_p <- p
 
 let set_stall t ~node ~until = Hashtbl.replace t.stalled_until node until
 let clear_stall t ~node = Hashtbl.remove t.stalled_until node
@@ -56,11 +82,16 @@ let stall_remaining t node =
 
    Layering of the two RPC paths over the underlying RDMA move:
    [Rpc.call]/[Rpc.post] internally perform [Rdma.move] for their
-   payloads, so a single logical send consults the hook twice.  Drops
-   are decided once, at the RPC points; delays are charged once, at the
-   move.  Deciding both at both layers would double-charge delay and
-   make loss rates quadratic in the drop probability. *)
-let verdict t ~point ~(src : Net.Loc.t) ~(dst : Net.Loc.t) ~bytes:_ =
+   payloads, so a single logical send consults the hook twice.  Message
+   fates (drop, duplicate, corrupt, reorder) are decided once, at the
+   RPC points; delays are charged once, at the move.  Deciding both at
+   both layers would double-charge delay and make loss rates quadratic
+   in the drop probability.
+
+   RNG discipline: each probability draws only when its knob is
+   nonzero, so plans that never arm duplication/reordering/corruption
+   consume exactly the RNG stream the pre-Byzantine harness did. *)
+let verdict t ~point ~(src : Net.Loc.t) ~(dst : Net.Loc.t) ~bytes =
   let sn = (Net.Loc.node src).Hw.Node.id in
   let dn = (Net.Loc.node dst).Hw.Node.id in
   if sn = dn then Net.Inject.Pass
@@ -75,6 +106,28 @@ let verdict t ~point ~(src : Net.Loc.t) ~(dst : Net.Loc.t) ~bytes:_ =
         else if l.drop_p > 0.0 && Rng.float t.rng 1.0 < l.drop_p then begin
           t.drops <- t.drops + 1;
           Net.Inject.Drop
+        end
+        else if l.dup_p > 0.0 && Rng.float t.rng 1.0 < l.dup_p then begin
+          t.dups <- t.dups + 1;
+          Net.Inject.Duplicate
+        end
+        else if l.corrupt_p > 0.0 && Rng.float t.rng 1.0 < l.corrupt_p
+        then begin
+          t.corrupts <- t.corrupts + 1;
+          Net.Inject.Corrupt
+            {
+              offset = Rng.int t.rng (max 1 bytes);
+              xor = 1 + Rng.int t.rng 255;
+            }
+        end
+        else if
+          (* Reordering only makes sense for one-way posts: a blocked
+             round-trip caller observes it as latency anyway. *)
+          point = Rpc_post && l.reorder_p > 0.0
+          && Rng.float t.rng 1.0 < l.reorder_p
+        then begin
+          t.reorders <- t.reorders + 1;
+          Net.Inject.Reorder l.reorder_delay
         end
         else Net.Inject.Pass
     | Rdma_move ->
@@ -94,3 +147,6 @@ let uninstall () = Net.Inject.clear ()
 
 let drops t = t.drops
 let delays t = t.delays
+let dups t = t.dups
+let reorders t = t.reorders
+let corrupts t = t.corrupts

@@ -25,6 +25,18 @@ val set_partition : t -> a:int -> b:int -> bool -> unit
 val set_delay : t -> a:int -> b:int -> Time.t -> unit
 val set_drop : t -> a:int -> b:int -> float -> unit
 
+val set_dup : t -> a:int -> b:int -> float -> unit
+(** Probability that a message on the link is delivered twice. *)
+
+val set_reorder : t -> a:int -> b:int -> p:float -> delay:Time.t -> unit
+(** Probability that a one-way post is held back by [delay] while later
+    sends overtake it. *)
+
+val set_corrupt : t -> a:int -> b:int -> float -> unit
+(** Probability that a frame is bit-corrupted in flight; the damaged
+    offset and XOR mask are drawn from the seeded RNG.  Receivers
+    detect this via the end-to-end CRC trailer and NACK the frame. *)
+
 val set_stall : t -> node:int -> until:Time.t -> unit
 (** Hold all RDMA traffic touching [node] until the virtual instant
     [until]. *)
@@ -36,3 +48,12 @@ val drops : t -> int
 
 val delays : t -> int
 (** Transfers delayed so far. *)
+
+val dups : t -> int
+(** Messages duplicated so far. *)
+
+val reorders : t -> int
+(** Posts reordered so far. *)
+
+val corrupts : t -> int
+(** Frames corrupted so far. *)

@@ -19,6 +19,30 @@ type fault =
       duration : Time.t;
       p : float;
     }
+  | Link_dup of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      p : float;
+    }
+  | Link_reorder of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      p : float;
+      delay : Time.t;
+    }
+  | Link_corrupt of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      p : float;
+    }
+  | Torn_tail of { node : int; at : Time.t }
+  | Bit_rot of { node : int; at : Time.t; salt : int }
 
 type t = fault list
 
@@ -28,7 +52,12 @@ let start_of = function
   | Stall { at; _ }
   | Partition { at; _ }
   | Link_delay { at; _ }
-  | Link_drop { at; _ } ->
+  | Link_drop { at; _ }
+  | Link_dup { at; _ }
+  | Link_reorder { at; _ }
+  | Link_corrupt { at; _ }
+  | Torn_tail { at; _ }
+  | Bit_rot { at; _ } ->
       at
 
 let end_of = function
@@ -38,6 +67,11 @@ let end_of = function
   | Partition { at; heal_after; _ } -> at + heal_after
   | Link_delay { at; duration; _ } -> at + duration
   | Link_drop { at; duration; _ } -> at + duration
+  | Link_dup { at; duration; _ } -> at + duration
+  | Link_reorder { at; duration; _ } -> at + duration
+  | Link_corrupt { at; duration; _ } -> at + duration
+  | Torn_tail { at; _ } -> at
+  | Bit_rot { at; _ } -> at
 
 let horizon t = List.fold_left (fun acc f -> max acc (end_of f)) (Time.ns 0) t
 
@@ -54,7 +88,7 @@ let gen_fault rng ~nodes ~horizon =
      to finish (restart / heal) well before the workload drain. *)
   let at = frac (Rng.float rng 0.6) in
   let dur () = frac (0.05 +. Rng.float rng 0.25) in
-  match Rng.int rng 5 with
+  match Rng.int rng 9 with
   | 0 ->
       (* The primary hosts every client's LibFS; crashing it would tear
          down the clients themselves, which is outside the recovery
@@ -71,22 +105,136 @@ let gen_fault rng ~nodes ~horizon =
       let a, b = pick_link rng ~nodes in
       let delay = Time.us (10 + Rng.int rng 490) in
       Link_delay { a; b; at; duration = dur (); delay }
-  | _ ->
+  | 4 ->
       let a, b = pick_link rng ~nodes in
       let p = 0.05 +. Rng.float rng 0.6 in
       Link_drop { a; b; at; duration = dur (); p }
+  | 5 ->
+      let a, b = pick_link rng ~nodes in
+      let p = 0.05 +. Rng.float rng 0.45 in
+      Link_dup { a; b; at; duration = dur (); p }
+  | 6 ->
+      let a, b = pick_link rng ~nodes in
+      let p = 0.05 +. Rng.float rng 0.45 in
+      let delay = Time.us (10 + Rng.int rng 290) in
+      Link_reorder { a; b; at; duration = dur (); p; delay }
+  | 7 ->
+      let a, b = pick_link rng ~nodes in
+      let p = 0.05 +. Rng.float rng 0.45 in
+      Link_corrupt { a; b; at; duration = dur (); p }
+  | _ ->
+      (* Storage faults target replicas: the primary's client logs are
+         the durability root and their loss is outside the §3.6
+         recovery model. *)
+      let node = 1 + Rng.int rng (nodes - 1) in
+      if Rng.bool rng then Torn_tail { node; at }
+      else Bit_rot { node; at; salt = Rng.int rng 0x3FFFFFFF }
 
 let generate ~rng ~nodes ~horizon =
   let n = 1 + Rng.int rng 4 in
   List.init n (fun _ -> gen_fault rng ~nodes ~horizon)
   |> List.sort (fun f g -> compare (start_of f) (start_of g))
 
+(* Byzantine-fabric profile: only duplication, reordering, corruption
+   and storage faults, at aggressive probabilities — the adversary
+   sweep that exercises idempotent RPC, integrity trailers and the
+   recovery scrub specifically. *)
+let gen_adversary_fault rng ~nodes ~horizon =
+  let frac f = Time.of_us_f (Time.to_us_f horizon *. f) in
+  let at = frac (Rng.float rng 0.5) in
+  let dur () = frac (0.15 +. Rng.float rng 0.35) in
+  match Rng.int rng 5 with
+  | 0 ->
+      let a, b = pick_link rng ~nodes in
+      Link_dup { a; b; at; duration = dur (); p = 0.2 +. Rng.float rng 0.5 }
+  | 1 ->
+      let a, b = pick_link rng ~nodes in
+      Link_reorder
+        {
+          a;
+          b;
+          at;
+          duration = dur ();
+          p = 0.2 +. Rng.float rng 0.4;
+          delay = Time.us (20 + Rng.int rng 240);
+        }
+  | 2 ->
+      let a, b = pick_link rng ~nodes in
+      Link_corrupt
+        { a; b; at; duration = dur (); p = 0.1 +. Rng.float rng 0.4 }
+  | 3 ->
+      let node = 1 + Rng.int rng (nodes - 1) in
+      Torn_tail { node; at }
+  | _ ->
+      let node = 1 + Rng.int rng (nodes - 1) in
+      Bit_rot { node; at; salt = Rng.int rng 0x3FFFFFFF }
+
+let generate_adversary ~rng ~nodes ~horizon =
+  let n = 2 + Rng.int rng 3 in
+  List.init n (fun _ -> gen_adversary_fault rng ~nodes ~horizon)
+  |> List.sort (fun f g -> compare (start_of f) (start_of g))
+
+(* ---- shrinking ----------------------------------------------------- *)
+
+let time_floor = Time.us 50
+let p_floor = 0.02
+
+let half_time d = if d > time_floor then d / 2 else d
+let half_p p = if p > p_floor then p /. 2.0 else p
+
+(* One "all parameters halved" variant per fault, when that actually
+   shrinks something: durations, extra delays and fault probabilities
+   move toward zero, so minimal reproducers pin down not just which
+   faults matter but how much of them. *)
+let shrink_fault f =
+  let smaller =
+    match f with
+    | Crash ({ restart_after; _ } as c) ->
+        Some (Crash { c with restart_after = half_time restart_after })
+    | Node_death _ -> None
+    | Stall ({ duration; _ } as s) ->
+        Some (Stall { s with duration = half_time duration })
+    | Partition ({ heal_after; _ } as p) ->
+        Some (Partition { p with heal_after = half_time heal_after })
+    | Link_delay ({ duration; delay; _ } as l) ->
+        Some
+          (Link_delay
+             { l with duration = half_time duration; delay = half_time delay })
+    | Link_drop ({ duration; p; _ } as l) ->
+        Some (Link_drop { l with duration = half_time duration; p = half_p p })
+    | Link_dup ({ duration; p; _ } as l) ->
+        Some (Link_dup { l with duration = half_time duration; p = half_p p })
+    | Link_reorder ({ duration; p; delay; _ } as l) ->
+        Some
+          (Link_reorder
+             {
+               l with
+               duration = half_time duration;
+               p = half_p p;
+               delay = half_time delay;
+             })
+    | Link_corrupt ({ duration; p; _ } as l) ->
+        Some
+          (Link_corrupt { l with duration = half_time duration; p = half_p p })
+    | Torn_tail _ | Bit_rot _ -> None
+  in
+  match smaller with Some g when g <> f -> Some g | _ -> None
+
 (* Greedy shrinking candidates: every plan obtained by deleting exactly
-   one fault.  The DST driver keeps a candidate iff it still fails. *)
+   one fault, then every plan obtained by halving one fault's
+   parameters.  The DST driver keeps a candidate iff it still fails. *)
 let shrink t =
-  List.mapi
-    (fun i _ -> List.filteri (fun j _ -> j <> i) t)
-    t
+  let dropped = List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) t) t in
+  let halved =
+    List.concat
+      (List.mapi
+         (fun i f ->
+           match shrink_fault f with
+           | None -> []
+           | Some g -> [ List.mapi (fun j x -> if j = i then g else x) t ])
+         t)
+  in
+  dropped @ halved
 
 let pp_fault fmt = function
   | Crash { node; at; restart_after } ->
@@ -106,6 +254,19 @@ let pp_fault fmt = function
   | Link_drop { a; b; at; duration; p } ->
       Format.fprintf fmt "drop(%d<->%d at=%a for=%a p=%.2f)" a b Time.pp at
         Time.pp duration p
+  | Link_dup { a; b; at; duration; p } ->
+      Format.fprintf fmt "dup(%d<->%d at=%a for=%a p=%.2f)" a b Time.pp at
+        Time.pp duration p
+  | Link_reorder { a; b; at; duration; p; delay } ->
+      Format.fprintf fmt "reorder(%d<->%d at=%a for=%a p=%.2f +%a)" a b Time.pp
+        at Time.pp duration p Time.pp delay
+  | Link_corrupt { a; b; at; duration; p } ->
+      Format.fprintf fmt "corrupt(%d<->%d at=%a for=%a p=%.2f)" a b Time.pp at
+        Time.pp duration p
+  | Torn_tail { node; at } ->
+      Format.fprintf fmt "torn_tail(node=%d at=%a)" node Time.pp at
+  | Bit_rot { node; at; salt } ->
+      Format.fprintf fmt "bit_rot(node=%d at=%a salt=%#x)" node Time.pp at salt
 
 let pp fmt t =
   Format.fprintf fmt "[@[<hov>%a@]]"

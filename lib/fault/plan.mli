@@ -42,6 +42,48 @@ type fault =
       p : float;
     }  (** Drop each RPC on the link with probability [p] while
           active. *)
+  | Link_dup of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      p : float;
+    }
+      (** Deliver each RPC on the link twice with probability [p]
+          (fabric-level retransmission of received frames) while
+          active — exercises RPC idempotence and the server dedup
+          cache. *)
+  | Link_reorder of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      p : float;
+      delay : Time.t;
+    }
+      (** Hold each one-way post on the link back by [delay] with
+          probability [p], letting later sends overtake it. *)
+  | Link_corrupt of {
+      a : int;
+      b : int;
+      at : Time.t;
+      duration : Time.t;
+      p : float;
+    }
+      (** Bit-corrupt each RPC frame on the link with probability [p];
+          receivers must NACK via the end-to-end CRC trailer and rely
+          on retransmission. *)
+  | Torn_tail of { node : int; at : Time.t }
+      (** Storage fault: the newest replicated-but-unpublished record
+          persisted on [node]'s host PM turns out torn (partial write).
+          The recovery scrub must truncate it and re-fetch from the
+          next chain replica.  Never targets node 0. *)
+  | Bit_rot of { node : int; at : Time.t; salt : int }
+      (** Storage fault: flip one byte (chosen deterministically from
+          [salt]) in [node]'s persisted extents.  The recovery-time
+          scrub detects the damaged inode by CRC comparison against the
+          chain source and re-fetches its content.  Never targets
+          node 0. *)
 
 type t = fault list
 
@@ -54,10 +96,20 @@ val horizon : t -> Time.t
 
 val generate : rng:Rng.t -> nodes:int -> horizon:Time.t -> t
 (** 1–4 random faults, each starting within the first 60% of
-    [horizon] and finished before ~90% of it. *)
+    [horizon] and finished before ~90% of it.  Draws from the full
+    fault alphabet, including duplication/reordering/corruption links
+    and storage faults. *)
+
+val generate_adversary : rng:Rng.t -> nodes:int -> horizon:Time.t -> t
+(** Byzantine-fabric profile: 2–5 faults drawn only from duplication,
+    reordering, corruption and storage faults, at aggressive
+    probabilities.  The CI adversary sweep runs this. *)
 
 val shrink : t -> t list
-(** All plans obtained by deleting exactly one fault, in order. *)
+(** Greedy shrinking candidates, in order: every plan obtained by
+    deleting exactly one fault, then every plan obtained by halving one
+    fault's parameters (durations, extra delays and probabilities move
+    toward zero, floored so the candidate list stays finite). *)
 
 val pp_fault : Format.formatter -> fault -> unit
 val pp : Format.formatter -> t -> unit

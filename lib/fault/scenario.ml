@@ -23,6 +23,10 @@ type outcome = {
   ops_logged : int;
   drops : int;
   delays : int;
+  dups : int;
+  reorders : int;
+  corrupts : int;
+  scrubbed : int;
 }
 
 let failed o = (not o.completed) || o.violations <> []
@@ -34,9 +38,11 @@ let pp_spec fmt s =
 
 let pp_outcome fmt o =
   Format.fprintf fmt
-    "%s: digest=%08lx trace=%d ops=%d drops=%d delays=%d violations=%d"
+    "%s: digest=%08lx trace=%d ops=%d drops=%d delays=%d dups=%d \
+     reorders=%d corrupts=%d scrubbed=%d violations=%d"
     (if o.completed then "completed" else "WEDGED")
-    o.fs_digest o.trace_events o.ops_logged o.drops o.delays
+    o.fs_digest o.trace_events o.ops_logged o.drops o.delays o.dups
+    o.reorders o.corrupts o.scrubbed
     (List.length o.violations);
   List.iter
     (fun v -> Format.fprintf fmt "@\n  %a" Invariant.pp_violation v)
@@ -49,6 +55,19 @@ let generate ~seed =
   let clients = 1 + Rng.int rng 2 in
   let ops_per_client = 25 + Rng.int rng 40 in
   let plan = Plan.generate ~rng ~nodes ~horizon in
+  { seed; nodes; clients; ops_per_client; horizon; plan }
+
+(* Byzantine-fabric adversary: same workload shape, but the plan draws
+   only duplication / reordering / corruption / storage faults at
+   aggressive probabilities — the profile the CI adversary sweep runs
+   against the idempotence, integrity and scrub machinery. *)
+let generate_adversary ~seed =
+  let rng = Rng.create seed in
+  let nodes = 3 in
+  let horizon = Time.ms 20 in
+  let clients = 1 + Rng.int rng 2 in
+  let ops_per_client = 25 + Rng.int rng 40 in
+  let plan = Plan.generate_adversary ~rng ~nodes ~horizon in
   { seed; nodes; clients; ops_per_client; horizon; plan }
 
 (* Explicit failover scenarios (not seed-generated: generated plans
@@ -213,6 +232,40 @@ let fault_proc trace net (dep : D.t) (f : Plan.fault) =
       Engine.sleep duration;
       note trace "drop over %d<->%d" a b;
       Netfault.set_drop net ~a ~b 0.0
+  | Plan.Link_dup { a; b; at; duration; p } ->
+      sleep_until at;
+      note trace "dup %d<->%d p=%.2f" a b p;
+      Netfault.set_dup net ~a ~b p;
+      Engine.sleep duration;
+      note trace "dup over %d<->%d" a b;
+      Netfault.set_dup net ~a ~b 0.0
+  | Plan.Link_reorder { a; b; at; duration; p; delay } ->
+      sleep_until at;
+      note trace "reorder %d<->%d p=%.2f +%s" a b p (Time.to_string delay);
+      Netfault.set_reorder net ~a ~b ~p ~delay;
+      Engine.sleep duration;
+      note trace "reorder over %d<->%d" a b;
+      Netfault.set_reorder net ~a ~b ~p:0.0 ~delay:(Time.ns 0)
+  | Plan.Link_corrupt { a; b; at; duration; p } ->
+      sleep_until at;
+      note trace "corrupt %d<->%d p=%.2f" a b p;
+      Netfault.set_corrupt net ~a ~b p;
+      Engine.sleep duration;
+      note trace "corrupt over %d<->%d" a b;
+      Netfault.set_corrupt net ~a ~b 0.0
+  | Plan.Torn_tail { node; at } ->
+      sleep_until at;
+      note trace "torn tail node %d" node;
+      (* The next record the node's publication gate dequeues turns out
+         torn: dropped unpublished, then re-fetched from its primary. *)
+      Nicfs.mark_torn (D.node dep node).D.nicfs
+  | Plan.Bit_rot { node; at; salt } ->
+      sleep_until at;
+      (match
+         Storage.Fs_state.tamper (D.node dep node).D.fs ~salt
+       with
+      | Some inum -> note trace "bit rot node %d inum %d" node inum
+      | None -> note trace "bit rot node %d (no file to damage)" node)
 
 let drive_fault = fault_proc
 
@@ -228,12 +281,19 @@ let dead_nodes plan =
     plan
   |> List.sort_uniq compare
 
+let bitrot_nodes plan =
+  List.filter_map
+    (function Plan.Bit_rot { node; _ } -> Some node | _ -> None)
+    plan
+  |> List.sort_uniq compare
+
 (* ------------------------------------------------------------------ *)
 (* Scenario execution                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let run (spec : spec) =
   let eng = Engine.create ~seed:spec.seed () in
+  Counters.reset ();
   let trace = Trace.create () in
   let histories : (int, Oplog.entry list ref) Hashtbl.t = Hashtbl.create 4 in
   let net = Netfault.create ~rng:(Rng.create (spec.seed lxor 0x6e6574)) in
@@ -347,6 +407,19 @@ let run (spec : spec) =
       (* Drain all pipelines; retransmission pushes anything lost during
          the fault window through the healed chain. *)
       D.flush_all dep;
+      (* Recovery-time integrity scrub of bit-rotted replicas: stream
+         CRCs against the primary and re-fetch damaged inodes. *)
+      List.iter
+        (fun n ->
+          if not (List.mem n (dead_nodes spec.plan)) then begin
+            let repaired =
+              Linefs.Recovery.scrub
+                ~recovering:(D.node dep n).D.nicfs
+                ~source:(D.primary dep).D.nicfs
+            in
+            note trace "scrubbed node %d (%d inodes repaired)" n repaired
+          end)
+        (bitrot_nodes spec.plan);
       Cluster.Manager.stop mgr;
       D.stop dep;
       completed := true);
@@ -384,9 +457,18 @@ let run (spec : spec) =
               if List.mem id dead then None else Some (id, rt.D.fs))
             (D.replicas dep)
         in
+        let journals =
+          List.filter_map
+            (fun (rt : D.node_rt) ->
+              let id = rt.D.node.Hw.Node.id in
+              if List.mem id dead then None
+              else Some (id, Nicfs.apply_journal rt.D.nicfs))
+            (D.replicas dep)
+        in
         let vs =
           Invariant.check_prefix_consistency ~histories
           @ Invariant.check_single_writer trace
+          @ Invariant.check_no_duplicate_apply ~journals
           @ (if !completed then Invariant.check_convergence ~primary:prim ~replicas:reps
              else [])
         in
@@ -411,4 +493,10 @@ let run (spec : spec) =
     ops_logged;
     drops = Netfault.drops net;
     delays = Netfault.delays net;
+    dups = Netfault.dups net;
+    reorders = Netfault.reorders net;
+    corrupts = Netfault.corrupts net;
+    scrubbed =
+      Counters.get "storage.scrub-refetch"
+      + Counters.get "storage.bitrot-repair";
   }

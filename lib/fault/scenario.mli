@@ -28,6 +28,11 @@ type outcome = {
   ops_logged : int;  (** Entries persisted across all client logs. *)
   drops : int;  (** Messages the fault layer lost. *)
   delays : int;  (** Transfers the fault layer delayed. *)
+  dups : int;  (** Messages the fault layer duplicated. *)
+  reorders : int;  (** One-way posts the fault layer held back. *)
+  corrupts : int;  (** Frames the fault layer bit-corrupted. *)
+  scrubbed : int;
+      (** Scrub actions: torn-record re-fetches + bit-rot repairs. *)
 }
 
 val failed : outcome -> bool
@@ -36,6 +41,11 @@ val failed : outcome -> bool
 val generate : seed:int -> spec
 (** Derive a full scenario (cluster size 3, 1–2 clients, 25–64 ops
     each, 1–4 faults) from a seed. *)
+
+val generate_adversary : seed:int -> spec
+(** Byzantine-fabric profile: same workload shape, but the plan draws
+    only duplication / reordering / corruption / storage faults
+    ({!Plan.generate_adversary}) — the CI adversary sweep's spec. *)
 
 (** {1 Explicit failover scenarios}
 
@@ -83,3 +93,6 @@ val crashed_nodes : Plan.t -> int list
 
 val dead_nodes : Plan.t -> int list
 (** Nodes a plan kills permanently. *)
+
+val bitrot_nodes : Plan.t -> int list
+(** Nodes whose persisted extents a plan bit-rots (scrub targets). *)

@@ -95,6 +95,18 @@ type t = {
      ackers). *)
   mutable repl_targets : int list option;
   mutable required_acks : int;
+  (* Byzantine-fabric hardening state (only exercised under fault
+     injection).  [retired] is a bounded retention cache of recently
+     retired chunks on the primary, so a replica's recovery scrub can
+     re-fetch a record it found torn even after the ack set completed.
+     [torn_pending] arms the next gate dequeue on this replica to
+     discover its persisted record torn.  [apply_journal] records every
+     (client, seq) applied via [apply_on_publish], newest first — the
+     no-duplicate-apply invariant's evidence. *)
+  retired : (int * int, Chunk.t) Hashtbl.t;
+  retired_fifo : (int * int) Queue.t;
+  mutable torn_pending : bool;
+  mutable apply_journal : (int * int) list;
 }
 
 and dmsg =
@@ -116,6 +128,11 @@ and dmsg =
       last_seq : int;
       sent_at : Time.t;
     }
+  | Refetch of { client : int; idx : int; requester : t }
+      (* Recovery scrub: [requester] found its persisted copy of the
+         chunk torn and asks the chunk's primary for a pristine one
+         (from the in-flight table or the retired-chunk retention
+         cache). *)
 
 and cmsg =
   | C_fsync of { client : int; upto : int }
@@ -163,6 +180,41 @@ let client_state t cid =
   match Hashtbl.find_opt t.clients cid with
   | Some cs -> cs
   | None -> invalid_arg (Printf.sprintf "nicfs: unknown client %d" cid)
+
+(* Mutation knobs for the conformance self-test: [chaos_no_dedup]
+   bypasses the replica publication gate (every delivery publishes,
+   so fabric duplicates double-apply) and [chaos_no_scrub] suppresses
+   the torn-record re-fetch (the gate wedges and replicas diverge).
+   Both planted bugs must be caught by the invariant layer. *)
+let chaos_no_dedup = ref false
+let chaos_no_scrub = ref false
+
+(* End-to-end integrity trailer for the data plane: chunk-carrying
+   messages get a CRC32 over their entries' wire bytes (streamed — the
+   rope is never flattened), folded with each entry's own record CRC so
+   both payload damage and record-trailer damage are caught.  Control
+   messages carry no trailer; the modeled link-level FCS still discards
+   tainted frames. *)
+let dmsg_integrity = function
+  | Repl_chunk { chunk; _ } | Repl_direct { chunk; _ } ->
+      Some (List.fold_left Storage.Oplog.frame_crc 0l chunk.Chunk.entries)
+  | Start _ | Repl_ack _ | Refetch _ -> None
+
+(* Retired-chunk retention (primary side): bounded FIFO so scrub
+   re-fetches stay answerable after ack-set completion without holding
+   every chunk forever.  Only populated under fault injection. *)
+let retired_cap = 256
+
+let retain_chunk t ~client (c : Chunk.t) =
+  if Net.Inject.active () then begin
+    let k = (client, c.Chunk.idx) in
+    if not (Hashtbl.mem t.retired k) then begin
+      Hashtbl.replace t.retired k c;
+      Queue.push k t.retired_fifo;
+      if Queue.length t.retired_fifo > retired_cap then
+        Hashtbl.remove t.retired (Queue.pop t.retired_fifo)
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* NIC memory flow control (§4 "Replication flow control")             *)
@@ -331,12 +383,13 @@ let publish_work t (c : Chunk.t) =
    it: published locally and off the ack table (fully replicated, or
    single-node).  Until then chain reconfiguration may need the chunk
    back to complete its ack set against the surviving replicas. *)
-let retire_chunk cs idx =
+let retire_chunk t cs idx =
   match Hashtbl.find_opt cs.inflight idx with
   | Some c
     when Ivar.is_filled c.Chunk.published && not (Hashtbl.mem cs.acks idx)
     ->
-      Hashtbl.remove cs.inflight idx
+      Hashtbl.remove cs.inflight idx;
+      retain_chunk t ~client:cs.cid c
   | _ -> ()
 
 (* The publication pipeline's sink: runs in order; acknowledge to
@@ -350,7 +403,7 @@ let publish_sink t cs (c : Chunk.t) =
   Stats.Series.add t.ack_lat (Time.to_us_f (Engine.now () - t0));
   cs.on_published ~upto_seq:c.Chunk.last_seq;
   Ivar.fill c.Chunk.published ();
-  retire_chunk cs c.Chunk.idx;
+  retire_chunk t cs c.Chunk.idx;
   Cond.broadcast cs.publish_progress
 
 (* Compression stage (optional, §3.3.2): real LZW over real payloads;
@@ -452,7 +505,7 @@ let transfer_work t (c : Chunk.t) =
           Hashtbl.remove cs.acks c.Chunk.idx;
           mark_chunk_replicated t cs ~idx:c.Chunk.idx
             ~last_seq:c.Chunk.last_seq;
-          retire_chunk cs c.Chunk.idx
+          retire_chunk t cs c.Chunk.idx
       | None -> ());
       if not (Ivar.is_filled c.Chunk.replicated) then
         Ivar.fill c.Chunk.replicated ()
@@ -482,20 +535,32 @@ let transfer_work t (c : Chunk.t) =
               | None -> false
               | Some cs -> Hashtbl.mem cs.acks c.Chunk.idx
             in
-            let rec loop () =
-              Engine.sleep t.params.Params.repl_retry_timeout;
+            (* Unified retry path: the same capped exponential ladder
+               the control-plane retries use, seeded with the chunk
+               retry timeout.  Early rounds recover fast from a lossy
+               window; the cap keeps a long outage from starving the
+               healed chain of retransmissions. *)
+            let policy =
+              Net.Backoff.make ~base:t.params.Params.repl_retry_timeout
+                ~factor:2.0
+                ~cap:(8 * t.params.Params.repl_retry_timeout)
+                ()
+            in
+            let rec loop attempt =
+              Engine.sleep (Net.Backoff.delay policy ~attempt);
               if unacked () then begin
                 (if t.alive || t.fallback then
                    match t.next_hop with
                    | Some nxt ->
+                       Counters.bump "net.retransmit";
                        t.repl_wire <- t.repl_wire + c.Chunk.wire_bytes;
                        send_to_successor t nxt ~origin
                          ~wire:c.Chunk.wire_bytes c
                    | None -> ());
-                loop ()
+                loop (attempt + 1)
               end
             in
-            loop ()));
+            loop 0));
   chunk_mem_unref t c
 
 (* ------------------------------------------------------------------ *)
@@ -508,36 +573,87 @@ let transfer_work t (c : Chunk.t) =
    and out-of-order arrivals publish in index order; the state-changing
    part (history, metadata apply) runs synchronously at dequeue for a
    deterministic order, only the hardware-time charges are async. *)
-let replica_deliver t (c : Chunk.t) =
-  let g =
-    match Hashtbl.find_opt t.repl_gate c.Chunk.client with
-    | Some g -> g
-    | None ->
-        let g = { next_pub_idx = 0; pub_buffered = Hashtbl.create 8 } in
-        Hashtbl.replace t.repl_gate c.Chunk.client g;
-        g
-  in
-  if
-    c.Chunk.idx >= g.next_pub_idx
-    && not (Hashtbl.mem g.pub_buffered c.Chunk.idx)
-  then Hashtbl.replace g.pub_buffered c.Chunk.idx c;
-  let continue = ref true in
-  while !continue do
-    match Hashtbl.find_opt g.pub_buffered g.next_pub_idx with
-    | None -> continue := false
-    | Some ready ->
-        Hashtbl.remove g.pub_buffered g.next_pub_idx;
-        g.next_pub_idx <- g.next_pub_idx + 1;
-        record_history t ready;
-        if t.apply_on_publish then
-          List.iter
-            (fun (e : Oplog.entry) -> ignore (Fs_state.apply t.fs e.Oplog.op))
-            ready.Chunk.entries;
-        Engine.spawn ~name:"nicfs.replica-publish" (fun () ->
-            let entries = Chunk.entry_count ready in
-            nic_run t (entries * t.params.Params.publish_entry_cost);
-            publish_copy t ~bytes:(publish_volume ready) ~entries)
-  done
+let replica_publish t (ready : Chunk.t) =
+  record_history t ready;
+  if t.apply_on_publish then
+    List.iter
+      (fun (e : Oplog.entry) ->
+        t.apply_journal <- (e.Oplog.client, e.Oplog.seq) :: t.apply_journal;
+        ignore (Fs_state.apply t.fs e.Oplog.op))
+      ready.Chunk.entries;
+  Engine.spawn ~name:"nicfs.replica-publish" (fun () ->
+      let entries = Chunk.entry_count ready in
+      nic_run t (entries * t.params.Params.publish_entry_cost);
+      publish_copy t ~bytes:(publish_volume ready) ~entries)
+
+let replica_deliver t ~(origin : t) (c : Chunk.t) =
+  if !chaos_no_dedup && Net.Inject.active () then
+    (* Planted bug: no publication gate — every delivery (duplicates
+       and out-of-order arrivals included) publishes immediately.  The
+       no-duplicate-apply invariant must flag the double application. *)
+    replica_publish t c
+  else begin
+    let g =
+      match Hashtbl.find_opt t.repl_gate c.Chunk.client with
+      | Some g -> g
+      | None ->
+          let g = { next_pub_idx = 0; pub_buffered = Hashtbl.create 8 } in
+          Hashtbl.replace t.repl_gate c.Chunk.client g;
+          g
+    in
+    if
+      c.Chunk.idx >= g.next_pub_idx
+      && not (Hashtbl.mem g.pub_buffered c.Chunk.idx)
+    then Hashtbl.replace g.pub_buffered c.Chunk.idx c;
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt g.pub_buffered g.next_pub_idx with
+      | None -> continue := false
+      | Some ready ->
+          Hashtbl.remove g.pub_buffered g.next_pub_idx;
+          if t.torn_pending then begin
+            (* The persisted record for this chunk turns out torn (a
+               partial PM write discovered by its record CRC): truncate
+               it — do NOT publish, do NOT advance — and re-fetch a
+               pristine copy from the chunk's primary.  Re-delivery
+               re-enters the gate at the same index. *)
+            t.torn_pending <- false;
+            Counters.bump "storage.torn-tail";
+            if not !chaos_no_scrub then begin
+              Counters.bump "storage.scrub-refetch";
+              let client = ready.Chunk.client and idx = ready.Chunk.idx in
+              (* Re-request until the gate moves past the torn index:
+                 the Refetch or its Repl_chunk answer can itself be
+                 corrupted or duplicated in flight. *)
+              Engine.spawn ~group:t.host_group ~name:"nicfs.scrub-refetch"
+                (fun () ->
+                  let policy =
+                    Net.Backoff.make
+                      ~base:t.params.Params.repl_retry_timeout ~factor:2.0
+                      ~cap:(8 * t.params.Params.repl_retry_timeout)
+                      ()
+                  in
+                  let rec loop attempt =
+                    Net.Rpc.post (dserver origin) ~from:(src_loc t)
+                      (Refetch { client; idx; requester = t });
+                    Engine.sleep (Net.Backoff.delay policy ~attempt);
+                    let healed =
+                      match Hashtbl.find_opt t.repl_gate client with
+                      | Some g -> g.next_pub_idx > idx
+                      | None -> false
+                    in
+                    if not healed then loop (attempt + 1)
+                  in
+                  loop 0)
+            end;
+            continue := false
+          end
+          else begin
+            g.next_pub_idx <- g.next_pub_idx + 1;
+            replica_publish t ready
+          end
+    done
+  end
 
 let send_ack t (origin : t) (c : Chunk.t) =
   (* [dserver origin] resolves the origin's CURRENT plane — after the
@@ -591,14 +707,14 @@ let handle_repl_chunk t ~chunk:(c : Chunk.t) ~origin ~wire ~nic_mem =
     (* Host-fallback delivery: the wire form already landed in host
        PM; only the decompressed full form still needs writing. *)
     Hw.Pm.write t.node.Hw.Node.pm c.Chunk.bytes;
-  replica_deliver t c;
+  replica_deliver t ~origin c;
   send_ack t origin c;
   release ()
 
 let handle_repl_direct t ~chunk:(c : Chunk.t) ~origin =
   (* Data was placed directly in our host PM log by the sender; it is
      already persistent. *)
-  replica_deliver t c;
+  replica_deliver t ~origin c;
   send_ack t origin c
 
 (* A chunk's ack set is complete when the configured replica set has
@@ -630,7 +746,7 @@ let handle_ack t ~client ~node ~idx ~last_seq ~sent_at =
             if acked_enough t ackers then begin
               Hashtbl.remove cs.acks idx;
               mark_chunk_replicated t cs ~idx ~last_seq;
-              retire_chunk cs idx
+              retire_chunk t cs idx
             end
           end)
 
@@ -661,7 +777,7 @@ let reeval_acks t =
             | None -> cs.replicated_seq
           in
           mark_chunk_replicated t cs ~idx ~last_seq;
-          retire_chunk cs idx)
+          retire_chunk t cs idx)
         (List.sort compare ready))
     (List.sort compare cids)
 
@@ -802,6 +918,25 @@ let handle_dmsg t = function
   | Repl_direct { chunk; origin } -> handle_repl_direct t ~chunk ~origin
   | Repl_ack { client; node; idx; last_seq; sent_at } ->
       handle_ack t ~client ~node ~idx ~last_seq ~sent_at
+  | Refetch { client; idx; requester } -> (
+      (* Serve a scrub re-fetch from the in-flight table (not yet fully
+         acked) or the retired-chunk retention cache.  Redelivery runs
+         the normal replication path: the requester's gate and the
+         per-node ack dedup make it idempotent. *)
+      let c =
+        match Hashtbl.find_opt t.clients client with
+        | Some cs -> (
+            match Hashtbl.find_opt cs.inflight idx with
+            | Some c -> Some c
+            | None -> Hashtbl.find_opt t.retired (client, idx))
+        | None -> Hashtbl.find_opt t.retired (client, idx)
+      in
+      match c with
+      | Some c ->
+          Counters.bump "storage.scrub-serve";
+          t.repl_wire <- t.repl_wire + c.Chunk.wire_bytes;
+          send_to_successor t requester ~origin:t ~wire:c.Chunk.wire_bytes c
+      | None -> ())
 
 let handle_cmsg t = function
   | C_fsync { client; upto } ->
@@ -918,6 +1053,10 @@ let create ?(pipeline_parallelism = true) ?(coalescing = false)
         fb_episode = 0;
         repl_targets = None;
         required_acks = max 0 (params.Params.replicas - 1);
+        retired = Hashtbl.create 8;
+        retired_fifo = Queue.create ();
+        torn_pending = false;
+        apply_journal = [];
       }
   and lease_replicate t ~bytes =
     (* Ship the lease record down the replication chain; a hop in host
@@ -941,7 +1080,7 @@ let create ?(pipeline_parallelism = true) ?(coalescing = false)
     Some
       (Net.Rpc.create ?group
          ~name:(Printf.sprintf "nicfs%d.data" node.Hw.Node.id)
-         ~loc:(nic_loc t)
+         ~loc:(nic_loc t) ~integrity:dmsg_integrity
          ~kind:(Net.Rpc.Event { workers = 4; prio = Hw.Cpu.prio_normal })
          ~handler:(fun m ->
            handle_dmsg t m)
@@ -1013,7 +1152,7 @@ let enter_fallback t =
       Some
         (Net.Rpc.create ~group:t.host_group
            ~name:(Printf.sprintf "nicfs%d.data.fb%d" id t.fb_episode)
-           ~loc
+           ~loc ~integrity:dmsg_integrity
            ~kind:(Net.Rpc.Event { workers = 4; prio })
            ~handler:(fun m -> handle_dmsg t m)
            ());
@@ -1128,14 +1267,21 @@ let cserver_call t ~from req =
   if not (Net.Inject.active ()) then Net.Rpc.call (cserver t) ~from req
   else begin
     let policy = Net.Backoff.default in
+    (* One sequence number for the whole logical request: every retry
+       is a retransmission, so a server that already executed it (the
+       reply was lost, not the request) replays the cached reply
+       instead of re-executing the handler. *)
+    let key = Net.Rpc.fresh_key ~from in
     let rec go attempt =
       match
-        Net.Rpc.call_timeout (cserver t) ~from
+        Net.Rpc.call_timeout (cserver t) ~from ~key
           ~timeout:(Net.Backoff.delay policy ~attempt)
           req
       with
       | Some r -> r
-      | None -> go (attempt + 1)
+      | None ->
+          Counters.bump "net.retransmit";
+          go (attempt + 1)
     in
     go 0
   end
@@ -1239,3 +1385,10 @@ let set_epoch t e =
 
 let history t = t.history
 let fs t = t.fs
+
+(* ------------------------------------------------------------------ *)
+(* Storage-fault injection and scrub evidence                          *)
+(* ------------------------------------------------------------------ *)
+
+let mark_torn t = t.torn_pending <- true
+let apply_journal t = List.rev t.apply_journal

@@ -185,3 +185,29 @@ val history : t -> Cluster.History.t
 
 val fs : t -> Storage.Fs_state.t
 (** The node's public FS state. *)
+
+(** {1 Storage-fault injection and scrub evidence}
+
+    Byzantine-fabric hardening: torn-record discovery with re-fetch
+    from the chunk's primary, and the per-replica application journal
+    the no-duplicate-apply invariant checks. *)
+
+val mark_torn : t -> unit
+(** Arm this replica's next publication-gate dequeue to discover its
+    persisted record torn (a partial PM write caught by the record
+    CRC): the record is dropped unpublished and a pristine copy is
+    re-fetched from the chunk's primary, retried until the gate
+    advances.  Only meaningful on replicas under fault injection. *)
+
+val apply_journal : t -> (int * int) list
+(** Chronological [(client, seq)] pairs applied on this node via
+    [apply_on_publish] — each must appear exactly once per replica. *)
+
+val chaos_no_dedup : bool ref
+(** Mutation knob (conformance self-test): bypass the replica
+    publication gate so fabric duplicates double-apply.  Combine with
+    {!Net.Rpc.disable_dedup} to disable both dedup layers. *)
+
+val chaos_no_scrub : bool ref
+(** Mutation knob: suppress the torn-record re-fetch, wedging the
+    publication gate — replicas must be flagged divergent. *)

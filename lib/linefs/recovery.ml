@@ -65,3 +65,33 @@ let run ?(invalidate_logs = []) ~manager ~recovering ~source () =
     log_entries_invalidated = !invalidated;
     elapsed = Engine.now () - t0;
   }
+
+(* Recovery-time integrity scrub: walk the node's persisted extents,
+   compare each file's streamed CRC32 against the chain source, and
+   re-fetch any inode whose content rotted on PM.  Quarantine-and-
+   refetch of torn replication records is the publication gate's job
+   ({!Nicfs.mark_torn}); this pass covers the published state.  The
+   mutation knob {!Nicfs.chaos_no_scrub} turns it off so the
+   conformance self-test can prove the scrub is load-bearing. *)
+let scrub ~recovering ~source =
+  if !Nicfs.chaos_no_scrub then 0
+  else begin
+    let rfs = Nicfs.fs recovering and sfs = Nicfs.fs source in
+    let repaired = ref 0 in
+    List.iter
+      (fun inum ->
+        match (Fs_state.file_crc rfs inum, Fs_state.file_crc sfs inum) with
+        | Some got, Some want when not (Int32.equal got want) ->
+            if Fs_state.copy_file_content ~src:sfs ~dst:rfs inum then begin
+              let n = inode_metadata_bytes + Fs_state.file_size sfs inum in
+              Net.Rdma.move ~src_medium:`Pm ~dst_medium:`Pm
+                ~src:(Net.Loc.Host (Nicfs.node source))
+                ~dst:(Net.Loc.Host (Nicfs.node recovering))
+                n;
+              Counters.bump "storage.bitrot-repair";
+              incr repaired
+            end
+        | _ -> ())
+      (Fs_state.scrub_candidates rfs);
+    !repaired
+  end

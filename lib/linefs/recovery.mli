@@ -29,3 +29,10 @@ val run :
     [invalidate_logs] are local client logs to scan: only the entries
     touching recovered inodes are invalidated (the resynced copy
     supersedes them); entries over untouched inodes survive. *)
+
+val scrub : recovering:Nicfs.t -> source:Nicfs.t -> int
+(** Recovery-time integrity scrub: stream a CRC32 over every non-empty
+    file persisted on [recovering] and compare it against [source]
+    (the chain's authority); re-fetch the content of any inode whose
+    extents rotted.  Returns the number of inodes repaired.  A no-op
+    (returning 0) while {!Nicfs.chaos_no_scrub} is set. *)

@@ -1,6 +1,12 @@
 type point = Rdma_move | Rpc_call | Rpc_post
 
-type verdict = Pass | Drop | Delay of Sim.Time.t
+type verdict =
+  | Pass
+  | Drop
+  | Delay of Sim.Time.t
+  | Duplicate
+  | Reorder of Sim.Time.t
+  | Corrupt of { offset : int; xor : int }
 
 type hook = point:point -> src:Loc.t -> dst:Loc.t -> bytes:int -> verdict
 
@@ -19,3 +25,11 @@ let point_name = function
   | Rdma_move -> "rdma-move"
   | Rpc_call -> "rpc-call"
   | Rpc_post -> "rpc-post"
+
+let verdict_name = function
+  | Pass -> "pass"
+  | Drop -> "drop"
+  | Delay _ -> "delay"
+  | Duplicate -> "duplicate"
+  | Reorder _ -> "reorder"
+  | Corrupt _ -> "corrupt"

@@ -9,30 +9,42 @@ let move ?(src_medium = `Dram) ?(dst_medium = `Dram) ~src ~dst n =
   let src_node = Loc.node src and dst_node = Loc.node dst in
   let verdict = Inject.consult ~point:Inject.Rdma_move ~src ~dst ~bytes:n in
   (match verdict with
-  | Inject.Delay d -> Sim.Engine.sleep d
-  | Inject.Pass | Inject.Drop -> ());
-  pm_charge src_medium src_node ~write:false n;
-  if Loc.same_node src dst then begin
-    match (src, dst) with
-    | Loc.Host _, Loc.Nic _ | Loc.Nic _, Loc.Host _ ->
-        Pcie.transfer src_node.pcie n
-    | Loc.Host _, Loc.Host _ | Loc.Nic _, Loc.Nic _ ->
-        (* Same memory domain: the copy engine (CPU/DMA) is modelled by
-           the caller; RDMA adds nothing. *)
-        ()
-  end
-  else begin
-    (* Crossing host PCIe adds latency but its bandwidth (8 GB/s) never
-       binds behind the 2.2 GB/s port, so only latency is charged. *)
-    if Loc.is_host src then Sim.Engine.sleep (Pcie.latency src_node.pcie);
-    Netlink.send ~src:src_node.port ~dst:dst_node.port n;
-    if Loc.is_host dst then Sim.Engine.sleep (Pcie.latency dst_node.pcie)
-  end;
+  (* A reordered one-sided transfer lands late: at this layer that is
+     indistinguishable from extra fabric latency. *)
+  | Inject.Delay d | Inject.Reorder d -> Sim.Engine.sleep d
+  | Inject.Pass | Inject.Drop | Inject.Duplicate | Inject.Corrupt _ -> ());
+  let transfer () =
+    pm_charge src_medium src_node ~write:false n;
+    if Loc.same_node src dst then begin
+      match (src, dst) with
+      | Loc.Host _, Loc.Nic _ | Loc.Nic _, Loc.Host _ ->
+          Pcie.transfer src_node.pcie n
+      | Loc.Host _, Loc.Host _ | Loc.Nic _, Loc.Nic _ ->
+          (* Same memory domain: the copy engine (CPU/DMA) is modelled by
+             the caller; RDMA adds nothing. *)
+          ()
+    end
+    else begin
+      (* Crossing host PCIe adds latency but its bandwidth (8 GB/s) never
+         binds behind the 2.2 GB/s port, so only latency is charged. *)
+      if Loc.is_host src then Sim.Engine.sleep (Pcie.latency src_node.pcie);
+      Netlink.send ~src:src_node.port ~dst:dst_node.port n;
+      if Loc.is_host dst then Sim.Engine.sleep (Pcie.latency dst_node.pcie)
+    end
+  in
+  transfer ();
+  (* A duplicated transfer occupies the wire twice; one-sided RDMA
+     writes are idempotent, so the second landing is harmless. *)
+  (match verdict with Inject.Duplicate -> transfer () | _ -> ());
   (* A dropped transfer was transmitted (sender-side costs paid, wire
-     occupied) but discarded before landing at the receiver. *)
+     occupied) but discarded before landing at the receiver.  Corrupt
+     payloads land — detection is the job of the end-to-end CRC trailer
+     checked by the message layer above. *)
   match verdict with
   | Inject.Drop -> ()
-  | Inject.Pass | Inject.Delay _ -> pm_charge dst_medium dst_node ~write:true n
+  | Inject.Pass | Inject.Delay _ | Inject.Duplicate | Inject.Reorder _
+  | Inject.Corrupt _ ->
+      pm_charge dst_medium dst_node ~write:true n
 
 let move_time_estimate ~src ~dst n =
   let src_node = Loc.node src and dst_node = Loc.node dst in

@@ -4,7 +4,25 @@ type kind =
   | Busy_poll
   | Event of { workers : int; prio : Hw.Cpu.prio }
 
-type ('req, 'resp) msg = Req of 'req * 'resp Ivar.t option | Stop
+(* [key] is the per-caller sequence number stamped on requests while
+   fault injection is active: fabric duplicates and caller retries of
+   one logical request share a key, so the server-side dedup cache can
+   execute it once and replay the reply.  [tainted] models in-flight
+   bit corruption ((offset, xor) from the [Corrupt] verdict); [crc] is
+   the end-to-end integrity trailer computed by the sender.  All three
+   are absent on the fault-free path, which therefore schedules
+   byte-identically to the pre-hardening code. *)
+type ('req, 'resp) msg =
+  | Req of {
+      req : 'req;
+      iv : 'resp Ivar.t option;
+      key : (int * int) option;
+      tainted : (int * int) option;
+      crc : int32 option;
+    }
+  | Stop
+
+type 'resp dedup_state = Running | Done of 'resp
 
 type ('req, 'resp) t = {
   name : string;
@@ -12,11 +30,22 @@ type ('req, 'resp) t = {
   inbox : ('req, 'resp) msg Mailbox.t;
   kind : kind;
   handler : 'req -> 'resp;
+  integrity : ('req -> int32 option) option;
   dispatch_cost : Time.t;
   poll_overhead : Time.t;
   n_workers : int;
   mutable group : Engine.group option;
+  (* Bounded FIFO dedup cache: key -> execution state. *)
+  dedup : (int * int, 'resp dedup_state) Hashtbl.t;
+  dedup_fifo : (int * int) Queue.t;
 }
+
+let dedup_cap = 512
+
+(* Mutation knob for the conformance self-test: with the cache disabled
+   every delivery executes the handler, so duplicated requests must be
+   caught by the invariant layer (proving the cache is load-bearing). *)
+let disable_dedup = ref false
 
 let pool_of loc =
   match loc with
@@ -26,15 +55,109 @@ let pool_of loc =
 let answer iv_opt resp =
   match iv_opt with Some iv -> Ivar.fill iv resp | None -> ()
 
+(* Guarded reply fill: replays and late duplicate executions must not
+   double-fill the caller's reply slot. *)
+let answer_once iv_opt resp =
+  match iv_opt with
+  | Some iv when not (Ivar.is_filled iv) -> Ivar.fill iv resp
+  | _ -> ()
+
+(* ---- per-caller sequence numbers ---------------------------------- *)
+
+let caller_id from =
+  (2 * (Loc.node from).Hw.Node.id) + if Loc.is_host from then 0 else 1
+
+let caller_seqs : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let fresh_key ~from =
+  let c = caller_id from in
+  let n = match Hashtbl.find_opt caller_seqs c with Some n -> n | None -> 0 in
+  Hashtbl.replace caller_seqs c (n + 1);
+  (c, n)
+
+(* ---- end-to-end integrity trailer --------------------------------- *)
+
+let sender_crc t req =
+  if Inject.active () then
+    match t.integrity with Some f -> f req | None -> None
+  else None
+
+(* Model of wire damage to the frame: the byte at [offset] was XORed
+   with [xor], so the CRC the receiver computes over the damaged frame
+   differs from the sender's trailer by a nonzero perturbation. *)
+let damaged_crc crc (offset, xor) =
+  Int32.logxor crc
+    (Int32.of_int ((((xor land 0xFF) lsl (offset land 15)) lor 1) land 0x7FFFFFFF))
+
+let frame_ok t ~tainted ~crc req =
+  match (crc, tainted) with
+  | None, None -> true
+  | None, Some _ ->
+      (* No end-to-end trailer on this message class: the link-level
+         FCS still catches the damage and discards the frame. *)
+      false
+  | Some sent, _ -> (
+      let received =
+        match tainted with None -> sent | Some dmg -> damaged_crc sent dmg
+      in
+      match t.integrity with
+      | Some f -> (
+          match f req with
+          | Some recomputed -> Int32.equal recomputed received
+          | None -> tainted = None)
+      | None -> tainted = None)
+
+(* ---- server-side dedup --------------------------------------------- *)
+
+let dedup_begin t key =
+  if !disable_dedup then `Execute
+  else
+    match Hashtbl.find_opt t.dedup key with
+    | Some Running -> `Suppress
+    | Some (Done resp) -> `Replay resp
+    | None ->
+        if Queue.length t.dedup_fifo >= dedup_cap then begin
+          let oldest = Queue.pop t.dedup_fifo in
+          Hashtbl.remove t.dedup oldest
+        end;
+        Queue.push key t.dedup_fifo;
+        Hashtbl.replace t.dedup key Running;
+        `Execute
+
+let dedup_done t key resp =
+  if (not !disable_dedup) && Hashtbl.mem t.dedup key then
+    Hashtbl.replace t.dedup key (Done resp)
+
+(* One delivered request, after the worker paid its wake-up cost. *)
+let serve t ~req ~iv ~key ~tainted ~crc =
+  if not (frame_ok t ~tainted ~crc req) then
+    (* NACK: the frame is discarded without touching the handler; the
+       sender's retry/retransmission path will resend it. *)
+    Counters.bump "net.corrupt-frame"
+  else
+    match key with
+    | None -> answer iv (t.handler req)
+    | Some k -> (
+        match dedup_begin t k with
+        | `Replay resp ->
+            Counters.bump "rpc.dedup-hit";
+            Counters.bump "rpc.reply-replayed";
+            answer_once iv resp
+        | `Suppress -> Counters.bump "rpc.dedup-hit"
+        | `Execute ->
+            let resp = t.handler req in
+            dedup_done t k resp;
+            answer_once iv resp)
+
 let busy_poll_worker t pool =
   let rec loop () =
     match Mailbox.recv t.inbox with
     | Stop -> Hw.Cpu.unreserve_core pool
-    | Req (req, iv) ->
+    | Req { req; iv; key; tainted; crc } ->
         (* Poll granularity: the spinner notices the request almost
            immediately; no scheduler involvement. *)
         Engine.sleep t.poll_overhead;
-        answer iv (t.handler req);
+        serve t ~req ~iv ~key ~tainted ~crc;
         loop ()
   in
   loop ()
@@ -43,11 +166,11 @@ let event_worker t pool prio =
   let rec loop () =
     match Mailbox.recv t.inbox with
     | Stop -> ()
-    | Req (req, iv) ->
+    | Req { req; iv; key; tainted; crc } ->
         (* Wake-up: the worker must get CPU time to even look at the
            request; under contention this queues. *)
         Hw.Cpu.run ~prio pool t.dispatch_cost;
-        answer iv (t.handler req);
+        serve t ~req ~iv ~key ~tainted ~crc;
         loop ()
   in
   loop ()
@@ -66,7 +189,7 @@ let spawn_workers t =
       done
 
 let create ?(dispatch_cost = Time.us 5) ?(poll_overhead = Time.ns 200) ?group
-    ~name ~loc ~kind ~handler () =
+    ?integrity ~name ~loc ~kind ~handler () =
   let n_workers =
     match kind with Busy_poll -> 1 | Event { workers; _ } -> workers
   in
@@ -77,10 +200,13 @@ let create ?(dispatch_cost = Time.us 5) ?(poll_overhead = Time.ns 200) ?group
       inbox = Mailbox.create ();
       kind;
       handler;
+      integrity;
       dispatch_cost;
       poll_overhead;
       n_workers;
       group;
+      dedup = Hashtbl.create 64;
+      dedup_fifo = Queue.create ();
     }
   in
   (match kind with
@@ -93,13 +219,19 @@ let restart ?group t =
   (* The previous workers are assumed dead (their group was killed), so
      their reserved core stays reserved: a busy-poll restart reuses it
      rather than reserving a second one.  In-flight requests are lost
-     with the crash. *)
+     with the crash, and the DRAM dedup cache is lost too — survivors'
+     retransmissions may re-execute, which handlers tolerate. *)
   (match group with Some _ -> t.group <- group | None -> ());
   Mailbox.clear t.inbox;
+  Hashtbl.reset t.dedup;
+  Queue.clear t.dedup_fifo;
   spawn_workers t
 
 let loc t = t.loc
 let msg_bytes = 64
+
+let send_req t ~iv ~key ~tainted ~crc req =
+  Mailbox.send t.inbox (Req { req; iv; key; tainted; crc })
 
 let call t ~from ?(bytes = msg_bytes) req =
   match Inject.consult ~point:Inject.Rpc_call ~src:from ~dst:t.loc ~bytes with
@@ -110,16 +242,30 @@ let call t ~from ?(bytes = msg_bytes) req =
          message loss. *)
       Rdma.move ~src:from ~dst:t.loc bytes;
       Engine.suspend (fun (_ : 'resp -> unit) -> ())
-  | (Inject.Pass | Inject.Delay _) as v ->
-      (match v with Inject.Delay d -> Engine.sleep d | _ -> ());
+  | (Inject.Pass | Inject.Delay _ | Inject.Reorder _ | Inject.Duplicate
+    | Inject.Corrupt _) as v ->
+      (match v with
+      | Inject.Delay d | Inject.Reorder d -> Engine.sleep d
+      | _ -> ());
       Rdma.move ~src:from ~dst:t.loc bytes;
+      let key = if Inject.active () then Some (fresh_key ~from) else None in
+      let crc = sender_crc t req in
       let iv = Ivar.create () in
-      Mailbox.send t.inbox (Req (req, Some iv));
+      (match v with
+      | Inject.Corrupt { offset; xor } ->
+          send_req t ~iv:(Some iv) ~key ~tainted:(Some (offset, xor)) ~crc req
+      | Inject.Duplicate ->
+          (* The fabric retransmits the frame: wire paid twice, the
+             server sees two copies of the same sequence number. *)
+          Rdma.move ~src:from ~dst:t.loc bytes;
+          send_req t ~iv:(Some iv) ~key ~tainted:None ~crc req;
+          send_req t ~iv:(Some iv) ~key ~tainted:None ~crc req
+      | _ -> send_req t ~iv:(Some iv) ~key ~tainted:None ~crc req);
       let resp = Ivar.read iv in
       Rdma.move ~src:t.loc ~dst:from msg_bytes;
       resp
 
-let call_timeout t ~from ?(bytes = msg_bytes) ~timeout req =
+let call_timeout t ~from ?(bytes = msg_bytes) ?key ~timeout req =
   let verdict =
     Inject.consult ~point:Inject.Rpc_call ~src:from ~dst:t.loc ~bytes
   in
@@ -128,12 +274,28 @@ let call_timeout t ~from ?(bytes = msg_bytes) ~timeout req =
       Rdma.move ~src:from ~dst:t.loc bytes;
       Engine.sleep timeout;
       None
-  | Inject.Pass | Inject.Delay _ ->
-      (match verdict with Inject.Delay d -> Engine.sleep d | _ -> ());
+  | (Inject.Pass | Inject.Delay _ | Inject.Reorder _ | Inject.Duplicate
+    | Inject.Corrupt _) as v -> (
+      (match v with
+      | Inject.Delay d | Inject.Reorder d -> Engine.sleep d
+      | _ -> ());
       Rdma.move ~src:from ~dst:t.loc bytes;
+      let key =
+        match key with
+        | Some _ as k -> k
+        | None -> if Inject.active () then Some (fresh_key ~from) else None
+      in
+      let crc = sender_crc t req in
       let iv = Ivar.create () in
-      Mailbox.send t.inbox (Req (req, Some iv));
-      (match Ivar.read_timeout iv timeout with
+      (match v with
+      | Inject.Corrupt { offset; xor } ->
+          send_req t ~iv:(Some iv) ~key ~tainted:(Some (offset, xor)) ~crc req
+      | Inject.Duplicate ->
+          Rdma.move ~src:from ~dst:t.loc bytes;
+          send_req t ~iv:(Some iv) ~key ~tainted:None ~crc req;
+          send_req t ~iv:(Some iv) ~key ~tainted:None ~crc req
+      | _ -> send_req t ~iv:(Some iv) ~key ~tainted:None ~crc req);
+      match Ivar.read_timeout iv timeout with
       | None -> None
       | Some resp ->
           Rdma.move ~src:t.loc ~dst:from msg_bytes;
@@ -147,13 +309,18 @@ let call_retry t ~from ?(bytes = msg_bytes) ?(policy = Backoff.default)
        to the pre-retry behaviour. *)
     Some (call t ~from ~bytes req)
   else begin
+    (* One key for the whole logical request: every retry is a
+       retransmission, so a server that already executed it replays the
+       cached reply instead of re-executing. *)
+    let key = fresh_key ~from in
     let rec go attempt =
       if attempt >= attempts then None
       else
         let timeout = Backoff.delay policy ~attempt in
-        match call_timeout t ~from ~bytes ~timeout req with
+        match call_timeout t ~from ~bytes ~key ~timeout req with
         | Some _ as r -> r
         | None ->
+            Counters.bump "net.retransmit";
             (* The per-attempt timeout ladder is itself the backoff: the
                failed attempt already waited [timeout], and the next one
                waits longer. *)
@@ -166,11 +333,29 @@ let post t ~from ?(bytes = msg_bytes) req =
   let verdict =
     Inject.consult ~point:Inject.Rpc_post ~src:from ~dst:t.loc ~bytes
   in
-  (match verdict with Inject.Delay d -> Engine.sleep d | _ -> ());
-  Rdma.move ~src:from ~dst:t.loc bytes;
+  let key = if Inject.active () then Some (fresh_key ~from) else None in
+  let crc = sender_crc t req in
+  let deliver ~tainted () =
+    Rdma.move ~src:from ~dst:t.loc bytes;
+    send_req t ~iv:None ~key ~tainted ~crc req
+  in
   match verdict with
-  | Inject.Drop -> (* transmitted, lost in the fabric *) ()
-  | Inject.Pass | Inject.Delay _ -> Mailbox.send t.inbox (Req (req, None))
+  | Inject.Pass -> deliver ~tainted:None ()
+  | Inject.Delay d ->
+      Engine.sleep d;
+      deliver ~tainted:None ()
+  | Inject.Drop -> (* transmitted, lost in the fabric *)
+      Rdma.move ~src:from ~dst:t.loc bytes
+  | Inject.Duplicate ->
+      deliver ~tainted:None ();
+      deliver ~tainted:None ()
+  | Inject.Corrupt { offset; xor } -> deliver ~tainted:(Some (offset, xor)) ()
+  | Inject.Reorder d ->
+      (* True reordering: the sender continues immediately while this
+         frame is held back, so later posts overtake it. *)
+      Engine.spawn ~name:(t.name ^ ".reorder") (fun () ->
+          Engine.sleep d;
+          deliver ~tainted:None ())
 
 let queue_length t = Mailbox.length t.inbox
 

@@ -24,6 +24,7 @@ val create :
   ?dispatch_cost:Sim.Time.t ->
   ?poll_overhead:Sim.Time.t ->
   ?group:Sim.Engine.group ->
+  ?integrity:('req -> int32 option) ->
   name:string ->
   loc:Loc.t ->
   kind:kind ->
@@ -33,6 +34,17 @@ val create :
 (** Start serving. [Busy_poll] reserves one core on [loc]'s CPU pool.
     Worker processes are spawned in [group] when given, so killing the
     group (fault injection) silently stops the server.
+
+    [integrity] supplies the end-to-end CRC32 trailer for data-carrying
+    requests (return [None] for messages without a payload).  While
+    fault injection is active the sender stamps each frame with the
+    trailer and the receiving worker recomputes it over the delivered
+    payload: mismatches (in-flight [Corrupt] verdicts, or any real
+    divergence between send- and receive-side encodings) are NACKed by
+    discarding the frame, leaving retransmission to the caller's
+    retry/backoff path.  Without a hook installed the trailer is never
+    computed, so fault-free runs are unperturbed.
+
     Defaults: [dispatch_cost] 5 us, [poll_overhead] 200 ns. *)
 
 val restart : ?group:Sim.Engine.group -> _ t -> unit
@@ -54,13 +66,19 @@ val call_timeout :
   ('req, 'resp) t ->
   from:Loc.t ->
   ?bytes:int ->
+  ?key:int * int ->
   timeout:Sim.Time.t ->
   'req ->
   'resp option
 (** Like {!call} but gives up (returning [None]) when no response
     arrived within [timeout] — whether the request was dropped by fault
     injection, the server is dead, or the handler is simply slow.  On
-    timeout a late response is discarded. *)
+    timeout a late response is discarded.
+
+    [key] is the request's per-caller sequence number (from
+    {!fresh_key}); retries of one logical request should pass the same
+    key so the server's dedup cache replays the reply instead of
+    re-executing the handler.  Fresh per call when omitted. *)
 
 val call_retry :
   ('req, 'resp) t ->
@@ -83,6 +101,17 @@ val post : ('req, 'resp) t -> from:Loc.t -> ?bytes:int -> 'req -> unit
 
 val queue_length : _ t -> int
 (** Requests waiting to be picked up (a load signal). *)
+
+val fresh_key : from:Loc.t -> int * int
+(** Allocate the next per-caller sequence number for [from].  Callers
+    implementing their own retry ladders allocate one key per logical
+    request and pass it to every {!call_timeout} attempt. *)
+
+val disable_dedup : bool ref
+(** Mutation knob for the conformance self-test: [true] bypasses the
+    server-side dedup cache so every delivered copy executes the
+    handler.  The litmus harness proves that this is caught by the
+    no-duplicate-apply invariant.  Never set outside self-tests. *)
 
 val shutdown : _ t -> unit
 (** Stop workers after the current queue drains; frees the reserved

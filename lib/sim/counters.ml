@@ -1,0 +1,19 @@
+let table : (string, int ref) Hashtbl.t = Hashtbl.create 16
+
+let cell name =
+  match Hashtbl.find_opt table name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add table name r;
+      r
+
+let bump name = incr (cell name)
+let add name n = cell name := !(cell name) + n
+let get name = match Hashtbl.find_opt table name with Some r -> !r | None -> 0
+
+let all () =
+  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) table []
+  |> List.sort compare
+
+let reset () = Hashtbl.iter (fun _ r -> r := 0) table

@@ -1,0 +1,27 @@
+(** Global named event counters.
+
+    A process-wide registry for rare-path bookkeeping that rides along
+    with {!Engine.global_events_executed}: retransmissions, dedup-cache
+    hits, corrupt-frame NACKs, scrub repairs and the like.  Counters are
+    plain integers with no simulation side effects — bumping one never
+    schedules an event, so instrumented and uninstrumented runs produce
+    identical schedules.
+
+    Counters accumulate across engine runs (like the global event
+    counter); harnesses that want per-run numbers snapshot around the
+    run or call {!reset}. *)
+
+val bump : string -> unit
+(** Increment a named counter (created at zero on first use). *)
+
+val add : string -> int -> unit
+(** Add an arbitrary amount to a named counter. *)
+
+val get : string -> int
+(** Current value; 0 for names never bumped. *)
+
+val all : unit -> (string * int) list
+(** All non-zero counters, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every counter. *)

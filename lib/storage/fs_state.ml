@@ -318,6 +318,61 @@ let digest t =
 
 let live_inodes t = Hashtbl.length t.inodes
 
+(* ---- bit-rot injection and scrub support ---------------------------- *)
+
+let file_crc t inum =
+  match inode t inum with
+  | Some i when i.kind = File ->
+      let crc = ref 0l in
+      List.iter
+        (function
+          | `Data d -> crc := Crc32.update_data !crc d
+          | `Hole n -> crc := Crc32.update_zeros !crc n)
+        (Extent_map.read_range i.extents ~pos:0 ~len:i.size);
+      Some !crc
+  | _ -> None
+
+let scrub_candidates t =
+  List.sort compare
+    (Hashtbl.fold
+       (fun k i acc -> if i.kind = File && i.size > 0 then k :: acc else acc)
+       t.inodes [])
+
+let tamper t ~salt =
+  match scrub_candidates t with
+  | [] -> None
+  | files ->
+      let salt = abs salt in
+      let inum = List.nth files (salt mod List.length files) in
+      let i = Hashtbl.find t.inodes inum in
+      let pos = salt / 7 mod i.size in
+      let byte =
+        match Extent_map.read_range i.extents ~pos ~len:1 with
+        | [ `Data d ] ->
+            let b = Bytes.create 1 in
+            Data.blit_to d ~src_pos:0 ~dst:b ~dst_pos:0 ~len:1;
+            Bytes.get b 0
+        | _ -> '\000'
+      in
+      let flipped = Char.chr (Char.code byte lxor (1 + (salt mod 255))) in
+      Extent_map.insert i.extents ~at:pos (Data.of_string (String.make 1 flipped)) 0;
+      Some inum
+
+let copy_file_content ~src ~dst inum =
+  match (inode src inum, inode dst inum) with
+  | Some s, Some d when s.kind = File && d.kind = File ->
+      let pieces =
+        List.map
+          (function `Data dd -> dd | `Hole n -> Data.zero ~len:n)
+          (Extent_map.read_range s.extents ~pos:0 ~len:s.size)
+      in
+      Extent_map.clear d.extents;
+      let data = Data.concat pieces in
+      if Data.length data > 0 then Extent_map.insert d.extents ~at:0 data 0;
+      d.size <- s.size;
+      true
+  | _ -> false
+
 let total_mapped_bytes t =
   Hashtbl.fold
     (fun _ i acc -> acc + Extent_map.mapped_bytes i.extents)

@@ -89,5 +89,26 @@ val digest : t -> int32
 val live_inodes : t -> int
 (** Number of live inodes (root included). *)
 
+val file_crc : t -> int -> int32 option
+(** CRC32 of a file's full content (holes read as zeros), streaming
+    slices without materializing the file.  [None] for directories and
+    unknown inodes.  Scrub compares this per inode against the chain
+    source to detect bit-rot in persisted extents. *)
+
+val scrub_candidates : t -> int list
+(** Sorted inums of non-empty files — the extents a scrub walks and
+    the population bit-rot injection draws from. *)
+
+val tamper : t -> salt:int -> int option
+(** Fault injection: flip one byte of one file's persisted extents,
+    chosen deterministically from [salt].  Returns the damaged inum,
+    or [None] when no non-empty file exists.  The damage is exactly
+    what {!file_crc} comparison against a healthy replica detects. *)
+
+val copy_file_content : src:t -> dst:t -> int -> bool
+(** Scrub repair: replace [dst]'s extents for one file with [src]'s
+    content (both must know the inum as a file).  Models the re-fetch
+    of a corrupt inode from the next chain replica. *)
+
 val total_mapped_bytes : t -> int
 (** Sum of mapped extent bytes over all files. *)

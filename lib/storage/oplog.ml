@@ -235,6 +235,17 @@ let make ~seq ~client op =
 
 let check e = Int32.equal e.crc (compute_crc e)
 
+(* Fold one entry's wire bytes (including its own crc trailer) into a
+   running frame CRC: the end-to-end integrity trailer of a replication
+   frame is the fold of this over the chunk's entries.  Streams through
+   the slice-aware CRC sink, so rope payloads never flatten. *)
+let frame_crc acc e =
+  let w, crc = crc_writer () in
+  crc := acc;
+  encode_entry w e;
+  w.w_i32 e.crc;
+  !crc
+
 let serialize e =
   let b = Buffer.create (size e + 16) in
   let w = buffer_writer b in
@@ -397,6 +408,83 @@ module Log = struct
     !freed
 
   let iter t f = Queue.iter f t.entries
+
+  let rebuild t entries =
+    Queue.clear t.entries;
+    t.used <- 0;
+    List.iter
+      (fun e ->
+        Queue.add e t.entries;
+        t.used <- t.used + size e)
+      entries;
+    t.head <-
+      (match Queue.peek_opt t.entries with
+      | Some e -> e.seq
+      | None -> t.last + 1)
+
+  let tear_tail t =
+    (* Simulate a torn PM write of the newest record: the persisted
+       copy no longer matches its per-record CRC. *)
+    match Queue.fold (fun _ e -> Some e) None t.entries with
+    | None -> false
+    | Some last ->
+        let torn = { last with crc = Int32.logxor last.crc 0x5A5A5A5Al } in
+        let all =
+          List.rev
+            (Queue.fold
+               (fun acc e -> (if e.seq = last.seq then torn else e) :: acc)
+               [] t.entries)
+        in
+        rebuild t all;
+        true
+
+  type scrub_result = { torn_truncated : int; quarantined : entry list }
+
+  let scrub t =
+    (* Per-record CRC scan.  An invalid suffix is a torn tail — those
+       records never fully persisted, so they are truncated and the log
+       rolls back ([last_seq] shrinks; the writer re-appends).  An
+       invalid record with valid successors is bit-rot: it is
+       quarantined (removed, leaving a gap) and the caller must
+       {!restore} a pristine copy fetched from the next chain replica
+       before replaying the log. *)
+    let all = List.rev (Queue.fold (fun acc e -> e :: acc) [] t.entries) in
+    let rec split_tail rev torn =
+      match rev with
+      | e :: rest when not (check e) -> split_tail rest (e :: torn)
+      | _ -> (List.rev rev, torn)
+    in
+    let body, torn = split_tail (List.rev all) [] in
+    let quarantined = List.filter (fun e -> not (check e)) body in
+    let good = List.filter check body in
+    (match torn with e :: _ -> t.last <- e.seq - 1 | [] -> ());
+    rebuild t good;
+    { torn_truncated = List.length torn; quarantined }
+
+  let restore t e =
+    (* Re-insert a quarantined record's pristine replacement (fetched
+       from a chain replica) at its sequence position. *)
+    if not (check e) then false
+    else if e.seq > t.last then false
+    else if
+      Queue.fold (fun found x -> found || x.seq = e.seq) false t.entries
+    then false
+    else begin
+      let out = ref [] in
+      let inserted = ref false in
+      Queue.iter
+        (fun x ->
+          if (not !inserted) && x.seq > e.seq then begin
+            out := e :: !out;
+            inserted := true
+          end;
+          out := x :: !out)
+        t.entries;
+      if not !inserted then out := e :: !out;
+      let all = List.rev !out in
+      rebuild t all;
+      true
+    end
 
   let remove_if t pred =
     let keep = Queue.create () in

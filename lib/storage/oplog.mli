@@ -35,6 +35,12 @@ val is_metadata : op -> bool
 val check : entry -> bool
 (** Recompute and compare the checksum. *)
 
+val frame_crc : int32 -> entry -> int32
+(** Fold one entry's wire bytes (including its crc trailer) into a
+    running CRC32: [List.fold_left frame_crc 0l entries] is the
+    end-to-end integrity trailer of a replication frame.  Payload bytes
+    stream through the slice-aware CRC, so rope data never flattens. *)
+
 val serialize : entry -> Bytes.t
 (** Binary encoding (real payload bytes are embedded; synthetic
     payloads are encoded by descriptor). *)
@@ -88,4 +94,23 @@ module Log : sig
       inodes); returns how many were removed.  Sequence numbers of the
       survivors are unchanged, so the retained set may have gaps —
       [head_seq] becomes the seq of the oldest survivor. *)
+
+  val tear_tail : t -> bool
+  (** Fault injection: corrupt the newest retained record's CRC,
+      simulating a torn PM write.  [false] when the log is empty. *)
+
+  type scrub_result = { torn_truncated : int; quarantined : entry list }
+
+  val scrub : t -> scrub_result
+  (** Recovery-time per-record CRC scan.  An invalid suffix is a torn
+      tail: those records are truncated and [last_seq] rolls back so
+      the writer re-appends them.  Invalid records with valid
+      successors are bit-rot: they are quarantined (removed, leaving a
+      gap) and returned so the caller can re-fetch pristine copies from
+      the next chain replica and {!restore} them. *)
+
+  val restore : t -> entry -> bool
+  (** Re-insert a pristine replacement for a quarantined record at its
+      sequence position.  [false] if the entry fails its own CRC, lies
+      beyond [last_seq], or its seq is already present. *)
 end

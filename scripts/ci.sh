@@ -7,12 +7,16 @@
 # then the conformance/crash litmus sweep: differential checks of
 # every backend against the model oracle plus faulted litmus runs,
 # and the --mutate self-test that proves planted bugs are caught.
+# The adversary sweep runs the Byzantine-fabric profile (duplication,
+# reordering, corruption, torn oplog tails, bit-rot) over 50 seeds
+# with its own determinism re-check.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest --force
 dune exec bin/dst_sweep.exe -- "${DST_SEEDS:-12}"
+dune exec bin/dst_sweep.exe -- --adversary "${ADVERSARY_SEEDS:-50}"
 dune exec bin/litmus_sweep.exe -- \
   --differ-seeds "${LITMUS_SEEDS:-50}" \
   --litmus-seeds "${LITMUS_SEEDS:-50}" \

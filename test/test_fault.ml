@@ -34,10 +34,56 @@ let test_plan_shrink () =
   in
   let n = List.length plan in
   let smaller = Fault.Plan.shrink plan in
-  Alcotest.(check int) "one candidate per fault" n (List.length smaller);
+  (* Candidates come in two families: one plan per fault with that
+     fault deleted, then one per shrinkable fault with its parameters
+     halved. *)
+  let dropped, halved =
+    List.partition (fun p -> List.length p = n - 1) smaller
+  in
+  Alcotest.(check int) "one dropped candidate per fault" n
+    (List.length dropped);
   List.iter
-    (fun p -> Alcotest.(check int) "one fault fewer" (n - 1) (List.length p))
-    smaller
+    (fun p ->
+      Alcotest.(check int) "halved candidates keep the fault count" n
+        (List.length p);
+      if Fault.Plan.to_string p = Fault.Plan.to_string plan then
+        Alcotest.fail "halved candidate equals the original plan")
+    halved
+
+let test_plan_shrink_parameters () =
+  (* Repeatedly taking the halved candidate drives durations, extra
+     delays and probabilities to their floors, then stops producing
+     candidates — so greedy shrinking terminates with a minimal
+     parameterisation, not just a minimal fault set. *)
+  let plan =
+    [
+      Fault.Plan.Link_reorder
+        {
+          a = 0;
+          b = 1;
+          at = Time.ms 1;
+          duration = Time.ms 8;
+          p = 0.5;
+          delay = Time.us 200;
+        };
+    ]
+  in
+  let rec fixpoint plan steps =
+    if steps > 64 then Alcotest.fail "halving never reached a fixpoint"
+    else
+      match
+        List.filter (fun p -> List.length p = 1) (Fault.Plan.shrink plan)
+      with
+      | [] -> plan
+      | p :: _ -> fixpoint p (steps + 1)
+  in
+  match fixpoint plan 0 with
+  | [ Fault.Plan.Link_reorder { duration; p; delay; _ } ] ->
+      Alcotest.(check bool) "duration at floor" true (duration <= Time.us 50);
+      Alcotest.(check bool) "probability at floor" true (p <= 0.02);
+      Alcotest.(check bool) "reorder delay at floor" true
+        (delay <= Time.us 50)
+  | _ -> Alcotest.fail "shrinking changed the plan shape"
 
 let test_plan_bounded () =
   (* Every generated fault starts and fully resolves inside the
@@ -100,7 +146,35 @@ let test_netfault_verdicts () =
   | Net.Inject.Pass -> ()
   | _ -> Alcotest.fail "delay applies at the move, not the rpc");
   Alcotest.(check int) "drop counter" 1 (Fault.Netfault.drops net);
-  Alcotest.(check int) "delay counter" 1 (Fault.Netfault.delays net)
+  Alcotest.(check int) "delay counter" 1 (Fault.Netfault.delays net);
+  Fault.Netfault.set_delay net ~a:0 ~b:1 (Time.ns 0);
+  (* Byzantine verdicts: duplication and corruption apply to any RPC
+     send; reordering only to one-way posts (a blocked round-trip
+     caller observes it as latency anyway). *)
+  Fault.Netfault.set_dup net ~a:0 ~b:1 1.0;
+  (match consult Net.Inject.Rpc_call (Net.Loc.Nic n0) (Net.Loc.Nic n1) with
+  | Net.Inject.Duplicate -> ()
+  | _ -> Alcotest.fail "dup link must duplicate");
+  Fault.Netfault.set_dup net ~a:0 ~b:1 0.0;
+  Fault.Netfault.set_corrupt net ~a:0 ~b:1 1.0;
+  (match consult Net.Inject.Rpc_post (Net.Loc.Nic n0) (Net.Loc.Nic n1) with
+  | Net.Inject.Corrupt { offset; xor } ->
+      if offset < 0 || offset >= 100 then
+        Alcotest.failf "corrupt offset %d outside the frame" offset;
+      if xor < 1 || xor > 255 then
+        Alcotest.failf "corrupt xor %#x not a byte-flip" xor
+  | _ -> Alcotest.fail "corrupt link must corrupt");
+  Fault.Netfault.set_corrupt net ~a:0 ~b:1 0.0;
+  Fault.Netfault.set_reorder net ~a:0 ~b:1 ~p:1.0 ~delay:(Time.us 30);
+  (match consult Net.Inject.Rpc_post (Net.Loc.Nic n0) (Net.Loc.Nic n1) with
+  | Net.Inject.Reorder d when d = Time.us 30 -> ()
+  | _ -> Alcotest.fail "reorder link must hold posts back");
+  (match consult Net.Inject.Rpc_call (Net.Loc.Nic n0) (Net.Loc.Nic n1) with
+  | Net.Inject.Pass -> ()
+  | _ -> Alcotest.fail "reordering must not touch round-trip calls");
+  Alcotest.(check int) "dup counter" 1 (Fault.Netfault.dups net);
+  Alcotest.(check int) "corrupt counter" 1 (Fault.Netfault.corrupts net);
+  Alcotest.(check int) "reorder counter" 1 (Fault.Netfault.reorders net)
 
 (* ------------------------------------------------------------------ *)
 (* Targeted scenarios: one per recovery path                           *)
@@ -245,6 +319,11 @@ let fault_kind = function
   | Fault.Plan.Partition _ -> "partition"
   | Fault.Plan.Link_delay _ -> "delay"
   | Fault.Plan.Link_drop _ -> "drop"
+  | Fault.Plan.Link_dup _ -> "dup"
+  | Fault.Plan.Link_reorder _ -> "reorder"
+  | Fault.Plan.Link_corrupt _ -> "corrupt"
+  | Fault.Plan.Torn_tail _ -> "torn-tail"
+  | Fault.Plan.Bit_rot _ -> "bit-rot"
 
 let test_scenario_sweep () =
   let kinds = Hashtbl.create 8 in
@@ -264,8 +343,30 @@ let test_scenario_sweep () =
     (fun k ->
       if not (Hashtbl.mem kinds k) then
         Alcotest.failf "no generated scenario used fault kind %s" k)
-    [ "crash"; "stall"; "partition"; "delay"; "drop" ];
+    [ "crash"; "stall"; "partition"; "delay"; "drop"; "dup"; "reorder" ];
   if !total_ops = 0 then Alcotest.fail "sweep logged no operations"
+
+(* The Byzantine-fabric profile: duplication / reordering / corruption
+   / storage faults only, at aggressive probabilities.  Every seed must
+   hold the full invariant set — including no-duplicate-apply, which is
+   what makes the RPC dedup cache and the publication gate load-bearing
+   rather than decorative. *)
+let test_adversary_sweep () =
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun seed ->
+      let spec = Fault.Scenario.generate_adversary ~seed in
+      List.iter
+        (fun f -> Hashtbl.replace kinds (fault_kind f) ())
+        spec.Fault.Scenario.plan;
+      let o = Fault.Scenario.run spec in
+      check_outcome ~what:(Printf.sprintf "adversary seed %d" seed) o)
+    scenario_seeds;
+  List.iter
+    (fun k ->
+      if not (Hashtbl.mem kinds k) then
+        Alcotest.failf "no adversary scenario used fault kind %s" k)
+    [ "dup"; "reorder"; "corrupt"; "torn-tail"; "bit-rot" ]
 
 let test_sweep_api () =
   match Fault.Dst.sweep ~seeds:[ 1; 2; 3 ] with
@@ -288,6 +389,18 @@ let prop_deterministic =
     QCheck.(int_range 1 10_000)
     (fun seed -> Fault.Dst.deterministic ~seed)
 
+(* Under any adversary plan, every operation a client saw accepted is
+   applied exactly once per surviving replica: the apply journal holds
+   no duplicate (client, seq), histories are gap-free and the chain
+   converges — [Scenario.failed] covers all three. *)
+let prop_adversary_exactly_once =
+  QCheck.Test.make
+    ~name:"adversary: accepted ops apply exactly once per replica" ~count:6
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let o = Fault.Scenario.run (Fault.Scenario.generate_adversary ~seed) in
+      not (Fault.Scenario.failed o))
+
 let test_fingerprint_fields () =
   let a = Fault.Dst.run_seed 11 and b = Fault.Dst.run_seed 11 in
   Alcotest.(check string)
@@ -309,7 +422,9 @@ let () =
       ( "plan",
         [
           tc "deterministic generation" `Quick test_plan_deterministic;
-          tc "shrink drops one fault" `Quick test_plan_shrink;
+          tc "shrink drops one fault or halves one" `Quick test_plan_shrink;
+          tc "halving reaches the parameter floors" `Quick
+            test_plan_shrink_parameters;
           tc "faults resolve inside horizon" `Quick test_plan_bounded;
         ] );
       ("netfault", [ tc "hook verdicts" `Quick test_netfault_verdicts ]);
@@ -339,11 +454,14 @@ let () =
         [
           tc "50 seeded scenarios hold all invariants" `Slow
             test_scenario_sweep;
+          tc "50 adversary scenarios hold all invariants" `Slow
+            test_adversary_sweep;
           tc "sweep driver" `Quick test_sweep_api;
         ] );
       ( "determinism",
         [
           qt prop_deterministic;
+          qt prop_adversary_exactly_once;
           tc "fingerprint fields" `Quick test_fingerprint_fields;
         ] );
     ]

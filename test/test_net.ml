@@ -279,6 +279,156 @@ let test_call_timeout_fault_free_passthrough () =
       Alcotest.(check (option int)) "retried" (Some 42) retried;
       Alcotest.(check int) "same latency" t_plain t_timed)
 
+(* ------------------------------------------------------------------ *)
+(* Byzantine verdicts: idempotent RPC under duplication, reordering    *)
+(* and corruption                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A scripted injection hook: inter-node RPC sends consume verdicts in
+   order (then pass); RDMA moves and intra-node traffic always pass. *)
+let with_script verdicts f =
+  let remaining = ref verdicts in
+  Inject.set (fun ~point ~src ~dst ~bytes:_ ->
+      match point with
+      | Inject.Rdma_move -> Inject.Pass
+      | Inject.Rpc_call | Inject.Rpc_post -> (
+          if Loc.same_node src dst then Inject.Pass
+          else
+            match !remaining with
+            | [] -> Inject.Pass
+            | v :: rest ->
+                remaining := rest;
+                v));
+  Fun.protect ~finally:Inject.clear f
+
+let event_kind = Rpc.Event { workers = 2; prio = Hw.Cpu.prio_normal }
+
+let test_rpc_duplicate_executes_once () =
+  (* A fabric-duplicated call reaches the server twice with the same
+     per-caller sequence number: the handler runs once, the dedup cache
+     absorbs the copy, and the caller still gets its reply. *)
+  let a, b = two_nodes () in
+  Counters.reset ();
+  run_sim (fun () ->
+      with_script [ Inject.Duplicate ] (fun () ->
+          let count = ref 0 in
+          let srv =
+            Rpc.create ~name:"dup" ~loc:(Loc.Nic b) ~kind:event_kind
+              ~handler:(fun x ->
+                incr count;
+                x + 1)
+              ()
+          in
+          let r = Rpc.call srv ~from:(Loc.Nic a) 1 in
+          Alcotest.(check int) "reply" 2 r;
+          Engine.sleep (Time.ms 1);
+          Alcotest.(check int) "handler ran once" 1 !count;
+          Alcotest.(check bool) "dedup hit recorded" true
+            (Counters.get "rpc.dedup-hit" >= 1)))
+
+let test_rpc_corrupt_frame_nacked_then_retried () =
+  (* A corrupted frame is discarded without touching the handler (the
+     CRC trailer / link FCS catches it); call_retry's next attempt gets
+     through. *)
+  let a, b = two_nodes () in
+  Counters.reset ();
+  run_sim (fun () ->
+      with_script [ Inject.Corrupt { offset = 3; xor = 0x40 } ] (fun () ->
+          let count = ref 0 in
+          let srv =
+            Rpc.create ~name:"crc" ~loc:(Loc.Nic b) ~kind:event_kind
+              ~integrity:(fun x -> Some (Int32.of_int x))
+              ~handler:(fun x ->
+                incr count;
+                x * 2)
+              ()
+          in
+          let policy =
+            Backoff.make ~base:(Time.us 200) ~factor:2.0 ~cap:(Time.ms 1) ()
+          in
+          let r = Rpc.call_retry srv ~from:(Loc.Nic a) ~policy 21 in
+          Alcotest.(check (option int)) "retry delivered" (Some 42) r;
+          Alcotest.(check int) "handler ran once" 1 !count;
+          Alcotest.(check int) "frame NACKed" 1
+            (Counters.get "net.corrupt-frame");
+          Alcotest.(check bool) "retransmit recorded" true
+            (Counters.get "net.retransmit" >= 1)))
+
+let test_rpc_reorder_post_overtaken () =
+  (* A reordered one-way post is held back while a later post overtakes
+     it; both are delivered. *)
+  let a, b = two_nodes () in
+  run_sim (fun () ->
+      with_script [ Inject.Reorder (Time.us 100) ] (fun () ->
+          let order = ref [] in
+          let srv =
+            Rpc.create ~name:"ord" ~loc:(Loc.Nic b)
+              ~kind:(Rpc.Event { workers = 1; prio = Hw.Cpu.prio_normal })
+              ~handler:(fun x -> order := x :: !order)
+              ()
+          in
+          Rpc.post srv ~from:(Loc.Nic a) 1;
+          Rpc.post srv ~from:(Loc.Nic a) 2;
+          Engine.sleep (Time.ms 1);
+          Alcotest.(check (list int)) "second post overtook the first"
+            [ 1; 2 ] !order))
+
+let test_call_retry_deadline_ladder_capped () =
+  (* Under persistent loss the per-attempt timeout ladder is the
+     backoff: attempts wait base, base*2, then the cap — so the total
+     deadline for n attempts is bounded by the capped series, and the
+     caller learns about the failure at a predictable instant. *)
+  let a, b = two_nodes () in
+  Counters.reset ();
+  run_sim (fun () ->
+      with_script [ Inject.Drop; Inject.Drop; Inject.Drop; Inject.Drop ]
+        (fun () ->
+          let srv =
+            Rpc.create ~name:"gone" ~loc:(Loc.Nic b) ~kind:event_kind
+              ~handler:(fun () -> ())
+              ()
+          in
+          let policy =
+            Backoff.make ~base:(Time.us 100) ~factor:2.0 ~cap:(Time.us 400) ()
+          in
+          let t0 = Engine.now () in
+          let r =
+            Rpc.call_retry srv ~from:(Loc.Nic a) ~policy ~attempts:4 ()
+          in
+          let waited = Engine.now () - t0 in
+          Alcotest.(check (option unit)) "gave up" None r;
+          (* 100 + 200 + 400 + 400 us of timeouts, plus wire time. *)
+          check_between "capped ladder" (Time.us 1100) (Time.us 1400) waited;
+          Alcotest.(check int) "every attempt retransmitted" 4
+            (Counters.get "net.retransmit")))
+
+let test_call_retry_exactly_once_under_duplicate_and_reorder () =
+  (* Back-to-back logical requests through a fabric that duplicates one
+     and reorders another: every request executes exactly once and
+     every caller gets exactly one reply. *)
+  let a, b = two_nodes () in
+  Counters.reset ();
+  run_sim (fun () ->
+      with_script
+        [ Inject.Duplicate; Inject.Reorder (Time.us 50); Inject.Duplicate ]
+        (fun () ->
+          let count = ref 0 in
+          let srv =
+            Rpc.create ~name:"once" ~loc:(Loc.Nic b) ~kind:event_kind
+              ~handler:(fun x ->
+                incr count;
+                x)
+              ()
+          in
+          for i = 1 to 3 do
+            Alcotest.(check (option int))
+              (Printf.sprintf "reply %d" i)
+              (Some i)
+              (Rpc.call_retry srv ~from:(Loc.Nic a) i)
+          done;
+          Engine.sleep (Time.ms 1);
+          Alcotest.(check int) "each logical request executed once" 3 !count))
+
 let test_call_timeout_gives_up_on_slow_handler () =
   let a, _ = two_nodes () in
   run_sim (fun () ->
@@ -329,5 +479,16 @@ let () =
             test_call_timeout_fault_free_passthrough;
           tc "timeout on slow handler" `Quick
             test_call_timeout_gives_up_on_slow_handler;
+        ] );
+      ( "byzantine",
+        [
+          tc "duplicate executes once" `Quick test_rpc_duplicate_executes_once;
+          tc "corrupt frame nacked then retried" `Quick
+            test_rpc_corrupt_frame_nacked_then_retried;
+          tc "reordered post overtaken" `Quick test_rpc_reorder_post_overtaken;
+          tc "retry deadline ladder capped" `Quick
+            test_call_retry_deadline_ladder_capped;
+          tc "exactly once under duplicate and reorder" `Quick
+            test_call_retry_exactly_once_under_duplicate_and_reorder;
         ] );
     ]
