@@ -26,6 +26,34 @@ let in_sim ?deadline f =
   | Some v -> v
   | None -> failwith "bench: simulation deadline hit before completion"
 
+(* How many domains experiment batches spread over (the --domains
+   flag); 1 keeps the historical strictly sequential path. *)
+let domains = ref 1
+
+(* Run a batch of independent simulations — one fresh engine each, no
+   cross-sim interaction — and return their values in input order.
+   With [domains = 1] this is exactly [List.map in_sim]; otherwise the
+   sims become shards of a {!Sim.Sharded} runner (no edges, so every
+   shard runs to completion in a single window) spread over the
+   domains.  Every shard gets the same engine seed [in_sim] always
+   used, so results are identical for every domain count. *)
+let in_sims fs =
+  if !domains <= 1 then List.map (fun f -> in_sim f) fs
+  else begin
+    let n = List.length fs in
+    let sh = Sharded.create ~seed_of:(fun _ -> 42) ~shards:n () in
+    let results = Array.make n None in
+    List.iteri
+      (fun i f ->
+        Sharded.spawn_root sh ~shard:i (fun () -> results.(i) <- Some (f ())))
+      fs;
+    Sharded.run ~domains:!domains sh;
+    Array.to_list results
+    |> List.map (function
+         | Some v -> v
+         | None -> failwith "bench: shard did not complete")
+  end
+
 (* Spawn [n] client bodies and wait for all to finish; returns elapsed. *)
 let parallel_clients n body =
   let t0 = Engine.now () in

@@ -353,21 +353,71 @@ let run_kernels ~smoke =
 type exp_result = {
   e_name : string;
   e_scale : string;
+  e_domains : int;
   wall_s : float;
   events : int;
   minor_words : float;
   major_words : float;
   major_collections : int;
+  (* events/s measured at each probed domain count (at least domains=1;
+     scaled experiments also probe 4 and 8). *)
+  mutable eps_by_domains : (int * float) list;
 }
 
-let run_experiment ~name ~scale run =
-  Printf.printf "\n== experiment %s [%s] ==\n%!" name scale.Common.label;
+(* Multi-domain speedup: best probed events/s over the single-domain
+   rate.  On a single-core machine this hovers around (or below) 1.0 —
+   domains add scheduling overhead and no parallelism — which is why
+   the bench gate carries a core-count-aware tolerance. *)
+let speedup_of e =
+  match
+    ( List.assoc_opt 1 e.eps_by_domains,
+      List.filter (fun (d, _) -> d > 1) e.eps_by_domains )
+  with
+  | None, _ | _, [] -> 1.0 (* no probe pair: neutral *)
+  | Some base, multi ->
+      List.fold_left (fun acc (_, eps) -> max acc (eps /. base)) 0.0 multi
+
+(* Per-event-kind profile: where the wall time of an experiment goes,
+   bucketed by event name with instance digits stripped.  [profile]
+   perturbs the measured wall time (two clock reads per event), so the
+   headline wall_s/events_per_s numbers are taken from unprofiled runs;
+   the profile is printed for the eye and future perf PRs. *)
+let print_profile () =
+  let rows = Sim.Engine.profile_snapshot () in
+  let total = List.fold_left (fun a (_, _, s, _) -> a +. s) 0.0 rows in
+  let top = List.filteri (fun i _ -> i < 10) rows in
+  Printf.printf "  %-36s %12s %10s %8s %10s %10s\n" "event kind" "events"
+    "secs" "share" "us/event" "words/ev";
+  List.iter
+    (fun (kind, count, secs, words) ->
+      Printf.printf "  %-36s %12d %10.2f %7.1f%% %10.2f %10.0f\n" kind count
+        secs
+        (100.0 *. secs /. total)
+        (secs /. float_of_int count *. 1e6)
+        (words /. float_of_int count))
+    top;
+  Printf.printf "  (%d kinds, %.2fs total in events)\n%!" (List.length rows)
+    total
+
+let run_experiment ?(profile = false) ?(domains = 1) ~name ~scale run =
+  Printf.printf "\n== experiment %s [%s, domains=%d] ==\n%!" name
+    scale.Common.label domains;
   Common.current_scale := scale;
+  Common.domains := domains;
   let ev0 = Sim.Engine.global_events_executed () in
   let gc0 = Gc.quick_stat () in
+  if profile then begin
+    Sim.Engine.profile_set_clock Unix.gettimeofday;
+    Sim.Engine.profile_reset ();
+    Sim.Engine.profile_enable true
+  end;
   let t0 = Unix.gettimeofday () in
   run ();
   let wall_s = Unix.gettimeofday () -. t0 in
+  if profile then begin
+    Sim.Engine.profile_enable false;
+    print_profile ()
+  end;
   let gc1 = Gc.quick_stat () in
   let events = Sim.Engine.global_events_executed () - ev0 in
   Printf.printf
@@ -378,12 +428,28 @@ let run_experiment ~name ~scale run =
   {
     e_name = name;
     e_scale = scale.Common.label;
+    e_domains = domains;
     wall_s;
     events;
     minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
     major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
     major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+    eps_by_domains = [ (domains, float_of_int events /. wall_s) ];
   }
+
+(* Re-run [run] at additional domain counts, recording only events/s.
+   The simulated results are identical at every domain count (see
+   Sim.Sharded's determinism contract); only wall clock varies. *)
+let probe_domains ~name ~scale run e counts =
+  List.iter
+    (fun d ->
+      if not (List.mem_assoc d e.eps_by_domains) then begin
+        let p = run_experiment ~domains:d ~name ~scale run in
+        e.eps_by_domains <-
+          e.eps_by_domains @ [ (d, float_of_int p.events /. p.wall_s) ]
+      end)
+    counts;
+  Common.domains := 1
 
 (* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled; no deps)                                  *)
@@ -400,10 +466,11 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~mode ~kernels ~geomean ~experiments =
+let write_json ~path ~mode ~domains ~kernels ~geomean ~experiments =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" domains);
   Buffer.add_string b
     (Printf.sprintf "  \"data_path_geomean_speedup\": %.3f,\n" geomean);
   Buffer.add_string b "  \"kernels\": [\n";
@@ -422,15 +489,25 @@ let write_json ~path ~mode ~kernels ~geomean ~experiments =
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
     (fun i e ->
+      let eps_json =
+        String.concat ", "
+          (List.map
+             (fun (d, eps) -> Printf.sprintf "\"%d\": %.0f" d eps)
+             e.eps_by_domains)
+      in
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"name\": \"%s\", \"scale\": \"%s\", \"wall_s\": %.2f, \
-            \"events\": %d, \"events_per_s\": %.0f, \"gc\": \
+           "    {\"name\": \"%s\", \"scale\": \"%s\", \"domains\": %d, \
+            \"wall_s\": %.2f, \"events\": %d, \"events_per_s\": %.0f, \
+            \"events_per_s_by_domains\": {%s}, \
+            \"multi_domain_speedup\": %.3f, \"gc\": \
             {\"minor_words\": %.0f, \"major_words\": %.0f, \
             \"major_collections\": %d}}%s\n"
-           (json_escape e.e_name) (json_escape e.e_scale) e.wall_s e.events
+           (json_escape e.e_name) (json_escape e.e_scale) e.e_domains e.wall_s
+           e.events
            (float_of_int e.events /. e.wall_s)
-           e.minor_words e.major_words e.major_collections
+           eps_json (speedup_of e) e.minor_words e.major_words
+           e.major_collections
            (if i = List.length experiments - 1 then "" else ","))
       )
     experiments;
@@ -449,26 +526,56 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
   let full = List.mem "--full" args in
-  let rec out_path = function
-    | "-o" :: p :: _ -> p
-    | _ :: rest -> out_path rest
-    | [] -> "BENCH_wallclock.json"
+  let profile = List.mem "--profile" args in
+  let no_probe = List.mem "--no-domain-probe" args in
+  let rec flag_val name = function
+    | f :: v :: _ when f = name -> Some v
+    | _ :: rest -> flag_val name rest
+    | [] -> None
   in
-  let path = out_path args in
+  let path =
+    match flag_val "-o" args with Some p -> p | None -> "BENCH_wallclock.json"
+  in
+  let domains =
+    match flag_val "--domains" args with
+    | Some v -> max 1 (int_of_string v)
+    | None -> 1
+  in
   let mode = if smoke then "smoke" else if full then "full" else "default" in
-  Printf.printf "wall-clock harness, mode=%s\n%!" mode;
+  Printf.printf "wall-clock harness, mode=%s, domains=%d\n%!" mode domains;
   let kernels, geomean = run_kernels ~smoke in
   let experiments =
     if smoke then []
     else begin
       (* Explicit sequencing: list elements would evaluate in
          unspecified order. *)
-      let s4 = run_experiment ~name:"fig4" ~scale:Common.scaled Exp_fig4.run in
-      let s9 = run_experiment ~name:"fig9" ~scale:Common.scaled Exp_fig9.run in
+      let s4 =
+        run_experiment ~profile ~domains ~name:"fig4" ~scale:Common.scaled
+          Exp_fig4.run
+      in
+      let s9 =
+        run_experiment ~profile ~domains ~name:"fig9" ~scale:Common.scaled
+          Exp_fig9.run
+      in
+      (* Scaled experiments also probe events/s at domains 1, 4, 8 so
+         the JSON tracks the multi-domain trajectory; full-scale runs
+         are too expensive to triplicate. *)
+      if not no_probe then begin
+        probe_domains ~name:"fig4" ~scale:Common.scaled Exp_fig4.run s4
+          [ 1; 4; 8 ];
+        probe_domains ~name:"fig9" ~scale:Common.scaled Exp_fig9.run s9
+          [ 1; 4; 8 ]
+      end;
       let at_full =
         if full then begin
-          let f4 = run_experiment ~name:"fig4" ~scale:Common.full Exp_fig4.run in
-          let f9 = run_experiment ~name:"fig9" ~scale:Common.full Exp_fig9.run in
+          let f4 =
+            run_experiment ~profile ~domains ~name:"fig4" ~scale:Common.full
+              Exp_fig4.run
+          in
+          let f9 =
+            run_experiment ~profile ~domains ~name:"fig9" ~scale:Common.full
+              Exp_fig9.run
+          in
           [ f4; f9 ]
         end
         else []
@@ -476,7 +583,7 @@ let () =
       [ s4; s9 ] @ at_full
     end
   in
-  write_json ~path ~mode ~kernels ~geomean ~experiments;
+  write_json ~path ~mode ~domains ~kernels ~geomean ~experiments;
   if geomean < 3.0 then begin
     Printf.printf
       "WARNING: data-path geomean speedup %.2fx below the 3x target\n%!"

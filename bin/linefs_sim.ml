@@ -29,116 +29,157 @@ type workload = Seq_write | Metastorm
 let workload_conv =
   Arg.enum [ ("seq", Seq_write); ("metastorm", Metastorm) ]
 
-let run_bench system workload clients file_mb io_kb log_mb files duration_ms
-    busy latency_mode =
+(* The whole measurement, parameterized over where its output goes so
+   that multi-instance runs can buffer per-instance text and compare it
+   byte-for-byte afterwards. *)
+let bench_body fmt system workload clients file_mb io_kb log_mb files
+    duration_ms busy latency_mode () =
   let params =
     { Params.default with Params.log_bytes = log_mb * 1024 * 1024 }
   in
   let file_bytes = file_mb * 1024 * 1024 in
   let io_bytes = io_kb * 1024 in
-  let eng = Engine.create () in
-  Engine.spawn_root eng (fun () ->
-      let name, client_ops, node_of, total_dfs_cpu, teardown =
-        match system with
-        | Linefs | Linefs_np ->
-            let d =
-              Deployment.create ~params
-                ~pipeline_parallelism:(system = Linefs)
-                ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
-                ~nodes:3 ()
-            in
-            ( (if system = Linefs then "LineFS" else "LineFS-NotParallel"),
-              (fun id -> Libfs.ops (Deployment.add_client d ~id)),
-              (fun i -> (Deployment.node d i).Deployment.node),
-              (fun () -> Deployment.total_host_dfs_cpu d),
-              fun () -> Deployment.stop d )
-        | Assise | Assise_bg | Hyperloop ->
-            let variant =
-              match system with
-              | Assise -> Baselines.Assise.Pessimistic
-              | Assise_bg -> Baselines.Assise.Bg_repl
-              | _ -> Baselines.Assise.Hyperloop
-            in
-            let a =
-              Baselines.Assise.create ~params ~variant
-                ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
-                ~nodes:3 ()
-            in
-            ( Baselines.Assise.variant_name variant,
-              (fun id ->
-                Baselines.Assise.ops (Baselines.Assise.add_client a ~id)),
-              (fun i -> Baselines.Assise.node a i),
-              (fun () -> Baselines.Assise.total_host_dfs_cpu a),
-              fun () -> Baselines.Assise.stop a )
-      in
-      let stop_bg =
-        if busy then begin
-          let bgs =
-            List.map
-              (fun i ->
-                Workloads.Streamcluster.start_background ~node:(node_of i) ())
-              [ 1; 2 ]
-          in
-          fun () -> List.iter Workloads.Streamcluster.stop bgs
-        end
-        else fun () -> ()
-      in
-      Fmt.pr "system: %s, %d client(s), %d MB file, %d KB IOs%s@." name clients
-        file_mb io_kb
-        (if busy then ", replicas busy" else "");
-      if workload = Metastorm then begin
-        let ops = client_ops 1 in
-        let r =
-          Workloads.Metastorm.run ~ops ~files ~threads:(clients * 4)
-            ~duration:(Time.ms duration_ms) ~seed:42 ()
+  let name, client_ops, node_of, total_dfs_cpu, teardown =
+    match system with
+    | Linefs | Linefs_np ->
+        let d =
+          Deployment.create ~params
+            ~pipeline_parallelism:(system = Linefs)
+            ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
+            ~nodes:3 ()
         in
-        Fmt.pr
-          "metastorm: %d ops in %a of simulated time: %.1f kops/s (%d files, %d \
-           threads)@."
-          r.Workloads.Metastorm.ops_done Time.pp r.Workloads.Metastorm.elapsed
-          r.Workloads.Metastorm.kops_per_sec files (clients * 4)
-      end
-      else if latency_mode then begin
-        let ops = client_ops 1 in
-        let series =
-          Workloads.Microbench.write_fsync_latency ~ops ~path:"/lat"
-            ~n_ops:(file_bytes / io_bytes) ~io_bytes ()
+        ( (if system = Linefs then "LineFS" else "LineFS-NotParallel"),
+          (fun id -> Libfs.ops (Deployment.add_client d ~id)),
+          (fun i -> (Deployment.node d i).Deployment.node),
+          (fun () -> Deployment.total_host_dfs_cpu d),
+          fun () -> Deployment.stop d )
+    | Assise | Assise_bg | Hyperloop ->
+        let variant =
+          match system with
+          | Assise -> Baselines.Assise.Pessimistic
+          | Assise_bg -> Baselines.Assise.Bg_repl
+          | _ -> Baselines.Assise.Hyperloop
         in
-        Fmt.pr "write+fsync latency: avg %.1f us, p50 %.1f, p99 %.1f, p99.9 %.1f@."
-          (Stats.Series.mean series)
-          (Stats.Series.percentile series 50.0)
-          (Stats.Series.percentile series 99.0)
-          (Stats.Series.percentile series 99.9)
-      end
-      else begin
-        let opses = List.init clients (fun i -> client_ops (i + 1)) in
-        let t0 = Engine.now () in
-        let live = ref clients in
-        let all_done = Ivar.create () in
-        List.iteri
-          (fun i ops ->
-            Engine.spawn ~name:(Printf.sprintf "cli%d" i) (fun () ->
-                Workloads.Microbench.seq_write ~ops
-                  ~path:(Printf.sprintf "/bench%d" i)
-                  ~file_bytes:(file_bytes / clients) ~io_bytes ();
-                decr live;
-                if !live = 0 then Ivar.fill all_done ()))
-          opses;
-        Ivar.read all_done;
-        let elapsed = Engine.now () - t0 in
-        Fmt.pr "wrote %d MB in %a of simulated time: %.2f GB/s@." file_mb
-          Time.pp elapsed
-          (float_of_int file_bytes /. Time.to_sec_f elapsed /. 1e9);
-        Fmt.pr "host DFS CPU consumed across the cluster: %a (%.2f cores avg)@."
-          Time.pp (total_dfs_cpu ())
-          (float_of_int (total_dfs_cpu ()) /. float_of_int elapsed)
-      end;
-      stop_bg ();
-      teardown ());
-  Engine.run eng;
+        let a =
+          Baselines.Assise.create ~params ~variant
+            ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
+            ~nodes:3 ()
+        in
+        ( Baselines.Assise.variant_name variant,
+          (fun id ->
+            Baselines.Assise.ops (Baselines.Assise.add_client a ~id)),
+          (fun i -> Baselines.Assise.node a i),
+          (fun () -> Baselines.Assise.total_host_dfs_cpu a),
+          fun () -> Baselines.Assise.stop a )
+  in
+  let stop_bg =
+    if busy then begin
+      let bgs =
+        List.map
+          (fun i ->
+            Workloads.Streamcluster.start_background ~node:(node_of i) ())
+          [ 1; 2 ]
+      in
+      fun () -> List.iter Workloads.Streamcluster.stop bgs
+    end
+    else fun () -> ()
+  in
+  Fmt.pf fmt "system: %s, %d client(s), %d MB file, %d KB IOs%s@." name clients
+    file_mb io_kb
+    (if busy then ", replicas busy" else "");
+  if workload = Metastorm then begin
+    let ops = client_ops 1 in
+    let r =
+      Workloads.Metastorm.run ~ops ~files ~threads:(clients * 4)
+        ~duration:(Time.ms duration_ms) ~seed:42 ()
+    in
+    Fmt.pf fmt
+      "metastorm: %d ops in %a of simulated time: %.1f kops/s (%d files, %d \
+       threads)@."
+      r.Workloads.Metastorm.ops_done Time.pp r.Workloads.Metastorm.elapsed
+      r.Workloads.Metastorm.kops_per_sec files (clients * 4)
+  end
+  else if latency_mode then begin
+    let ops = client_ops 1 in
+    let series =
+      Workloads.Microbench.write_fsync_latency ~ops ~path:"/lat"
+        ~n_ops:(file_bytes / io_bytes) ~io_bytes ()
+    in
+    Fmt.pf fmt "write+fsync latency: avg %.1f us, p50 %.1f, p99 %.1f, p99.9 %.1f@."
+      (Stats.Series.mean series)
+      (Stats.Series.percentile series 50.0)
+      (Stats.Series.percentile series 99.0)
+      (Stats.Series.percentile series 99.9)
+  end
+  else begin
+    let opses = List.init clients (fun i -> client_ops (i + 1)) in
+    let t0 = Engine.now () in
+    let live = ref clients in
+    let all_done = Ivar.create () in
+    List.iteri
+      (fun i ops ->
+        Engine.spawn ~name:(Printf.sprintf "cli%d" i) (fun () ->
+            Workloads.Microbench.seq_write ~ops
+              ~path:(Printf.sprintf "/bench%d" i)
+              ~file_bytes:(file_bytes / clients) ~io_bytes ();
+            decr live;
+            if !live = 0 then Ivar.fill all_done ()))
+      opses;
+    Ivar.read all_done;
+    let elapsed = Engine.now () - t0 in
+    Fmt.pf fmt "wrote %d MB in %a of simulated time: %.2f GB/s@." file_mb
+      Time.pp elapsed
+      (float_of_int file_bytes /. Time.to_sec_f elapsed /. 1e9);
+    Fmt.pf fmt "host DFS CPU consumed across the cluster: %a (%.2f cores avg)@."
+      Time.pp (total_dfs_cpu ())
+      (float_of_int (total_dfs_cpu ()) /. float_of_int elapsed)
+  end;
+  stop_bg ();
+  teardown ()
+
+(* Run [instances] identical copies of the benchmark, optionally spread
+   over [domains].  Each instance's output is buffered and the buffers
+   must agree byte-for-byte — a cheap end-to-end determinism smoke test
+   riding along with every multi-instance run.  [instances = 1,
+   domains = 1] keeps the historical single-engine path. *)
+let run_bench system workload clients file_mb io_kb log_mb files duration_ms
+    busy latency_mode instances domains =
+  let body fmt =
+    bench_body fmt system workload clients file_mb io_kb log_mb files
+      duration_ms busy latency_mode
+  in
+  if instances <= 1 && domains <= 1 then begin
+    let eng = Engine.create () in
+    Engine.spawn_root eng (body Fmt.stdout);
+    Engine.run eng
+  end
+  else begin
+    (* Every instance gets the seed [Engine.create ()] defaults to, so
+       each must reproduce the single-instance run exactly. *)
+    let sh = Sharded.create ~seed_of:(fun _ -> 42) ~shards:instances () in
+    let bufs = Array.init instances (fun _ -> Buffer.create 4096) in
+    let fmts = Array.map Format.formatter_of_buffer bufs in
+    for i = 0 to instances - 1 do
+      Sharded.spawn_root sh ~shard:i (body fmts.(i))
+    done;
+    Sharded.run ~domains sh;
+    Array.iter (fun f -> Format.pp_print_flush f ()) fmts;
+    let first = Buffer.contents bufs.(0) in
+    print_string first;
+    Array.iteri
+      (fun i b ->
+        if Buffer.contents b <> first then begin
+          Fmt.epr "instance %d diverged from instance 0:@.%s@."
+            i (Buffer.contents b);
+          exit 1
+        end)
+      bufs;
+    Fmt.pr "%d instance(s) over %d domain(s): outputs identical@." instances
+      domains
+  end;
   (* Robustness event counters (retransmits, dedup hits, NACKed
      frames, scrub actions...) — all zero, and therefore silent, on a
-     fault-free run. *)
+     fault-free run; aggregated over all instances. *)
   match Counters.all () with
   | [] -> ()
   | counters ->
@@ -188,10 +229,25 @@ let cmd =
       value & flag
       & info [ "latency" ] ~doc:"Measure per-op write+fsync latency instead.")
   in
+  let instances =
+    Arg.(
+      value & opt int 1
+      & info [ "instances" ]
+          ~doc:
+            "Run $(docv) identical copies of the benchmark as shards; their \
+             outputs must match byte-for-byte."
+          ~docv:"M")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:"Spread instances over $(docv) OS domains." ~docv:"N")
+  in
   Cmd.v
     (Cmd.info "linefs_sim" ~doc:"LineFS simulation workbench")
     Term.(
       const run_bench $ system $ workload $ clients $ file_mb $ io_kb $ log_mb
-      $ files $ duration_ms $ busy $ latency)
+      $ files $ duration_ms $ busy $ latency $ instances $ domains)
 
 let () = exit (Cmd.eval cmd)

@@ -22,36 +22,64 @@ let first_free = 256
 (* Open addressing, linear probing.  Keys are [(prefix_code << 8) lor
    byte] (20 bits); capacity 16384 keeps load under 25% for the 3840
    insertable entries.  A slot is live iff its stamp equals the current
-   generation, so "clearing" is [incr generation]. *)
+   generation, so "clearing" is [incr generation].
+
+   The whole dictionary (plus the zero-run memo below) is one record,
+   held in domain-local storage: engines on different domains (sharded
+   simulations, parallel bench tasks) each get their own scratch state
+   instead of racing on globals. *)
 let dict_bits = 14
 let dict_cap = 1 lsl dict_bits
 let dict_mask = dict_cap - 1
-let d_keys = Array.make dict_cap 0
-let d_vals = Array.make dict_cap 0
-let d_stamp = Array.make dict_cap (-1)
-let d_gen = ref 0
 
-let dict_reset () = incr d_gen
+type dict = {
+  d_keys : int array;
+  d_vals : int array;
+  d_stamp : int array;
+  (* Zero-run memo: replicated payloads are dominated by runs of
+     zeros, for which [enc_step] keeps probing the same (w, 0) keys.
+     [z_next.(w)] caches the dictionary's answer for prefix code [w]
+     followed by a zero byte: >= 0 is the extended code, -1 means the
+     dictionary is frozen and the key will never appear.  Valid iff
+     [z_stamp.(w)] equals the current generation. *)
+  z_next : int array;
+  z_stamp : int array;
+  mutable d_gen : int;
+}
+
+let make_dict () =
+  {
+    d_keys = Array.make dict_cap 0;
+    d_vals = Array.make dict_cap 0;
+    d_stamp = Array.make dict_cap (-1);
+    z_next = Array.make max_code 0;
+    z_stamp = Array.make max_code (-1);
+    d_gen = 0;
+  }
+
+let dls_dict = Domain.DLS.new_key make_dict
+let get_dict () = Domain.DLS.get dls_dict
+let dict_reset d = d.d_gen <- d.d_gen + 1
 
 let hash key = (key * 0x9E3779B1) lsr (31 - dict_bits) land dict_mask
 
 (* Find [key]; returns its code or -1. *)
-let rec dict_find_from key i =
-  if d_stamp.(i) <> !d_gen then -1
-  else if d_keys.(i) = key then d_vals.(i)
-  else dict_find_from key ((i + 1) land dict_mask)
+let rec dict_find_from d key i =
+  if d.d_stamp.(i) <> d.d_gen then -1
+  else if d.d_keys.(i) = key then d.d_vals.(i)
+  else dict_find_from d key ((i + 1) land dict_mask)
 
-let dict_find key = dict_find_from key (hash key)
+let dict_find d key = dict_find_from d key (hash key)
 
 (* Insert [key] (not present) with value [v]. *)
-let dict_add key v =
+let dict_add d key v =
   let i = ref (hash key) in
-  while d_stamp.(!i) = !d_gen do
+  while d.d_stamp.(!i) = d.d_gen do
     i := (!i + 1) land dict_mask
   done;
-  d_keys.(!i) <- key;
-  d_vals.(!i) <- v;
-  d_stamp.(!i) <- !d_gen
+  d.d_keys.(!i) <- key;
+  d.d_vals.(!i) <- v;
+  d.d_stamp.(!i) <- d.d_gen
 
 (* -------------------- bit packing -------------------- *)
 
@@ -117,33 +145,84 @@ end
 
 let header_len = 8
 
-(* Shared mutable automaton state (single-threaded simulator). *)
-type enc = { mutable w : int; mutable next : int; emit : int -> unit }
+(* Per-domain mutable automaton state (see [dls_dict]). *)
+type enc = {
+  dict : dict;
+  mutable w : int;
+  mutable next : int;
+  emit : int -> unit;
+}
 
 let enc_step e c =
   if e.w < 0 then e.w <- c
   else begin
     let key = (e.w lsl 8) lor c in
-    let code = dict_find key in
+    let code = dict_find e.dict key in
     if code >= 0 then e.w <- code
     else begin
       e.emit e.w;
       if e.next < max_code then begin
-        dict_add key e.next;
+        dict_add e.dict key e.next;
         e.next <- e.next + 1
       end;
       e.w <- c
     end
   end
 
-let enc_feed_bytes e buf ~pos ~len =
-  for i = pos to pos + len - 1 do
-    enc_step e (Char.code (Bytes.unsafe_get buf i))
-  done
+(* Defined after [enc_step_zero]; real buffers route their zero bytes
+   through the memo too (tencent-sort records embed long zero runs). *)
+
+(* [enc_step e 0], with the (w, 0) dictionary probe served from the
+   zero-run memo: one array read on the hit path instead of a hashed
+   probe chain.  Byte-identical output to the generic step. *)
+let enc_step_zero e =
+  let w = e.w in
+  if w < 0 then e.w <- 0
+  else begin
+    let d = e.dict in
+    if d.z_stamp.(w) = d.d_gen then begin
+      let nxt = d.z_next.(w) in
+      if nxt >= 0 then e.w <- nxt
+      else begin
+        (* Frozen dictionary: (w, 0) is a permanent miss. *)
+        e.emit w;
+        e.w <- 0
+      end
+    end
+    else begin
+      let key = w lsl 8 in
+      let code = dict_find d key in
+      if code >= 0 then begin
+        d.z_stamp.(w) <- d.d_gen;
+        d.z_next.(w) <- code;
+        e.w <- code
+      end
+      else begin
+        e.emit w;
+        if e.next < max_code then begin
+          dict_add d key e.next;
+          d.z_stamp.(w) <- d.d_gen;
+          d.z_next.(w) <- e.next;
+          e.next <- e.next + 1
+        end
+        else begin
+          d.z_stamp.(w) <- d.d_gen;
+          d.z_next.(w) <- -1
+        end;
+        e.w <- 0
+      end
+    end
+  end
 
 let enc_feed_zeros e n =
   for _ = 1 to n do
-    enc_step e 0
+    enc_step_zero e
+  done
+
+let enc_feed_bytes e buf ~pos ~len =
+  for i = pos to pos + len - 1 do
+    let c = Char.code (Bytes.unsafe_get buf i) in
+    if c = 0 then enc_step_zero e else enc_step e c
   done
 
 let enc_feed_synth e ~seed ~off ~len =
@@ -194,8 +273,9 @@ let encode input =
   Bytes.set_int64_le out.Bitwriter.buf 0 (Int64.of_int n);
   if n = 0 then Bitwriter.finish out
   else begin
-    dict_reset ();
-    let e = { w = -1; next = first_free; emit = Bitwriter.put out } in
+    let dict = get_dict () in
+    dict_reset dict;
+    let e = { dict; w = -1; next = first_free; emit = Bitwriter.put out } in
     enc_feed_bytes e input ~pos:0 ~len:n;
     enc_finish e;
     Bitwriter.finish out
@@ -206,8 +286,9 @@ let encode_data d =
   let out = Bitwriter.create ~input_len:n ~header:header_len in
   Bytes.set_int64_le out.Bitwriter.buf 0 (Int64.of_int n);
   if n > 0 then begin
-    dict_reset ();
-    let e = { w = -1; next = first_free; emit = Bitwriter.put out } in
+    let dict = get_dict () in
+    dict_reset dict;
+    let e = { dict; w = -1; next = first_free; emit = Bitwriter.put out } in
     enc_feed_data e d;
     enc_finish e
   end;
@@ -217,9 +298,12 @@ let encoded_length_data d =
   let n = Storage.Data.length d in
   if n = 0 then header_len
   else begin
-    dict_reset ();
+    let dict = get_dict () in
+    dict_reset dict;
     let codes = ref 0 in
-    let e = { w = -1; next = first_free; emit = (fun _ -> incr codes) } in
+    let e =
+      { dict; w = -1; next = first_free; emit = (fun _ -> incr codes) }
+    in
     enc_feed_data e d;
     enc_finish e;
     header_len + (((!codes * 12) + 7) / 8)

@@ -9,11 +9,12 @@ type port = {
   mutable received : int;
 }
 
-let switch_counter = ref 0
+(* Atomic: deployments built concurrently on different domains must
+   still get unique switch ids. *)
+let switch_counter = Atomic.make 0
 
 let create_switch ?(latency = Time.of_us_f 1.5) () =
-  incr switch_counter;
-  { lat = latency; id = !switch_counter }
+  { lat = latency; id = Atomic.fetch_and_add switch_counter 1 + 1 }
 
 let create_port sw ~bytes_per_sec =
   {

@@ -67,9 +67,16 @@ let answer_once iv_opt resp =
 let caller_id from =
   (2 * (Loc.node from).Hw.Node.id) + if Loc.is_host from then 0 else 1
 
-let caller_seqs : (int, int) Hashtbl.t = Hashtbl.create 16
+(* Domain-local: simulations sharded across domains each advance their
+   own counter table instead of racing on a shared Hashtbl.  Sequence
+   numbers only need to be fresh per (caller, server) — they carry no
+   timing information — so per-domain numbering leaves simulation
+   results identical for any shard-to-domain layout. *)
+let caller_seqs_key : (int, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let fresh_key ~from =
+  let caller_seqs = Domain.DLS.get caller_seqs_key in
   let c = caller_id from in
   let n = match Hashtbl.find_opt caller_seqs c with Some n -> n | None -> 0 in
   Hashtbl.replace caller_seqs c (n + 1);

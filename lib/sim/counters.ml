@@ -1,19 +1,41 @@
-let table : (string, int ref) Hashtbl.t = Hashtbl.create 16
+(* Domain-safe named counters.  Cells are atomics; the table itself is
+   guarded by a mutex (OCaml Hashtbls are not safe under concurrent
+   mutation).  Reads of existing cells take the lock too: counters are
+   rare-path bookkeeping, never the event hot path, so the simplicity
+   wins over a lock-free design. *)
+
+let mu = Mutex.create ()
+let table : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
 
 let cell name =
-  match Hashtbl.find_opt table name with
-  | Some r -> r
-  | None ->
-      let r = ref 0 in
-      Hashtbl.add table name r;
-      r
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some r -> r
+      | None ->
+          let r = Atomic.make 0 in
+          Hashtbl.add table name r;
+          r)
 
-let bump name = incr (cell name)
-let add name n = cell name := !(cell name) + n
-let get name = match Hashtbl.find_opt table name with Some r -> !r | None -> 0
+let bump name = Atomic.incr (cell name)
+
+let add name n =
+  let c = cell name in
+  ignore (Atomic.fetch_and_add c n : int)
+
+let get name =
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some r -> Atomic.get r
+      | None -> 0)
 
 let all () =
-  Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) table []
+  Mutex.protect mu (fun () ->
+      Hashtbl.fold
+        (fun k r acc ->
+          let v = Atomic.get r in
+          if v <> 0 then (k, v) :: acc else acc)
+        table [])
   |> List.sort compare
 
-let reset () = Hashtbl.iter (fun _ r -> r := 0) table
+let reset () =
+  Mutex.protect mu (fun () -> Hashtbl.iter (fun _ r -> Atomic.set r 0) table)

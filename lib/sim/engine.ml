@@ -8,7 +8,18 @@ open Effect.Deep
    at a point in virtual time — the fault-injection "kill switch". *)
 type group = { gname : string; mutable killed : bool }
 
-type event = { name : string; group : group option; fn : unit -> unit }
+(* What an event does when it fires.  The overwhelmingly common case —
+   resuming a parked process — carries the continuation and its value
+   directly as an unboxed-field variant instead of a closure, so a
+   sleep/yield/wake costs one small block rather than a closure that
+   captures the continuation plus a record pointing at it.  [Fn]
+   remains for the cold cases (process start, timeout guards) where
+   real code must run. *)
+type payload =
+  | Fn of (unit -> unit)
+  | Resume : ('a, unit) continuation * 'a -> payload
+
+type event = { name : string; group : group option; payload : payload }
 
 type t = {
   mutable now : Time.t;
@@ -23,8 +34,67 @@ type t = {
 }
 
 (* Process-wide tally across every engine, for wall-clock throughput
-   reporting (events per real second) in the bench harness. *)
-let total_executed = ref 0
+   reporting (events per real second) in the bench harness.  Atomic:
+   engines on different domains (sharded runs, parallel bench tasks)
+   all bump it. *)
+let total_executed = Atomic.make 0
+
+(* ---- per-event-kind wall-clock profile (bench-only; off by default) *)
+
+type prof_cell = {
+  mutable p_count : int;
+  mutable p_secs : float;
+  mutable p_words : float; (* minor words allocated inside the events *)
+}
+
+let prof_table : (string, prof_cell) Hashtbl.t = Hashtbl.create 64
+let prof_enabled = ref false
+
+(* Profiling is bench-only, so a plain mutex around the table is fine
+   even when shards on several domains record concurrently. *)
+let prof_mu = Mutex.create ()
+
+(* The sim library takes no unix dependency: the harness installs a
+   real-time clock ([Unix.gettimeofday]); the default is CPU time. *)
+let prof_clock = ref Sys.time
+let profile_set_clock f = prof_clock := f
+let profile_enable b = prof_enabled := b
+let profile_reset () = Mutex.protect prof_mu (fun () -> Hashtbl.reset prof_table)
+
+(* Bucket key: the event name with digit runs removed, so per-instance
+   names ("bench.client12", "nicfs1.worker3") collapse into kinds. *)
+let prof_key name =
+  let n = String.length name in
+  let b = Bytes.create n in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let c = String.unsafe_get name i in
+    if not (c >= '0' && c <= '9') then begin
+      Bytes.unsafe_set b !j c;
+      incr j
+    end
+  done;
+  Bytes.sub_string b 0 !j
+
+let prof_record name secs words =
+  let key = prof_key name in
+  Mutex.protect prof_mu (fun () ->
+      match Hashtbl.find_opt prof_table key with
+      | Some c ->
+          c.p_count <- c.p_count + 1;
+          c.p_secs <- c.p_secs +. secs;
+          c.p_words <- c.p_words +. words
+      | None ->
+          Hashtbl.add prof_table key
+            { p_count = 1; p_secs = secs; p_words = words })
+
+(* (kind, count, seconds, minor words), hottest first. *)
+let profile_snapshot () =
+  Mutex.protect prof_mu (fun () ->
+      Hashtbl.fold
+        (fun k c acc -> (k, c.p_count, c.p_secs, c.p_words) :: acc)
+        prof_table [])
+  |> List.sort (fun (_, _, a, _) (_, _, b, _) -> compare b a)
 
 exception Process_failure of string * exn
 exception Not_in_process
@@ -52,7 +122,7 @@ let create ?(seed = 42) () =
 let rng t = t.rng
 let current_time t = t.now
 let events_executed t = t.executed
-let global_events_executed () = !total_executed
+let global_events_executed () = Atomic.get total_executed
 
 let make_group name = { gname = name; killed = false }
 let kill g = g.killed <- true
@@ -66,10 +136,13 @@ let group_name g = g.gname
    groupless process's resumption with whatever group happened to wake
    it (and a subsequent kill of that group would then drop an innocent
    bystander's continuation). *)
-let schedule ?group t ~at ~name fn =
+let schedule_payload ?group t ~at ~name payload =
   let at = if at < t.now then t.now else at in
   t.seq <- t.seq + 1;
-  Heap.push t.events ~key:at ~seq:t.seq { name; group; fn }
+  Heap.push t.events ~key:at ~seq:t.seq { name; group; payload }
+
+let schedule ?group t ~at ~name fn =
+  schedule_payload ?group t ~at ~name (Fn fn)
 
 (* Effects performed by processes; each engine installs a deep handler
    around every process it runs, so the handler below closes over [t]. *)
@@ -106,13 +179,13 @@ let rec run_process t name f =
                   (* Capture the performer's group: resumptions must stay
                      in it even when scheduled from another process. *)
                   let g = t.current_group in
-                  schedule ?group:g t ~at:(t.now + d) ~name (fun () ->
-                      continue k ()))
+                  schedule_payload ?group:g t ~at:(t.now + d) ~name
+                    (Resume (k, ())))
           | Yield ->
               Some
                 (fun k ->
                   let g = t.current_group in
-                  schedule ?group:g t ~at:t.now ~name (fun () -> continue k ()))
+                  schedule_payload ?group:g t ~at:t.now ~name (Resume (k, ())))
           | Spawn (child_name, child_group, g) ->
               Some
                 (fun k ->
@@ -132,8 +205,8 @@ let rec run_process t name f =
                   let waker v =
                     if not !fired then begin
                       fired := true;
-                      schedule ?group:g t ~at:t.now ~name (fun () ->
-                          continue k v)
+                      schedule_payload ?group:g t ~at:t.now ~name
+                        (Resume (k, v))
                     end
                   in
                   register waker)
@@ -145,11 +218,13 @@ let rec run_process t name f =
                   let waker v =
                     if not !fired then begin
                       fired := true;
-                      schedule ?group:g t ~at:t.now ~name (fun () ->
-                          continue k (Some v))
+                      schedule_payload ?group:g t ~at:t.now ~name
+                        (Resume (k, Some v))
                     end
                   in
                   register waker;
+                  (* The timeout guard must test [fired] when it runs,
+                     not when it is scheduled, so it stays a closure. *)
                   schedule ?group:g t ~at:(t.now + timeout) ~name (fun () ->
                       if not !fired then begin
                         fired := true;
@@ -161,32 +236,70 @@ let rec run_process t name f =
 let spawn_root ?(name = "root") ?group t f =
   schedule ?group t ~at:t.now ~name (fun () -> run_process t name f)
 
+(* Root spawn at an explicit future timestamp: how the sharded runner
+   injects cross-shard deliveries into a destination engine between
+   windows. *)
+let spawn_root_at ?(name = "root") ?group t ~at f =
+  schedule ?group t ~at ~name (fun () -> run_process t name f)
+
+let run_payload = function Fn f -> f () | Resume (k, v) -> continue k v
+
+let exec_event t time ev =
+  match ev.group with
+  | Some g when g.killed ->
+      (* The owning group was torn down: the continuation is
+         dropped, never resumed. *)
+      ()
+  | _ ->
+      if time > t.now then t.now <- time;
+      t.current_name <- ev.name;
+      t.current_group <- ev.group;
+      t.executed <- t.executed + 1;
+      Atomic.incr total_executed;
+      if !prof_enabled then begin
+        let w0 = Gc.minor_words () in
+        let t0 = !prof_clock () in
+        run_payload ev.payload;
+        prof_record ev.name
+          (!prof_clock () -. t0)
+          (Gc.minor_words () -. w0)
+      end
+      else run_payload ev.payload
+
 let run ?deadline t =
   t.stopped <- false;
   let running = ref true in
   while !running && not t.stopped do
-    match Heap.pop t.events with
-    | None -> running := false
-    | Some (time, _seq, ev) -> (
-        match deadline with
-        | Some d when time > d ->
-            t.now <- d;
-            t.events <- Heap.create ();
-            running := false
-        | _ -> (
-            match ev.group with
-            | Some g when g.killed ->
-                (* The owning group was torn down: the continuation is
-                   dropped, never resumed. *)
-                ()
-            | _ ->
-                if time > t.now then t.now <- time;
-                t.current_name <- ev.name;
-                t.current_group <- ev.group;
-                t.executed <- t.executed + 1;
-                incr total_executed;
-                ev.fn ()))
+    if Heap.is_empty t.events then running := false
+    else begin
+      let time = Heap.top_key t.events in
+      match deadline with
+      | Some d when time > d ->
+          t.now <- d;
+          t.events <- Heap.create ();
+          running := false
+      | _ -> exec_event t time (Heap.pop_top t.events)
+    end
   done
+
+(* Bounded drain for the sharded runner: execute every event strictly
+   below [bound], leave the rest queued.  Returns the timestamp of the
+   next pending event (the shard's contribution to the next global
+   synchronization bound). *)
+let run_until t ~bound =
+  t.stopped <- false;
+  let running = ref true in
+  while !running && not t.stopped do
+    if Heap.is_empty t.events then running := false
+    else begin
+      let time = Heap.top_key t.events in
+      if time < bound then exec_event t time (Heap.pop_top t.events)
+      else running := false
+    end
+  done;
+  Heap.peek_key t.events
+
+let next_event_time t = Heap.peek_key t.events
 
 let stop t = t.stopped <- true
 

@@ -59,11 +59,35 @@ val events_executed : t -> int
 
 val global_events_executed : unit -> int
 (** Process-wide event tally across all engines ever created — the
-    basis for wall-clock events-per-second reporting in benchmarks. *)
+    basis for wall-clock events-per-second reporting in benchmarks.
+    Maintained with [Atomic]: safe when engines run on several domains. *)
+
+(** {1 Per-event-kind wall-clock profiling}
+
+    Off by default (a single branch on the hot path).  When enabled,
+    the engine measures the real time spent in each event and buckets
+    it by event-name kind (the name with digit runs removed, so
+    ["bench.client12"] and ["bench.client3"] share a bucket). *)
+
+val profile_enable : bool -> unit
+val profile_reset : unit -> unit
+
+val profile_set_clock : (unit -> float) -> unit
+(** Install the wall clock (e.g. [Unix.gettimeofday]); the default is
+    [Sys.time].  The sim library itself takes no unix dependency. *)
+
+val profile_snapshot : unit -> (string * int * float * float) list
+(** [(kind, events, seconds, minor_words)] rows, hottest first. *)
 
 val spawn_root : ?name:string -> ?group:group -> t -> (unit -> unit) -> unit
 (** Schedule a top-level process to start at the current clock value.
     Usable from outside process context (before or between [run] calls). *)
+
+val spawn_root_at :
+  ?name:string -> ?group:group -> t -> at:Time.t -> (unit -> unit) -> unit
+(** Like {!spawn_root} but at an explicit timestamp (clamped to the
+    current clock if in the past).  Used by {!Sharded} to inject
+    cross-shard message deliveries between synchronization windows. *)
 
 val run : ?deadline:Time.t -> t -> unit
 (** Execute events until the queue drains or the clock would pass
@@ -73,6 +97,16 @@ val run : ?deadline:Time.t -> t -> unit
 val stop : t -> unit
 (** Request that {!run} return after the current event; pending events
     are kept (a subsequent [run] resumes them). Callable from processes. *)
+
+val run_until : t -> bound:Time.t -> Time.t option
+(** Execute every pending event with timestamp strictly below [bound]
+    and return the timestamp of the next pending event (or [None] when
+    drained).  Events at or beyond [bound] stay queued; a later
+    [run_until] or {!run} resumes them.  This is the per-window drain
+    used by the sharded runner ({!Sharded}). *)
+
+val next_event_time : t -> Time.t option
+(** Timestamp of the earliest pending event, if any. *)
 
 (** {1 Process-context operations}
 

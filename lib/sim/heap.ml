@@ -53,11 +53,15 @@ let push h ~key ~seq value =
   Array.unsafe_set seqs !i seq;
   Array.unsafe_set vals !i value
 
-let pop h =
-  if h.len = 0 then None
+let top_key h = Array.unsafe_get h.keys 0
+
+(* Allocation-free removal: the caller reads [top_key] first if it needs
+   the timestamp; no [(key, seq, value)] triple is boxed. *)
+let pop_top h =
+  if h.len = 0 then invalid_arg "Heap.pop_top: empty heap"
   else begin
     let keys = h.keys and seqs = h.seqs and vals = h.vals in
-    let top_key = keys.(0) and top_seq = seqs.(0) and top_val = vals.(0) in
+    let top_val = vals.(0) in
     h.len <- h.len - 1;
     let n = h.len in
     if n > 0 then begin
@@ -102,7 +106,15 @@ let pop h =
     (* Overwrite the vacated tail slot so it doesn't pin its old value
        against collection. *)
     if n > 0 then Array.unsafe_set vals n (Array.unsafe_get vals 0);
-    Some (top_key, top_seq, top_val)
+    top_val
+  end
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let key = h.keys.(0) and seq = h.seqs.(0) in
+    let v = pop_top h in
+    Some (key, seq, v)
   end
 
 let peek_key h = if h.len = 0 then None else Some h.keys.(0)

@@ -22,5 +22,15 @@ val pop : 'a t -> (int * int * 'a) option
 (** [pop h] removes and returns the minimum element as
     [(key, seq, value)], or [None] when the heap is empty. *)
 
+val top_key : 'a t -> int
+(** Minimum key without removing it.  Undefined on an empty heap —
+    check {!is_empty} first.  Unlike {!peek_key} this allocates
+    nothing, which matters in the engine's run loop. *)
+
+val pop_top : 'a t -> 'a
+(** Remove and return the minimum element's value without boxing the
+    [(key, seq, value)] triple; the caller reads {!top_key} beforehand
+    if it needs the timestamp.  @raise Invalid_argument when empty. *)
+
 val peek_key : 'a t -> int option
 (** [peek_key h] is the minimum key without removing it. *)

@@ -1,0 +1,168 @@
+(* Conservative (Chandy–Misra–Bryant-style) parallel runner over
+   multiple engines.
+
+   Each shard owns a private {!Engine.t}; shards interact only through
+   declared, latency-carrying edges.  Execution proceeds in windows:
+
+   - between windows the coordinator drains every edge's outbox and
+     injects the messages into the destination engines in a canonical
+     order (delivery time, src, dst, per-edge sequence);
+   - each shard [j] may then execute every event strictly below
+     [min over incoming edges (src i) of (next_i + lookahead)] — any
+     message an upstream shard can still send arrives at or beyond that
+     bound, so the window's events are final and no rollback is ever
+     needed.  A shard with no (live) upstream constraint runs to
+     completion.
+
+   Within a window the shards touch disjoint state, so they can run on
+   any number of domains in any order with identical results: the
+   [domains] argument of {!run} changes wall-clock behaviour only,
+   never simulation output.  Worker domains are spawned per window and
+   joined at the barrier; the join gives the coordinator's drain a
+   happens-before edge over every shard's sends, so edge outboxes need
+   no locking (single writer during the window, single reader at the
+   barrier). *)
+
+type msg = { m_at : Time.t; m_seq : int; m_name : string; m_fn : unit -> unit }
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  mutable e_seq : int;
+  mutable e_out : msg list; (* newest first; reversed at drain *)
+}
+
+type t = {
+  shards : Engine.t array;
+  lookahead : Time.t;
+  edge_tbl : (int * int, edge) Hashtbl.t;
+  in_edges : int list array; (* per-dst sources, most recent first *)
+  mutable windows : int;
+}
+
+let create ?(lookahead = Time.ns 1) ?(seed = 42) ?seed_of ~shards () =
+  if shards <= 0 then invalid_arg "Sharded.create: shards must be positive";
+  (* A zero lookahead admits same-timestamp cross-shard delivery into a
+     window already being executed; one tick is the smallest safe value. *)
+  let lookahead = max 1 lookahead in
+  (* Distinct deterministic seed per shard: a function of (seed, index)
+     only, so shard streams never depend on the domain layout.
+     [seed_of] overrides the derivation — e.g. a batch of formerly
+     sequential, independent simulations wanting every shard to see the
+     same engine seed those sims always had. *)
+  let seed_of =
+    match seed_of with Some f -> f | None -> fun i -> seed + (1000003 * i)
+  in
+  {
+    shards = Array.init shards (fun i -> Engine.create ~seed:(seed_of i) ());
+    lookahead;
+    edge_tbl = Hashtbl.create 16;
+    in_edges = Array.make shards [];
+    windows = 0;
+  }
+
+let shard_count t = Array.length t.shards
+let engine t i = t.shards.(i)
+let lookahead t = t.lookahead
+let windows_run t = t.windows
+
+let connect t ~src ~dst =
+  let n = Array.length t.shards in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Sharded.connect: shard index out of range";
+  if src = dst then invalid_arg "Sharded.connect: self edge";
+  if not (Hashtbl.mem t.edge_tbl (src, dst)) then begin
+    Hashtbl.add t.edge_tbl (src, dst)
+      { e_src = src; e_dst = dst; e_seq = 0; e_out = [] };
+    t.in_edges.(dst) <- src :: t.in_edges.(dst)
+  end
+
+let spawn_root ?name t ~shard f = Engine.spawn_root ?name t.shards.(shard) f
+
+let send t ~src ~dst ?(delay = 0) ~name fn =
+  let edge =
+    match Hashtbl.find_opt t.edge_tbl (src, dst) with
+    | Some e -> e
+    | None -> invalid_arg "Sharded.send: edge not connected"
+  in
+  let delay = max delay t.lookahead in
+  let at = Engine.current_time t.shards.(src) + delay in
+  edge.e_seq <- edge.e_seq + 1;
+  edge.e_out <- { m_at = at; m_seq = edge.e_seq; m_name = name; m_fn = fn }
+                :: edge.e_out
+
+(* Canonical injection order; all components are deterministic, so the
+   merged stream is identical for every domain layout. *)
+let msg_order (e1, m1) (e2, m2) =
+  if m1.m_at <> m2.m_at then compare m1.m_at m2.m_at
+  else if e1.e_src <> e2.e_src then compare e1.e_src e2.e_src
+  else if e1.e_dst <> e2.e_dst then compare e1.e_dst e2.e_dst
+  else compare m1.m_seq m2.m_seq
+
+let drain t =
+  let pending = ref [] in
+  Hashtbl.iter
+    (fun _ e ->
+      List.iter (fun m -> pending := (e, m) :: !pending) (List.rev e.e_out);
+      e.e_out <- [])
+    t.edge_tbl;
+  let msgs = List.sort msg_order !pending in
+  List.iter
+    (fun (e, m) ->
+      Engine.spawn_root_at t.shards.(e.e_dst) ~at:m.m_at ~name:m.m_name m.m_fn)
+    msgs
+
+let run ?(domains = 1) t =
+  let n = Array.length t.shards in
+  let domains = max 1 (min domains n) in
+  let continue = ref true in
+  while !continue do
+    drain t;
+    let nexts = Array.map Engine.next_event_time t.shards in
+    if Array.for_all Option.is_none nexts then continue := false
+    else begin
+      t.windows <- t.windows + 1;
+      (* Per-shard horizon from live upstream shards; [None] means no
+         constraint (run to completion this window). *)
+      let bound_for j =
+        List.fold_left
+          (fun acc src ->
+            match nexts.(src) with
+            | None -> acc
+            | Some ts -> (
+                let b = ts + t.lookahead in
+                match acc with
+                | None -> Some b
+                | Some b0 -> Some (min b0 b)))
+          None t.in_edges.(j)
+      in
+      let work j =
+        match nexts.(j) with
+        | None -> ()
+        | Some _ -> (
+            match bound_for j with
+            | None -> Engine.run t.shards.(j)
+            | Some bound -> ignore (Engine.run_until t.shards.(j) ~bound))
+      in
+      if domains = 1 then
+        for j = 0 to n - 1 do
+          work j
+        done
+      else begin
+        (* Round-robin shard-to-domain assignment; the layout is
+           irrelevant to results, only to load balance. *)
+        let chunk d =
+          let rec go j acc = if j >= n then List.rev acc
+            else go (j + domains) (j :: acc)
+          in
+          go d []
+        in
+        let workers =
+          Array.init (domains - 1) (fun d ->
+              Domain.spawn (fun () -> List.iter work (chunk (d + 1))))
+        in
+        List.iter work (chunk 0);
+        Array.iter Domain.join workers
+      end
+    end
+  done

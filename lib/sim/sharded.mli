@@ -1,0 +1,67 @@
+(** Conservative parallel runner: multiple {!Engine} instances (shards)
+    advancing in lookahead-bounded windows, optionally spread over
+    several domains.
+
+    Shards interact only through edges declared with {!connect}; a
+    cross-shard message ({!send}) is delivered at least {!lookahead}
+    after its send time.  That minimum latency is what makes the runner
+    conservative in the Chandy–Misra–Bryant sense: shard [j] may safely
+    execute every event below
+    [min over incoming edges (src i) of (next_i + lookahead)]
+    because nothing an upstream shard has yet to do can produce an
+    earlier delivery.  No rollback, ever.
+
+    {b Determinism contract.}  For a fixed [(seed, shard count, edge
+    set, process behaviour)], results are identical for {e every} value
+    of [?domains] — the domain count affects which OS threads execute a
+    window, never what the window computes.  Cross-shard messages are
+    injected between windows in the canonical order (delivery time,
+    src, dst, per-edge sequence).
+
+    {b Sharing discipline.}  Processes on different shards must not
+    share simulation state (mailboxes, ivars, bandwidth meters …);
+    everything cross-shard goes through {!send}.  Process-global fault
+    hooks ([Inject], lease observers) are not domain-safe: run
+    fault-injection scenarios with [domains = 1]. *)
+
+type t
+
+val create :
+  ?lookahead:Time.t -> ?seed:int -> ?seed_of:(int -> int) -> shards:int ->
+  unit -> t
+(** [create ~shards ()] builds [shards] engines with deterministic
+    per-shard RNG seeds derived from [seed] ([seed_of] overrides the
+    derivation per shard index).  [lookahead] is the minimum
+    cross-shard delivery latency (default, and floor, one tick). *)
+
+val shard_count : t -> int
+
+val engine : t -> int -> Engine.t
+(** The shard's private engine: spawn processes on it, read its clock.
+    Do not call its [run] directly — {!run} owns scheduling. *)
+
+val lookahead : t -> Time.t
+
+val connect : t -> src:int -> dst:int -> unit
+(** Declare the directed edge [src -> dst].  Idempotent.  Only declared
+    edges may carry messages, and only declared edges constrain the
+    destination's execution window. *)
+
+val spawn_root : ?name:string -> t -> shard:int -> (unit -> unit) -> unit
+(** Spawn a root process on the given shard (before or between runs). *)
+
+val send :
+  t -> src:int -> dst:int -> ?delay:Time.t -> name:string ->
+  (unit -> unit) -> unit
+(** [send t ~src ~dst ~name fn] — called while shard [src] executes —
+    schedules [fn] as a root process on shard [dst] at
+    [now src + max delay lookahead].  @raise Invalid_argument if the
+    edge was never {!connect}ed. *)
+
+val run : ?domains:int -> t -> unit
+(** Drive every shard to completion.  [domains] (default 1, clamped to
+    the shard count) is the number of OS domains executing each window;
+    see the determinism contract above. *)
+
+val windows_run : t -> int
+(** Number of synchronization windows executed so far (diagnostics). *)

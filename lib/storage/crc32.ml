@@ -307,3 +307,14 @@ let update_data crc d =
   to_int32 c
 
 let data d = update_data 0l d
+
+(* Domain safety: force the code tables and prebuild the whole zero-run
+   cache during module initialisation, which runs on the initial domain
+   before any shard can spawn.  After this everything above is
+   read-only, so engines on several domains share it without
+   synchronisation (lazily forcing from two domains at once would race;
+   so would growing the zero cache on demand). *)
+let () =
+  ignore (Lazy.force table);
+  ignore (Lazy.force tables8);
+  ensure_zero_cache (max_pow - 1)

@@ -10,6 +10,13 @@
 # The adversary sweep runs the Byzantine-fabric profile (duplication,
 # reordering, corruption, torn oplog tails, bit-rot) over 50 seeds
 # with its own determinism re-check.
+# Finally the multicore smoke: the scaled figures executed over 4
+# domains (plus a multi-instance linefs_sim run whose per-instance
+# outputs must match byte-for-byte).  This checks correctness of the
+# parallel windows, not speed — the events/s trajectory is bench.sh's
+# job.  The fault-injection sweeps above stay single-domain on
+# purpose: process-global fault hooks are not domain-safe (see
+# lib/sim/sharded.mli).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,3 +29,8 @@ dune exec bin/litmus_sweep.exe -- \
   --litmus-seeds "${LITMUS_SEEDS:-50}" \
   --out "${LITMUS_OUT:-_litmus_reports}"
 dune exec bin/litmus_sweep.exe -- --mutate --out "${LITMUS_OUT:-_litmus_reports}"
+
+# ---- multicore smoke --------------------------------------------------
+dune exec bin/linefs_sim.exe -- --file-mb 16 --instances 4 --domains 4
+dune exec bench/wallclock.exe -- \
+  --domains "${SMOKE_DOMAINS:-4}" --no-domain-probe -o _ci_wallclock.json

@@ -1,0 +1,121 @@
+(* Determinism pins for the multicore engine work.
+
+   Two layers of protection:
+
+   - Exact single-domain fingerprints of pinned DST scenarios, asserted
+     as string equality in-process (the dst_sweep binary checks the
+     same strings against test/dst_fingerprints.expected from the CLI).
+     Any engine/heap/RNG change that perturbs event order breaks these
+     before it reaches CI's fuller sweeps.
+
+   - A qcheck property that a fault-free LineFS workload produces the
+     same final [Fs_state.digest]s whether its shards run on one domain
+     or four.  This is the user-visible face of the {!Sim.Sharded}
+     determinism contract: domain count must never change results. *)
+
+open Sim
+open Linefs
+
+let kib n = n * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Pinned DST fingerprints (single domain)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* These strings are the authoritative single-domain behaviour of the
+   whole stack (engine scheduling order, RNG stream, fault machinery,
+   FS digests).  If a change legitimately alters behaviour, regenerate
+   with [dst_sweep --print-fingerprints] and update both this file and
+   test/dst_fingerprints.expected in the same commit. *)
+let pinned =
+  [
+    ( "generated-1",
+      (fun () -> Fault.Scenario.generate ~seed:1),
+      "digest=46cdb3a6 trace=20 ops=59 drops=0 delays=2 dups=0 reorders=0 \
+       corrupts=0 scrubbed=0 ok=true []" );
+    ( "adversary-2",
+      (fun () -> Fault.Scenario.generate_adversary ~seed:2),
+      "digest=73327dc2 trace=16 ops=55 drops=0 delays=0 dups=1 reorders=0 \
+       corrupts=2 scrubbed=2 ok=true []" );
+    ( "failover-primary-crash-1",
+      (fun () -> Fault.Scenario.failover_primary_crash ~seed:1),
+      "digest=f988ee61 trace=144 ops=65 drops=0 delays=0 dups=0 reorders=0 \
+       corrupts=0 scrubbed=0 ok=true []" );
+  ]
+
+let test_pinned_fingerprints () =
+  List.iter
+    (fun (name, spec, expect) ->
+      let got = Fault.Dst.fingerprint (Fault.Dst.run_spec (spec ())).outcome in
+      Alcotest.(check string) name expect got)
+    pinned
+
+let test_fingerprints_stable_across_reruns () =
+  (* Same process, fresh engines: the global state the engine rework
+     touched (RPC sequence numbers, switch ids, CRC tables) must not
+     leak between runs. *)
+  List.iter
+    (fun (name, spec, _) ->
+      let fp () = Fault.Dst.fingerprint (Fault.Dst.run_spec (spec ())).outcome in
+      Alcotest.(check string) (name ^ " rerun") (fp ()) (fp ()))
+    pinned
+
+(* ------------------------------------------------------------------ *)
+(* Domain count never changes FS digests                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_params =
+  {
+    Params.default with
+    Params.chunk_bytes = 256 * 1024;
+    log_bytes = 4 * 1024 * 1024;
+  }
+
+(* Run [shards] independent LineFS deployments, one per shard, each
+   writing a seed-dependent amount of data, and return the final
+   primary-FS digest of each. *)
+let digests ~shards ~seed ~domains =
+  let sh = Sharded.create ~seed ~shards () in
+  let out = Array.make shards None in
+  for i = 0 to shards - 1 do
+    Sharded.spawn_root sh ~shard:i (fun () ->
+        let d = Deployment.create ~params:test_params ~nodes:3 () in
+        let ops = Libfs.ops (Deployment.add_client d ~id:1) in
+        let file_bytes = kib (32 + ((seed + i) mod 7 * 16)) in
+        ignore
+          (Workloads.Microbench.seq_write ~ops
+             ~path:(Printf.sprintf "/det-%d" i)
+             ~file_bytes ~io_bytes:(kib 16) ());
+        Deployment.flush_all d;
+        let dg = Storage.Fs_state.digest (Deployment.primary d).Deployment.fs in
+        Deployment.stop d;
+        out.(i) <- Some dg)
+  done;
+  Sharded.run ~domains sh;
+  Array.map
+    (function Some d -> d | None -> Alcotest.fail "shard did not finish")
+    out
+
+let prop_digest_domain_independent =
+  QCheck.Test.make
+    ~name:"fault-free digests identical at domains=1 and domains=4" ~count:4
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let d1 = digests ~shards:3 ~seed ~domains:1 in
+      let d4 = digests ~shards:3 ~seed ~domains:4 in
+      d1 = d4)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "determinism"
+    [
+      ( "fingerprints",
+        [
+          tc "pinned single-domain fingerprints" `Quick
+            test_pinned_fingerprints;
+          tc "stable across in-process reruns" `Quick
+            test_fingerprints_stable_across_reruns;
+        ] );
+      ("domains", [ qt prop_digest_domain_independent ]);
+    ]

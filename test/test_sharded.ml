@@ -1,0 +1,142 @@
+(* Tests for the conservative sharded runner: windowing, cross-shard
+   message ordering, and the determinism contract (results independent
+   of the domain count). *)
+
+open Sim
+
+(* ------------------------------------------------------------------ *)
+(* Ping-pong across two shards                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each side records (round, receive time) only into its own shard's
+   trace — cross-shard shared mutation is exactly what the runner
+   forbids — and the traces are merged after [run]. *)
+let ping_pong ~rounds ~delay ~domains =
+  let s = Sharded.create ~lookahead:(Time.us 1) ~shards:2 () in
+  Sharded.connect s ~src:0 ~dst:1;
+  Sharded.connect s ~src:1 ~dst:0;
+  let trace0 = ref [] and trace1 = ref [] in
+  let rec ping k () =
+    trace0 := (k, Engine.now ()) :: !trace0;
+    if k < rounds then Sharded.send s ~src:0 ~dst:1 ~delay ~name:"pong" (pong k)
+  and pong k () =
+    trace1 := (k, Engine.now ()) :: !trace1;
+    Sharded.send s ~src:1 ~dst:0 ~delay ~name:"ping" (ping (k + 1))
+  in
+  Sharded.spawn_root s ~shard:0 (ping 0);
+  Sharded.run ~domains s;
+  (List.rev !trace0, List.rev !trace1, Sharded.windows_run s)
+
+let test_ping_pong_times () =
+  let delay = Time.us 7 in
+  let pings, pongs, windows = ping_pong ~rounds:3 ~delay ~domains:1 in
+  (* ping k received at 2k * delay, pong k at (2k + 1) * delay. *)
+  List.iteri
+    (fun i (k, at) ->
+      Alcotest.(check int) "ping round" i k;
+      Alcotest.(check int) "ping time" (2 * k * delay) at)
+    pings;
+  List.iteri
+    (fun i (k, at) ->
+      Alcotest.(check int) "pong round" i k;
+      Alcotest.(check int) "pong time" (((2 * k) + 1) * delay) at)
+    pongs;
+  Alcotest.(check bool) "windowed execution" true (windows > 1)
+
+let test_ping_pong_domain_independent () =
+  let delay = Time.us 3 in
+  let reference = ping_pong ~rounds:5 ~delay ~domains:1 in
+  List.iter
+    (fun domains ->
+      let got = ping_pong ~rounds:5 ~delay ~domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d matches domains=1" domains)
+        true
+        (got = reference))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Independent shards                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_independent_shards_single_window () =
+  let s = Sharded.create ~shards:4 () in
+  for i = 0 to 3 do
+    Sharded.spawn_root s ~shard:i (fun () -> Engine.sleep (Time.ms (i + 1)))
+  done;
+  Sharded.run ~domains:4 s;
+  for i = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "shard %d clock" i)
+      (Time.ms (i + 1))
+      (Engine.current_time (Sharded.engine s i))
+  done;
+  (* No edges, no constraints: every shard drains in the first window. *)
+  Alcotest.(check int) "one window" 1 (Sharded.windows_run s)
+
+let test_send_requires_edge () =
+  let s = Sharded.create ~shards:2 () in
+  Sharded.spawn_root s ~shard:0 (fun () ->
+      Alcotest.check_raises "unconnected edge"
+        (Invalid_argument "Sharded.send: edge not connected") (fun () ->
+          Sharded.send s ~src:0 ~dst:1 ~name:"x" (fun () -> ())));
+  Sharded.run s
+
+(* ------------------------------------------------------------------ *)
+(* Determinism property on a token ring                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A token hops around a ring; every hop's delay is drawn from the
+   receiving shard's own engine RNG, so the trace depends on the
+   deterministic per-shard streams.  Whatever the domain count, the
+   trace must be identical. *)
+let ring_trace ~shards ~hops ~seed ~domains =
+  let s = Sharded.create ~lookahead:(Time.us 2) ~seed ~shards () in
+  for i = 0 to shards - 1 do
+    Sharded.connect s ~src:i ~dst:((i + 1) mod shards)
+  done;
+  let traces = Array.make shards [] in
+  let rec hop shard v () =
+    traces.(shard) <- (v, Engine.now ()) :: traces.(shard);
+    if v < hops then begin
+      let delay =
+        Time.us (2 + Rng.int (Engine.rng (Sharded.engine s shard)) 50)
+      in
+      Sharded.send s ~src:shard
+        ~dst:((shard + 1) mod shards)
+        ~delay ~name:"hop"
+        (hop ((shard + 1) mod shards) (v + 1))
+    end
+  in
+  Sharded.spawn_root s ~shard:0 (hop 0 0);
+  Sharded.run ~domains s;
+  Array.to_list traces |> List.concat |> List.sort compare
+
+let prop_ring_domain_independent =
+  QCheck.Test.make ~name:"sharded: ring trace independent of domains"
+    ~count:20
+    QCheck.(pair (int_range 2 5) small_nat)
+    (fun (shards, seed) ->
+      let t1 = ring_trace ~shards ~hops:40 ~seed ~domains:1 in
+      let t4 = ring_trace ~shards ~hops:40 ~seed ~domains:4 in
+      t1 = t4 && List.length t1 = 41)
+
+let () =
+  let tc = Alcotest.test_case in
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sharded"
+    [
+      ( "windows",
+        [
+          tc "ping-pong delivery times" `Quick test_ping_pong_times;
+          tc "independent shards, one window" `Quick
+            test_independent_shards_single_window;
+          tc "send requires a connected edge" `Quick test_send_requires_edge;
+        ] );
+      ( "determinism",
+        [
+          tc "ping-pong identical across domain counts" `Quick
+            test_ping_pong_domain_independent;
+          qt prop_ring_domain_independent;
+        ] );
+    ]
