@@ -37,22 +37,41 @@ let domains = ref 1
    shard runs to completion in a single window) spread over the
    domains.  Every shard gets the same engine seed [in_sim] always
    used, so results are identical for every domain count. *)
+(* OCaml 5 minor collections are stop-the-world across every domain:
+   with several engines allocating in parallel on a default-size
+   (256 KW) minor heap, the barrier fires so often that the whole batch
+   serializes behind it — the multi-domain slowdown the wallclock
+   harness used to record.  For the duration of a multi-domain batch,
+   give each domain a much larger minor heap (fewer, better-amortized
+   barriers) and a lazier major-slice policy, then restore the user's
+   settings. *)
+let with_parallel_gc f =
+  let g = Gc.get () in
+  Gc.set
+    {
+      g with
+      Gc.minor_heap_size = 8 * 1024 * 1024 (* words: 64 MB per domain *);
+      space_overhead = 200;
+    };
+  Fun.protect ~finally:(fun () -> Gc.set g) f
+
 let in_sims fs =
   if !domains <= 1 then List.map (fun f -> in_sim f) fs
-  else begin
-    let n = List.length fs in
-    let sh = Sharded.create ~seed_of:(fun _ -> 42) ~shards:n () in
-    let results = Array.make n None in
-    List.iteri
-      (fun i f ->
-        Sharded.spawn_root sh ~shard:i (fun () -> results.(i) <- Some (f ())))
-      fs;
-    Sharded.run ~domains:!domains sh;
-    Array.to_list results
-    |> List.map (function
-         | Some v -> v
-         | None -> failwith "bench: shard did not complete")
-  end
+  else
+    with_parallel_gc (fun () ->
+        let n = List.length fs in
+        let sh = Sharded.create ~seed_of:(fun _ -> 42) ~shards:n () in
+        let results = Array.make n None in
+        List.iteri
+          (fun i f ->
+            Sharded.spawn_root sh ~shard:i (fun () ->
+                results.(i) <- Some (f ())))
+          fs;
+        Sharded.run ~domains:!domains sh;
+        Array.to_list results
+        |> List.map (function
+             | Some v -> v
+             | None -> failwith "bench: shard did not complete"))
 
 (* Spawn [n] client bodies and wait for all to finish; returns elapsed. *)
 let parallel_clients n body =
@@ -144,12 +163,12 @@ type sys = {
 }
 
 let make_system ?(cfg = Hw.Config.testbed_25gbe) ?(nodes = 3)
-    ?(dfs_prio = Hw.Cpu.prio_normal) ?(compression = false) which =
+    ?(dfs_prio = Hw.Cpu.prio_normal) ?(compression = false) ?sharding which =
   let params = params () in
   match which with
   | Sys_linefs | Sys_linefs_np ->
       let d =
-        Deployment.create ~cfg ~params
+        Deployment.create ?sharding ~cfg ~params
           ~pipeline_parallelism:(which = Sys_linefs)
           ~dfs_prio ~compression ~nodes ()
       in
@@ -170,7 +189,10 @@ let make_system ?(cfg = Hw.Config.testbed_25gbe) ?(nodes = 3)
         | Sys_hyperloop -> Baselines.Assise.Hyperloop
         | Sys_linefs | Sys_linefs_np -> assert false
       in
-      let a = Baselines.Assise.create ~cfg ~params ~variant ~dfs_prio ~nodes () in
+      let a =
+        Baselines.Assise.create ?sharding ~cfg ~params ~variant ~dfs_prio
+          ~nodes ()
+      in
       {
         name = sysname_to_string which;
         client =

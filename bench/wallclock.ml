@@ -452,6 +452,93 @@ let probe_domains ~name ~scale run e counts =
   Common.domains := 1
 
 (* ------------------------------------------------------------------ *)
+(* Intra-cell multicore: one deployment sharded per node               *)
+(* ------------------------------------------------------------------ *)
+
+(* Where [probe_domains] parallelizes *across* independent simulations,
+   this experiment parallelizes *inside* one: a single scaled
+   fig4-style LineFS cell whose deployment is partitioned one node per
+   {!Sim.Sharded} shard (host + SmartNIC plane of node i on shard i,
+   fabric-latency edges between them).  The simulated outcome — the
+   throughput the cell reports, the bytes the primary shipped, and the
+   total event count — must be bit-identical at every domain count;
+   only wall clock may move.  The client writes several files back to
+   back so the wall time is long enough to measure. *)
+
+type cell_probe = {
+  c_domains : int;
+  c_tput : float;
+  c_wire : int;
+  c_events : int;
+  c_wall : float;
+}
+
+let cell_files = 4
+
+let run_single_cell ~domains () =
+  Common.current_scale := Common.scaled;
+  let sh = Sim.Sharded.create ~seed_of:(fun _ -> 42) ~shards:3 () in
+  let sys = Common.make_system ~sharding:(sh, 0) Common.Sys_linefs in
+  let tput = ref 0.0 in
+  Sim.Sharded.spawn_root ~name:"cell" sh ~shard:0 (fun () ->
+      let ops = sys.Common.client 1 in
+      let file_bytes = !Common.current_scale.Common.file_bytes in
+      let t0 = Sim.Engine.now () in
+      for i = 1 to cell_files do
+        Workloads.Microbench.seq_write ~ops
+          ~path:(Printf.sprintf "/cell%d" i)
+          ~file_bytes ~io_bytes:(16 * 1024) ()
+      done;
+      let elapsed = Sim.Engine.now () - t0 in
+      tput := Common.gbps (cell_files * file_bytes) elapsed;
+      sys.Common.teardown ());
+  let ev0 = Sim.Engine.global_events_executed () in
+  let t0 = Unix.gettimeofday () in
+  (if domains > 1 then Common.with_parallel_gc else fun f -> f ())
+    (fun () -> Sim.Sharded.run ~domains sh);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    c_domains = domains;
+    c_tput = !tput;
+    c_wire = sys.Common.wire_bytes ();
+    c_events = Sim.Engine.global_events_executed () - ev0;
+    c_wall = wall_s;
+  }
+
+let run_single_cell_suite counts =
+  Printf.printf
+    "\n== intra-cell multicore: per-node sharded deployment (scaled fig4 \
+     cell) ==\n%!";
+  let probes = List.map (fun d -> run_single_cell ~domains:d ()) counts in
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  domains=%d: %.2f GB/s simulated, %d events, %.2fs wall, %.0f \
+         events/s\n%!"
+        p.c_domains p.c_tput p.c_events p.c_wall
+        (float_of_int p.c_events /. p.c_wall))
+    probes;
+  (match probes with
+  | base :: rest ->
+      List.iter
+        (fun p ->
+          if
+            p.c_tput <> base.c_tput || p.c_wire <> base.c_wire
+            || p.c_events <> base.c_events
+          then begin
+            Printf.printf
+              "FAIL: sharded cell diverged at domains=%d vs %d: tput %.9f/%.9f \
+               wire %d/%d events %d/%d\n%!"
+              p.c_domains base.c_domains p.c_tput base.c_tput p.c_wire
+              base.c_wire p.c_events base.c_events;
+            exit 1
+          end)
+        rest;
+      Printf.printf "  simulated results identical at every domain count\n%!"
+  | [] -> ());
+  probes
+
+(* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled; no deps)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -466,13 +553,33 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~mode ~domains ~kernels ~geomean ~experiments =
+let write_json ~path ~mode ~domains ~kernels ~geomean ~experiments ~cell_probes
+    =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" domains);
   Buffer.add_string b
     (Printf.sprintf "  \"data_path_geomean_speedup\": %.3f,\n" geomean);
+  (match cell_probes with
+  | base :: _ :: _ ->
+      let eps p = float_of_int p.c_events /. p.c_wall in
+      let base_eps = eps base in
+      Buffer.add_string b
+        (Printf.sprintf "  \"single_cell_speedup_by_domains\": {%s},\n"
+           (String.concat ", "
+              (List.map
+                 (fun p ->
+                   Printf.sprintf "\"%d\": %.3f" p.c_domains (eps p /. base_eps))
+                 cell_probes)));
+      Buffer.add_string b
+        (Printf.sprintf "  \"single_cell_speedup\": %.3f,\n"
+           (List.fold_left
+              (fun acc p ->
+                if p.c_domains > base.c_domains then max acc (eps p /. base_eps)
+                else acc)
+              0.0 cell_probes))
+  | _ -> ());
   Buffer.add_string b "  \"kernels\": [\n";
   List.iteri
     (fun i k ->
@@ -583,7 +690,11 @@ let () =
       [ s4; s9 ] @ at_full
     end
   in
-  write_json ~path ~mode ~domains ~kernels ~geomean ~experiments;
+  let cell_probes =
+    if smoke then []
+    else run_single_cell_suite (if no_probe then [ 1; 4 ] else [ 1; 2; 4 ])
+  in
+  write_json ~path ~mode ~domains ~kernels ~geomean ~experiments ~cell_probes;
   if geomean < 3.0 then begin
     Printf.printf
       "WARNING: data-path geomean speedup %.2fx below the 3x target\n%!"

@@ -12,6 +12,13 @@
      dst_sweep --adversary N                 Byzantine-fabric sweep (N seeds)
      dst_sweep --print-fingerprints          print pinned-scenario fingerprints
      dst_sweep --check-fingerprints FILE     compare against a committed file
+     dst_sweep --domains N ...               run sweep scenarios N at a time
+
+   [--domains N] runs the sweep scenarios as edge-less shards of one
+   Sim.Sharded batch, up to N in parallel (Scenario.run_batch).  The
+   scenarios are independent, so every outcome is identical to a
+   sequential run at any N — asserted here by cross-checking one batch
+   fingerprint against a sequential re-run.
 
    The adversary sweep draws plans only from duplication, reordering,
    corruption and storage faults at aggressive probabilities — the
@@ -33,12 +40,21 @@ let fail fmt =
       Printf.printf "FAIL %s\n%!" s)
     fmt
 
-let check_spec ~what spec =
-  let r = Fault.Dst.run_spec spec in
-  let o = r.Fault.Dst.outcome in
+let domains = ref 1
+
+let check_outcome ~what o =
   if Fault.Scenario.failed o then
     fail "%s: %s" what (Format.asprintf "%a" Fault.Scenario.pp_outcome o)
   else Printf.printf "ok   %s\n%!" what
+
+(* Run a named spec list as one sharded batch ([--domains] wide) and
+   check every outcome. *)
+let check_batch named =
+  let outcomes =
+    Fault.Scenario.run_batch ~domains:!domains (List.map snd named)
+  in
+  List.iter2 (fun (what, _) o -> check_outcome ~what o) named outcomes;
+  outcomes
 
 let check_deterministic ~what spec =
   let fp () = Fault.Dst.fingerprint (Fault.Dst.run_spec spec).Fault.Dst.outcome in
@@ -119,11 +135,13 @@ let check_fingerprints file =
   exit 0
 
 let adversary_sweep n =
-  for seed = 1 to n do
-    check_spec
-      ~what:(Printf.sprintf "adversary seed %d" seed)
-      (Fault.Scenario.generate_adversary ~seed)
-  done;
+  let named =
+    List.init n (fun i ->
+        let seed = i + 1 in
+        ( Printf.sprintf "adversary seed %d" seed,
+          Fault.Scenario.generate_adversary ~seed ))
+  in
+  ignore (check_batch named : Fault.Scenario.outcome list);
   check_deterministic ~what:"adversary seed 1"
     (Fault.Scenario.generate_adversary ~seed:1);
   if !failures > 0 then begin
@@ -134,21 +152,30 @@ let adversary_sweep n =
   exit 0
 
 let () =
-  (match Array.to_list Sys.argv with
+  let rec strip_domains = function
+    | "--domains" :: n :: rest ->
+        domains := int_of_string n;
+        strip_domains rest
+    | x :: rest -> x :: strip_domains rest
+    | [] -> []
+  in
+  let args =
+    match Array.to_list Sys.argv with
+    | a0 :: rest -> a0 :: strip_domains rest
+    | [] -> []
+  in
+  (match args with
   | _ :: "--print-fingerprints" :: _ -> print_fingerprints ()
   | _ :: "--check-fingerprints" :: file :: _ -> check_fingerprints file
   | _ :: "--adversary" :: n :: _ -> adversary_sweep (int_of_string n)
   | _ -> ());
-  let nseeds =
-    match Array.to_list Sys.argv with
-    | _ :: n :: _ -> int_of_string n
-    | _ -> 12
+  let nseeds = match args with _ :: n :: _ -> int_of_string n | _ -> 12 in
+  let generated =
+    List.init nseeds (fun i ->
+        let seed = i + 1 in
+        (Printf.sprintf "generated seed %d" seed, Fault.Scenario.generate ~seed))
   in
-  for seed = 1 to nseeds do
-    check_spec
-      ~what:(Printf.sprintf "generated seed %d" seed)
-      (Fault.Scenario.generate ~seed)
-  done;
+  let gen_outcomes = check_batch generated in
   let failovers =
     [
       ("failover-primary-crash", Fault.Scenario.failover_primary_crash);
@@ -158,13 +185,29 @@ let () =
       ("failover-double-failure", Fault.Scenario.failover_double_failure);
     ]
   in
-  List.iter
-    (fun (name, mk) ->
-      List.iter
-        (fun seed ->
-          check_spec ~what:(Printf.sprintf "%s seed %d" name seed) (mk ~seed))
-        [ 1; 2; 3 ])
-    failovers;
+  ignore
+    (check_batch
+       (List.concat_map
+          (fun (name, mk) ->
+            List.map
+              (fun seed -> (Printf.sprintf "%s seed %d" name seed, mk ~seed))
+              [ 1; 2; 3 ])
+          failovers)
+      : Fault.Scenario.outcome list);
+  (* The batched run must reproduce the sequential fingerprint exactly:
+     the shards share no edges, so sharding may not perturb a single
+     scenario's virtual time. *)
+  (match (generated, gen_outcomes) with
+  | (what, spec) :: _, o :: _ ->
+      let seq =
+        Fault.Dst.fingerprint (Fault.Dst.run_spec spec).Fault.Dst.outcome
+      in
+      let batched = Fault.Dst.fingerprint o in
+      if seq <> batched then
+        fail "%s: batched fingerprint diverges from sequential:\n  seq:   %s\n  batch: %s"
+          what seq batched
+      else Printf.printf "ok   %s (batch matches sequential)\n%!" what
+  | _ -> ());
   check_deterministic ~what:"generated seed 1"
     (Fault.Scenario.generate ~seed:1);
   check_deterministic ~what:"failover-primary-crash seed 1"

@@ -29,49 +29,49 @@ type workload = Seq_write | Metastorm
 let workload_conv =
   Arg.enum [ ("seq", Seq_write); ("metastorm", Metastorm) ]
 
-(* The whole measurement, parameterized over where its output goes so
-   that multi-instance runs can buffer per-instance text and compare it
-   byte-for-byte afterwards. *)
-let bench_body fmt system workload clients file_mb io_kb log_mb files
-    duration_ms busy latency_mode () =
-  let params =
-    { Params.default with Params.log_bytes = log_mb * 1024 * 1024 }
-  in
+(* Build the system under test.  With [sharding] the deployment is
+   partitioned per node across the Sharded runner (call from outside
+   any engine); without it, call from inside the engine's process
+   context. *)
+let make_system ?sharding system busy params =
+  match system with
+  | Linefs | Linefs_np ->
+      let d =
+        Deployment.create ?sharding ~params
+          ~pipeline_parallelism:(system = Linefs)
+          ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
+          ~nodes:3 ()
+      in
+      ( (if system = Linefs then "LineFS" else "LineFS-NotParallel"),
+        (fun id -> Libfs.ops (Deployment.add_client d ~id)),
+        (fun i -> (Deployment.node d i).Deployment.node),
+        (fun () -> Deployment.total_host_dfs_cpu d),
+        fun () -> Deployment.stop d )
+  | Assise | Assise_bg | Hyperloop ->
+      let variant =
+        match system with
+        | Assise -> Baselines.Assise.Pessimistic
+        | Assise_bg -> Baselines.Assise.Bg_repl
+        | _ -> Baselines.Assise.Hyperloop
+      in
+      let a =
+        Baselines.Assise.create ?sharding ~params ~variant
+          ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
+          ~nodes:3 ()
+      in
+      ( Baselines.Assise.variant_name variant,
+        (fun id -> Baselines.Assise.ops (Baselines.Assise.add_client a ~id)),
+        (fun i -> Baselines.Assise.node a i),
+        (fun () -> Baselines.Assise.total_host_dfs_cpu a),
+        fun () -> Baselines.Assise.stop a )
+
+(* The measurement proper, over an already-built system, parameterized
+   over where its output goes so that multi-instance runs can buffer
+   per-instance text and compare it byte-for-byte afterwards. *)
+let workload_body fmt (name, client_ops, node_of, total_dfs_cpu, teardown)
+    workload clients file_mb io_kb files duration_ms busy latency_mode () =
   let file_bytes = file_mb * 1024 * 1024 in
   let io_bytes = io_kb * 1024 in
-  let name, client_ops, node_of, total_dfs_cpu, teardown =
-    match system with
-    | Linefs | Linefs_np ->
-        let d =
-          Deployment.create ~params
-            ~pipeline_parallelism:(system = Linefs)
-            ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
-            ~nodes:3 ()
-        in
-        ( (if system = Linefs then "LineFS" else "LineFS-NotParallel"),
-          (fun id -> Libfs.ops (Deployment.add_client d ~id)),
-          (fun i -> (Deployment.node d i).Deployment.node),
-          (fun () -> Deployment.total_host_dfs_cpu d),
-          fun () -> Deployment.stop d )
-    | Assise | Assise_bg | Hyperloop ->
-        let variant =
-          match system with
-          | Assise -> Baselines.Assise.Pessimistic
-          | Assise_bg -> Baselines.Assise.Bg_repl
-          | _ -> Baselines.Assise.Hyperloop
-        in
-        let a =
-          Baselines.Assise.create ~params ~variant
-            ~dfs_prio:(if busy then Hw.Cpu.prio_high else Hw.Cpu.prio_normal)
-            ~nodes:3 ()
-        in
-        ( Baselines.Assise.variant_name variant,
-          (fun id ->
-            Baselines.Assise.ops (Baselines.Assise.add_client a ~id)),
-          (fun i -> Baselines.Assise.node a i),
-          (fun () -> Baselines.Assise.total_host_dfs_cpu a),
-          fun () -> Baselines.Assise.stop a )
-  in
   let stop_bg =
     if busy then begin
       let bgs =
@@ -143,15 +143,40 @@ let bench_body fmt system workload clients file_mb io_kb log_mb files
    riding along with every multi-instance run.  [instances = 1,
    domains = 1] keeps the historical single-engine path. *)
 let run_bench system workload clients file_mb io_kb log_mb files duration_ms
-    busy latency_mode instances domains =
-  let body fmt =
-    bench_body fmt system workload clients file_mb io_kb log_mb files
-      duration_ms busy latency_mode
+    busy latency_mode instances domains shard_deployment =
+  let params =
+    { Params.default with Params.log_bytes = log_mb * 1024 * 1024 }
   in
-  if instances <= 1 && domains <= 1 then begin
+  let body ?sys fmt () =
+    let sys =
+      match sys with Some s -> s | None -> make_system system busy params
+    in
+    workload_body fmt sys workload clients file_mb io_kb files duration_ms
+      busy latency_mode ()
+  in
+  if shard_deployment then begin
+    (* One deployment, one shard per node: host + SmartNIC plane of
+       node i live on shard i; replication chunks, acks and lease
+       records cross declared fabric-latency edges.  The workload and
+       its clients run on the primary's shard.  Output must be
+       byte-identical at every domain count. *)
+    let sh = Sharded.create ~seed_of:(fun _ -> 42) ~shards:3 () in
+    let sys = make_system ~sharding:(sh, 0) system busy params in
+    Sharded.spawn_root ~name:"bench" sh ~shard:0 (body ~sys Fmt.stdout);
+    Sharded.run ~domains sh;
+    for i = 0 to Sharded.shard_count sh - 1 do
+      Counters.merge (Sharded.engine sh i)
+    done;
+    (* No domain count in this line: the output must stay byte-identical
+       when only [--domains] changes. *)
+    Fmt.pr "sharded deployment: %d node shards, %d windows@."
+      (Sharded.shard_count sh) (Sharded.windows_run sh)
+  end
+  else if instances <= 1 && domains <= 1 then begin
     let eng = Engine.create () in
     Engine.spawn_root eng (body Fmt.stdout);
-    Engine.run eng
+    Engine.run eng;
+    Counters.merge eng
   end
   else begin
     (* Every instance gets the seed [Engine.create ()] defaults to, so
@@ -163,6 +188,9 @@ let run_bench system workload clients file_mb io_kb log_mb files duration_ms
       Sharded.spawn_root sh ~shard:i (body fmts.(i))
     done;
     Sharded.run ~domains sh;
+    for i = 0 to instances - 1 do
+      Counters.merge (Sharded.engine sh i)
+    done;
     Array.iter (fun f -> Format.pp_print_flush f ()) fmts;
     let first = Buffer.contents bufs.(0) in
     print_string first;
@@ -242,12 +270,24 @@ let cmd =
     Arg.(
       value & opt int 1
       & info [ "domains" ]
-          ~doc:"Spread instances over $(docv) OS domains." ~docv:"N")
+          ~doc:"Spread instances (or deployment node shards) over $(docv) OS \
+                domains." ~docv:"N")
+  in
+  let shard_deployment =
+    Arg.(
+      value & flag
+      & info [ "shard-deployment" ]
+          ~doc:
+            "Partition the single deployment per node across Sim.Sharded \
+             shards (one shard per node, fabric-latency edges between them) \
+             and run them over --domains domains. Output is byte-identical \
+             at every domain count.")
   in
   Cmd.v
     (Cmd.info "linefs_sim" ~doc:"LineFS simulation workbench")
     Term.(
       const run_bench $ system $ workload $ clients $ file_mb $ io_kb $ log_mb
-      $ files $ duration_ms $ busy $ latency $ instances $ domains)
+      $ files $ duration_ms $ busy $ latency $ instances $ domains
+      $ shard_deployment)
 
 let () = exit (Cmd.eval cmd)

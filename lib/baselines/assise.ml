@@ -69,6 +69,9 @@ and t = {
   mutable n_verb_stalls : int;
   mutable replenisher : bool;
   mutable wire : int; (* bytes the primary shipped *)
+  (* Per-node shard transport (reusing the NICFS record): set when the
+     deployment is partitioned one node per {!Sim.Sharded} shard. *)
+  mutable xp : Nicfs.xport option;
 }
 
 let bg_threads = 3
@@ -110,25 +113,77 @@ let busy_wait t rt f =
 let server rt =
   match rt.server with Some s -> s | None -> failwith "assise: not started"
 
-(* Forward a batch from node [hop] to node [hop+1]. *)
+(* The shard transport for traffic between nodes [i] and [j], when the
+   two live on different shards ([None]: plain local path). *)
+let remote t i j =
+  match t.xp with
+  | None -> None
+  | Some xp ->
+      if
+        xp.Nicfs.xp_shard_of t.rts.(i).node.Hw.Node.id
+        <> xp.Nicfs.xp_shard_of t.rts.(j).node.Hw.Node.id
+      then Some xp
+      else None
+
+(* Forward a batch from node [hop] to node [hop+1].  Across shards the
+   transfer splits: the sender halves of the payload and notification
+   frame here (still busy-polled by the SharedFS variants), the landing
+   halves and the RPC enqueue on the successor's shard. *)
 let forward t ~from_hop msg =
   let src = t.rts.(from_hop) and dst = t.rts.(from_hop + 1) in
-  let move () =
-    Net.Rdma.move ~dst_medium:`Pm
-      ~src:(Net.Loc.Host src.node)
-      ~dst:(Net.Loc.Host dst.node)
-      msg.rbytes
+  match remote t from_hop (from_hop + 1) with
+  | Some xp ->
+      let dst_loc = Net.Loc.Host dst.node in
+      let send_half () =
+        Net.Rdma.send_src ~src:(Net.Loc.Host src.node) msg.rbytes;
+        Net.Rdma.send_src ~src:(Net.Loc.Host src.node) Net.Rpc.msg_bytes
+      in
+      (match t.var with
+      | Pessimistic | Bg_repl -> busy_wait t src send_half
+      | Hyperloop -> send_half ());
+      if from_hop = 0 then t.wire <- t.wire + msg.rbytes;
+      xp.Nicfs.xp_send ~src_node:src.node.Hw.Node.id
+        ~dst_node:dst.node.Hw.Node.id
+        ~delay:(Net.Rdma.flight ~dst:dst_loc) ~name:"assise.repl-ship"
+        (fun () ->
+          Net.Rdma.land_dst ~dst_medium:`Pm ~dst:dst_loc msg.rbytes;
+          Net.Rdma.land_dst ~dst:dst_loc Net.Rpc.msg_bytes;
+          Net.Rpc.deliver (server dst) { msg with hop = from_hop + 1 })
+  | None ->
+      let move () =
+        Net.Rdma.move ~dst_medium:`Pm
+          ~src:(Net.Loc.Host src.node)
+          ~dst:(Net.Loc.Host dst.node)
+          msg.rbytes
+      in
+      (match t.var with
+      | Pessimistic | Bg_repl ->
+          (* The sender's SharedFS posts the WRITE and polls completion. *)
+          busy_wait t src move
+      | Hyperloop ->
+          (* NIC-driven chained WRITE: no host CPU at either end. *)
+          move ());
+      if from_hop = 0 then t.wire <- t.wire + msg.rbytes;
+      Net.Rpc.post (server dst) ~from:(Net.Loc.Host src.node)
+        { msg with hop = from_hop + 1 }
+
+(* Acknowledge one replica's persistence of [msg].  The ack set and
+   completion ivar are primary-shard state: when this replica lives on
+   another shard, the decrement is routed home through the declared
+   edge (at edge lookahead — the unsharded model's ack is an implicit
+   hardware completion with no modeled frame, so no wire is charged). *)
+let ack_origin t ~hop msg =
+  let ack () =
+    decr msg.acks;
+    if !(msg.acks) <= 0 && not (Ivar.is_filled msg.done_) then
+      Ivar.fill msg.done_ ()
   in
-  (match t.var with
-  | Pessimistic | Bg_repl ->
-      (* The sender's SharedFS posts the WRITE and polls completion. *)
-      busy_wait t src move
-  | Hyperloop ->
-      (* NIC-driven chained WRITE: no host CPU at either end. *)
-      move ());
-  if from_hop = 0 then t.wire <- t.wire + msg.rbytes;
-  Net.Rpc.post (server dst) ~from:(Net.Loc.Host src.node)
-    { msg with hop = from_hop + 1 }
+  match remote t hop 0 with
+  | Some xp ->
+      xp.Nicfs.xp_send ~src_node:t.rts.(hop).node.Hw.Node.id
+        ~dst_node:t.rts.(0).node.Hw.Node.id ~delay:0 ~name:"assise.repl-ack"
+        ack
+  | None -> ack ()
 
 (* Replica-side handling of an incoming batch. The data is already
    persistent in this node's PM log (the sender's RDMA WRITE targeted
@@ -139,8 +194,7 @@ let handle_repl t rt msg =
   if msg.hop + 1 < Array.length t.rts then
     Engine.spawn ~name:"assise.forward" (fun () ->
         forward t ~from_hop:msg.hop msg);
-  decr msg.acks;
-  if !(msg.acks) <= 0 then Ivar.fill msg.done_ ();
+  ack_origin t ~hop:msg.hop msg;
   match t.var with
   | Pessimistic | Bg_repl ->
       Engine.spawn ~name:"assise.replica-digest" (fun () ->
@@ -199,31 +253,73 @@ let replicate_batch t ~bytes =
         busy_wait t t.rts.(0) (fun () ->
             forward t ~from_hop:0 msg;
             Ivar.read msg.done_)
-    | Hyperloop ->
+    | Hyperloop -> (
         (* NIC-chained WAIT/WRITE verbs: no host CPU anywhere on the
            chain. Each hop's WRITE lands directly in the next PM log
            and triggers the pre-posted forward. *)
         take_verb t;
-        for hop = 0 to n_replicas - 1 do
-          let src = t.rts.(hop) and dst = t.rts.(hop + 1) in
-          Net.Rdma.move ~dst_medium:`Pm
-            ~src:(Net.Loc.Host src.node)
-            ~dst:(Net.Loc.Host dst.node)
-            bytes;
-          if hop = 0 then t.wire <- t.wire + bytes;
-          (* Replica SharedFS digests in the background as usual. *)
-          Engine.spawn ~name:"hyperloop.replica-digest" (fun () ->
-              cpu t dst (Hw.Node.copy_work dst.node bytes);
-              Hw.Pm.read dst.node.Hw.Node.pm bytes;
-              Hw.Pm.write dst.node.Hw.Node.pm bytes)
-        done;
-        (* Hardware ack back to the primary NIC. *)
-        Net.Rdma.move
-          ~src:(Net.Loc.Host t.rts.(n_replicas).node)
-          ~dst:(Net.Loc.Host t.rts.(0).node)
-          64;
-        (* Completion wake-up: one dispatch on the (primary) host. *)
-        cpu t t.rts.(0) (Time.us 5)
+        match t.xp with
+        | Some xp ->
+            (* Hop-by-hop relay: each hop pays its sender half on its
+               own shard and the landing closure continues the chain on
+               the successor's shard; the final hardware ack is routed
+               back to the primary, which blocks on the completion
+               ivar exactly as it blocked on the synchronous chain
+               walk in the single-engine model. *)
+            let completion = Ivar.create () in
+            let rec hop_ship hop =
+              let src = t.rts.(hop) and dst = t.rts.(hop + 1) in
+              let dst_loc = Net.Loc.Host dst.node in
+              Net.Rdma.send_src ~src:(Net.Loc.Host src.node) bytes;
+              if hop = 0 then t.wire <- t.wire + bytes;
+              xp.Nicfs.xp_send ~src_node:src.node.Hw.Node.id
+                ~dst_node:dst.node.Hw.Node.id
+                ~delay:(Net.Rdma.flight ~dst:dst_loc)
+                ~name:"hyperloop.ship" (fun () ->
+                  Net.Rdma.land_dst ~dst_medium:`Pm ~dst:dst_loc bytes;
+                  (* Replica SharedFS digests in the background. *)
+                  Engine.spawn ~name:"hyperloop.replica-digest" (fun () ->
+                      cpu t dst (Hw.Node.copy_work dst.node bytes);
+                      Hw.Pm.read dst.node.Hw.Node.pm bytes;
+                      Hw.Pm.write dst.node.Hw.Node.pm bytes);
+                  if hop + 1 < n_replicas then hop_ship (hop + 1)
+                  else begin
+                    (* Hardware ack back to the primary NIC. *)
+                    let prim_loc = Net.Loc.Host t.rts.(0).node in
+                    Net.Rdma.send_src ~src:(Net.Loc.Host dst.node) 64;
+                    xp.Nicfs.xp_send ~src_node:dst.node.Hw.Node.id
+                      ~dst_node:t.rts.(0).node.Hw.Node.id
+                      ~delay:(Net.Rdma.flight ~dst:prim_loc)
+                      ~name:"hyperloop.ack" (fun () ->
+                        Net.Rdma.land_dst ~dst:prim_loc 64;
+                        Ivar.fill completion ())
+                  end)
+            in
+            hop_ship 0;
+            Ivar.read completion;
+            (* Completion wake-up: one dispatch on the (primary) host. *)
+            cpu t t.rts.(0) (Time.us 5)
+        | None ->
+            for hop = 0 to n_replicas - 1 do
+              let src = t.rts.(hop) and dst = t.rts.(hop + 1) in
+              Net.Rdma.move ~dst_medium:`Pm
+                ~src:(Net.Loc.Host src.node)
+                ~dst:(Net.Loc.Host dst.node)
+                bytes;
+              if hop = 0 then t.wire <- t.wire + bytes;
+              (* Replica SharedFS digests in the background as usual. *)
+              Engine.spawn ~name:"hyperloop.replica-digest" (fun () ->
+                  cpu t dst (Hw.Node.copy_work dst.node bytes);
+                  Hw.Pm.read dst.node.Hw.Node.pm bytes;
+                  Hw.Pm.write dst.node.Hw.Node.pm bytes)
+            done;
+            (* Hardware ack back to the primary NIC. *)
+            Net.Rdma.move
+              ~src:(Net.Loc.Host t.rts.(n_replicas).node)
+              ~dst:(Net.Loc.Host t.rts.(0).node)
+              64;
+            (* Completion wake-up: one dispatch on the (primary) host. *)
+            cpu t t.rts.(0) (Time.us 5))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -342,7 +438,8 @@ let bg_enqueue c ~upto =
 (* ------------------------------------------------------------------ *)
 
 let create ?(cfg = Hw.Config.testbed_25gbe) ?(params = Params.default)
-    ?(variant = Pessimistic) ?(dfs_prio = Hw.Cpu.prio_normal) ~nodes () =
+    ?(variant = Pessimistic) ?(dfs_prio = Hw.Cpu.prio_normal) ?sharding
+    ~nodes () =
   let topo = Hw.Topology.create ~cfg ~nodes () in
   let rts =
     Array.map
@@ -367,21 +464,60 @@ let create ?(cfg = Hw.Config.testbed_25gbe) ?(params = Params.default)
       n_verb_stalls = 0;
       replenisher = false;
       wire = 0;
+      xp = None;
     }
   in
-  Array.iteri
-    (fun i rt ->
-      if i > 0 then
-        rt.server <-
-          Some
-            (Net.Rpc.create
-               ~name:(Printf.sprintf "assise%d.repl" i)
-               ~loc:(Net.Loc.Host rt.node)
-               ~kind:(Net.Rpc.Event { workers = 4; prio = dfs_prio })
-               ~handler:(fun msg -> handle_repl t rt msg)
-               ()))
-    rts;
-  if variant = Hyperloop then start_replenisher t;
+  let make_server i rt =
+    Net.Rpc.create
+      ~name:(Printf.sprintf "assise%d.repl" i)
+      ~loc:(Net.Loc.Host rt.node)
+      ~kind:(Net.Rpc.Event { workers = 4; prio = dfs_prio })
+      ~handler:(fun msg -> handle_repl t rt msg)
+      ()
+  in
+  (match sharding with
+  | None ->
+      Array.iteri
+        (fun i rt -> if i > 0 then rt.server <- Some (make_server i rt))
+        rts;
+      if variant = Hyperloop then start_replenisher t
+  | Some (sh, base) ->
+      (* Per-node partitioning: node [i] lives on shard [base + i].
+         Server creation spawns workers, so it boots as a t = 0 root
+         process on the owning shard; the replenisher (primary-host
+         thread) boots on the primary's shard. *)
+      Array.iteri
+        (fun i rt ->
+          if i > 0 then
+            Sim.Sharded.spawn_root ~name:"assise.boot" sh ~shard:(base + i)
+              (fun () -> rt.server <- Some (make_server i rt)))
+        rts;
+      if variant = Hyperloop then
+        Sim.Sharded.spawn_root ~name:"assise.boot" sh ~shard:base (fun () ->
+            start_replenisher t);
+      for i = 0 to nodes - 1 do
+        ignore
+          (Sim.Engine.run_until (Sim.Sharded.engine sh (base + i)) ~bound:1
+            : Time.t option)
+      done;
+      (* Fabric-latency lookahead on every cross-node edge, as in
+         [Linefs.Deployment]. *)
+      for i = 0 to nodes - 1 do
+        for j = 0 to nodes - 1 do
+          if i <> j then
+            Sim.Sharded.connect ~lookahead:cfg.Hw.Config.net_latency sh
+              ~src:(base + i) ~dst:(base + j)
+        done
+      done;
+      t.xp <-
+        Some
+          {
+            Nicfs.xp_shard_of = (fun node_id -> base + node_id);
+            xp_send =
+              (fun ~src_node ~dst_node ~delay ~name fn ->
+                Sim.Sharded.send sh ~src:(base + src_node)
+                  ~dst:(base + dst_node) ~delay ~name fn);
+          });
   t
 
 (* ------------------------------------------------------------------ *)

@@ -71,8 +71,17 @@ val failover_double_failure : seed:int -> spec
 
 val run : spec -> outcome
 (** Execute in a fresh engine; never raises on invariant violations —
-    they come back in the outcome. Global hooks (network injection,
-    lease observer, entry observer) are restored on exit. *)
+    they come back in the outcome.  The fault hook and observers
+    (network injection, lease observer, entry observer) are installed
+    engine-locally and die with the engine. *)
+
+val run_batch : ?domains:int -> spec list -> outcome list
+(** Run many independent scenarios, one per {!Sim.Sharded} shard, with
+    up to [domains] (default 1) running in parallel.  The shards share
+    no edges, so each runs with exactly the single-engine semantics of
+    {!run}: outcomes — digests, traces, counters — are identical to
+    sequential [run] calls at every domain count.  [keep_going]
+    semantics: one scenario crashing doesn't stop the others. *)
 
 val pp_spec : Format.formatter -> spec -> unit
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -15,38 +15,62 @@ type t = {
   dfs_prio : Hw.Cpu.prio;
   mutable cls : Libfs.t list;
   monitoring : bool;
+  sharding : (Sim.Sharded.t * int) option;
 }
 
 let create ?(cfg = Hw.Config.testbed_25gbe) ?(params = Params.default)
     ?(pipeline_parallelism = true) ?(kworker_mode = Kworker.Dma_interrupt_batch)
     ?(dfs_prio = Hw.Cpu.prio_normal) ?(compression = false)
     ?(coalescing = false) ?(monitor = false) ?(apply_on_publish = false)
-    ~nodes () =
+    ?sharding ~nodes () =
   let params = { params with Params.replicas = nodes } in
   let topo = Hw.Topology.create ~cfg ~nodes () in
+  let build_rt node =
+    let fs = Storage.Fs_state.create () in
+    let dfs_host_cpu = Stats.Busy.create () in
+    let kworker =
+      Kworker.create ~mode:kworker_mode ~prio:dfs_prio
+        ~account:dfs_host_cpu ~params ~node ()
+    in
+    (* Each NICFS runs in its own process group so fault injection
+       can power-fail one node's SmartNIC without touching the
+       others (the host-side kworker survives, as on real hardware
+       where the host OS outlives a NIC reset). *)
+    let group =
+      Sim.Engine.make_group (Printf.sprintf "nicfs%d" node.Hw.Node.id)
+    in
+    let nicfs =
+      Nicfs.create ~pipeline_parallelism ~coalescing ~compression
+        ~apply_on_publish ~group ~params ~node ~fs ~kworker ()
+    in
+    { node; fs; kworker; nicfs; dfs_host_cpu }
+  in
   let rts =
-    Array.map
-      (fun node ->
-        let fs = Storage.Fs_state.create () in
-        let dfs_host_cpu = Stats.Busy.create () in
-        let kworker =
-          Kworker.create ~mode:kworker_mode ~prio:dfs_prio
-            ~account:dfs_host_cpu ~params ~node ()
-        in
-        (* Each NICFS runs in its own process group so fault injection
-           can power-fail one node's SmartNIC without touching the
-           others (the host-side kworker survives, as on real hardware
-           where the host OS outlives a NIC reset). *)
-        let group =
-          Sim.Engine.make_group
-            (Printf.sprintf "nicfs%d" node.Hw.Node.id)
-        in
-        let nicfs =
-          Nicfs.create ~pipeline_parallelism ~coalescing ~compression
-            ~apply_on_publish ~group ~params ~node ~fs ~kworker ()
-        in
-        { node; fs; kworker; nicfs; dfs_host_cpu })
-      topo.Hw.Topology.nodes
+    match sharding with
+    | None -> Array.map build_rt topo.Hw.Topology.nodes
+    | Some (sh, base) ->
+        (* Per-node partitioning: node [i] (host + SmartNIC plane) is
+           built — and lives — on shard [base + i].  Construction needs
+           process context on the owning engine (RPC planes and kernel
+           workers spawn processes), so each node's constructor is a
+           root process at t = 0, booted sequentially here before the
+           parallel run starts. *)
+        let slots = Array.make nodes None in
+        Array.iteri
+          (fun i node ->
+            Sim.Sharded.spawn_root ~name:"deploy.boot" sh ~shard:(base + i)
+              (fun () -> slots.(i) <- Some (build_rt node)))
+          topo.Hw.Topology.nodes;
+        for i = 0 to nodes - 1 do
+          ignore
+            (Sim.Engine.run_until (Sim.Sharded.engine sh (base + i)) ~bound:1
+              : Sim.Time.t option)
+        done;
+        Array.map
+          (function
+            | Some rt -> rt
+            | None -> failwith "deployment: shard boot did not run")
+          slots
   in
   (* Wire the replication chain 0 -> 1 -> ... -> n-1, and tell each
      node exactly whose acks complete its chunks (everyone downstream)
@@ -61,8 +85,47 @@ let create ?(cfg = Hw.Config.testbed_25gbe) ?(params = Params.default)
       done;
       Nicfs.set_repl_targets rt.nicfs ~targets:!targets)
     rts;
-  if monitor then Array.iter (fun rt -> Nicfs.start_monitor rt.nicfs) rts;
-  { prm = params; topo; rts; dfs_prio; cls = []; monitoring = monitor }
+  (match sharding with
+  | None -> ()
+  | Some (sh, base) ->
+      (* Declare every cross-node edge with the fabric latency as its
+         lookahead: no component of a cross-node exchange (chunk ship,
+         ack, lease record, flush round trip) can land sooner than one
+         switch traversal, so windows stay as wide as the physics
+         allows.  The destination PCIe hop is part of each message's
+         flight delay, not the lookahead floor — NIC-terminated traffic
+         must still be deliverable at switch latency alone. *)
+      for i = 0 to nodes - 1 do
+        for j = 0 to nodes - 1 do
+          if i <> j then
+            Sim.Sharded.connect ~lookahead:cfg.Hw.Config.net_latency sh
+              ~src:(base + i) ~dst:(base + j)
+        done
+      done;
+      let xp =
+        {
+          Nicfs.xp_shard_of = (fun node_id -> base + node_id);
+          xp_send =
+            (fun ~src_node ~dst_node ~delay ~name fn ->
+              Sim.Sharded.send sh ~src:(base + src_node)
+                ~dst:(base + dst_node) ~delay ~name fn);
+        }
+      in
+      Array.iter (fun rt -> Nicfs.set_xport rt.nicfs xp) rts);
+  if monitor then
+    match sharding with
+    | None -> Array.iter (fun rt -> Nicfs.start_monitor rt.nicfs) rts
+    | Some (sh, base) ->
+        (* The monitor is node-local but must be spawned from its own
+           shard's process context. *)
+        Array.iteri
+          (fun i rt ->
+            Sim.Sharded.spawn_root ~name:"deploy.monitor" sh
+              ~shard:(base + i)
+              (fun () -> Nicfs.start_monitor rt.nicfs))
+          rts
+  else ();
+  { prm = params; topo; rts; dfs_prio; cls = []; monitoring = monitor; sharding }
 
 let params t = t.prm
 let node_count t = Array.length t.rts
@@ -117,7 +180,20 @@ let flush_all t =
     t.cls
 
 let stop t =
-  if t.monitoring then Array.iter (fun rt -> Nicfs.stop_monitor rt.nicfs) t.rts
+  if t.monitoring then
+    match t.sharding with
+    | None -> Array.iter (fun rt -> Nicfs.stop_monitor rt.nicfs) t.rts
+    | Some (sh, base) ->
+        (* Called from the workload body on the primary's shard; remote
+           monitors are stopped through their shard's edge. *)
+        Array.iteri
+          (fun i rt ->
+            if i = 0 then Nicfs.stop_monitor rt.nicfs
+            else
+              Sim.Sharded.send sh ~src:base ~dst:(base + i)
+                ~name:"deploy.stop-monitor" (fun () ->
+                  Nicfs.stop_monitor rt.nicfs))
+          t.rts
 
 let replication_wire_bytes t = Nicfs.replicated_wire_bytes (primary t).nicfs
 

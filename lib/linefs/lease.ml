@@ -21,10 +21,34 @@ type event =
   | Released of { node : int; client : int; inum : int }
   | Expired of { node : int; client : int; inum : int }
 
+(* Engine-local when installed from inside a simulation process (fault
+   scenarios sharded across domains each observe only their own
+   engine's events), with a process-global fallback for installs from
+   outside any run. Same discipline as [Net.Inject]. *)
 let observer : (event -> unit) option ref = ref None
-let set_observer f = observer := Some f
-let clear_observer () = observer := None
-let emit ev = match !observer with None -> () | Some f -> f ev
+let local_observer : (event -> unit) Engine.Local.key = Engine.Local.key ()
+
+let set_observer f =
+  match Engine.current () with
+  | Some eng -> Engine.Local.set eng local_observer f
+  | None -> observer := Some f
+
+let clear_observer () =
+  (match Engine.current () with
+  | Some eng -> Engine.Local.remove eng local_observer
+  | None -> ());
+  observer := None
+
+let emit ev =
+  let f =
+    match Engine.current () with
+    | Some eng -> (
+        match Engine.Local.get eng local_observer with
+        | Some _ as f -> f
+        | None -> !observer)
+    | None -> !observer
+  in
+  match f with None -> () | Some f -> f ev
 
 type t = {
   params : Params.t;

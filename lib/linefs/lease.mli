@@ -28,8 +28,11 @@ type event =
       (** Dropped without the client asking (fail-over / revocation). *)
 
 val set_observer : (event -> unit) -> unit
-(** Install a process-wide observer notified of every lease transition
-    on every manager.  One at a time; installing replaces. *)
+(** Install an observer notified of every lease transition on every
+    manager.  Called from inside a simulation process it binds to the
+    running engine (so sharded scenarios observe independently); called
+    outside any run it installs the process-global fallback.  One at a
+    time per scope; installing replaces. *)
 
 val clear_observer : unit -> unit
 

@@ -165,12 +165,34 @@ let note_service_change t = kick_pipeline t
 
 (* Observer hook: test harnesses capture every persisted entry here,
    at append time, before asynchronous publication can reclaim it from
-   the log (the DST prefix-consistency check replays this record). *)
+   the log (the DST prefix-consistency check replays this record).
+   Engine-local when installed from inside a simulation process, with a
+   process-global fallback — same discipline as [Net.Inject]. *)
 let entry_observer : (client:int -> Oplog.entry -> unit) option ref =
   ref None
 
-let set_entry_observer f = entry_observer := Some f
-let clear_entry_observer () = entry_observer := None
+let local_entry_observer : (client:int -> Oplog.entry -> unit) Engine.Local.key
+    =
+  Engine.Local.key ()
+
+let set_entry_observer f =
+  match Engine.current () with
+  | Some eng -> Engine.Local.set eng local_entry_observer f
+  | None -> entry_observer := Some f
+
+let clear_entry_observer () =
+  (match Engine.current () with
+  | Some eng -> Engine.Local.remove eng local_entry_observer
+  | None -> ());
+  entry_observer := None
+
+let entry_observer_hook () =
+  match Engine.current () with
+  | Some eng -> (
+      match Engine.Local.get eng local_entry_observer with
+      | Some _ as f -> f
+      | None -> !entry_observer)
+  | None -> !entry_observer
 
 (* Validate locally, persist to the private log (blocking on log space
    — the head-of-line case §3.3.1 motivates), update caches. The log
@@ -198,7 +220,7 @@ let append_op_locked t (op : Oplog.op) =
         persist ()
   in
   persist ();
-  (match !entry_observer with
+  (match entry_observer_hook () with
   | Some f -> f ~client:t.cid entry
   | None -> ());
   (match Fs_state.apply t.fs op with

@@ -32,10 +32,12 @@ val ops : t -> Dfs_intf.ops
 val log : t -> Storage.Oplog.Log.t
 
 val set_entry_observer : (client:int -> Storage.Oplog.entry -> unit) -> unit
-(** Install a process-wide hook called for every entry any LibFS
-    persists, at append time — before asynchronous publication can
-    reclaim it.  Test harnesses use this to record the full operation
-    history for prefix-consistency replay.  One at a time. *)
+(** Install a hook called for every entry any LibFS persists, at append
+    time — before asynchronous publication can reclaim it.  Test
+    harnesses use this to record the full operation history for
+    prefix-consistency replay.  Engine-local when installed from inside
+    a simulation process (sharded scenarios record independently);
+    process-global fallback otherwise.  One at a time per scope. *)
 
 val clear_entry_observer : unit -> unit
 

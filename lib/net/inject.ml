@@ -10,14 +10,38 @@ type verdict =
 
 type hook = point:point -> src:Loc.t -> dst:Loc.t -> bytes:int -> verdict
 
+(* Process-global fallback hook, used only when no engine is running on
+   the calling domain (e.g. tests installing a hook before [Engine.run]).
+   Hooks installed from inside a simulation process live in that
+   engine's {!Sim.Engine.Local} storage instead, so shards running
+   concurrent fault scenarios on different domains each see exactly
+   their own hook. *)
 let the_hook : hook option ref = ref None
+let local_hook : hook Sim.Engine.Local.key = Sim.Engine.Local.key ()
 
-let set h = the_hook := Some h
-let clear () = the_hook := None
-let active () = Option.is_some !the_hook
+let set h =
+  match Sim.Engine.current () with
+  | Some eng -> Sim.Engine.Local.set eng local_hook h
+  | None -> the_hook := Some h
+
+let clear () =
+  (match Sim.Engine.current () with
+  | Some eng -> Sim.Engine.Local.remove eng local_hook
+  | None -> ());
+  the_hook := None
+
+let hook () =
+  match Sim.Engine.current () with
+  | Some eng -> (
+      match Sim.Engine.Local.get eng local_hook with
+      | Some _ as h -> h
+      | None -> !the_hook)
+  | None -> !the_hook
+
+let active () = Option.is_some (hook ())
 
 let consult ~point ~src ~dst ~bytes =
-  match !the_hook with
+  match hook () with
   | None -> Pass
   | Some h -> h ~point ~src ~dst ~bytes
 

@@ -46,10 +46,17 @@ type verdict =
 type hook = point:point -> src:Loc.t -> dst:Loc.t -> bytes:int -> verdict
 
 val set : hook -> unit
-(** Install the hook (replacing any previous one). *)
+(** Install the hook (replacing any previous one).  Called from inside
+    a simulation process, the hook is {e engine-local}: it binds to the
+    engine currently running on this domain and is consulted only by
+    traffic of that engine — which is what lets independent fault
+    scenarios run as parallel shards.  Called outside any engine, it
+    installs the process-global fallback (consulted by engines with no
+    local hook), preserving the historical single-sim behaviour. *)
 
 val clear : unit -> unit
-(** Remove the hook; all traffic passes untouched again. *)
+(** Remove the hook (the current engine's if inside a run, and the
+    global fallback); all traffic passes untouched again. *)
 
 val active : unit -> bool
 

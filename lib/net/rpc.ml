@@ -364,6 +364,12 @@ let post t ~from ?(bytes = msg_bytes) req =
           Engine.sleep d;
           deliver ~tainted:None ())
 
+(* Shard-local landing half of a routed one-way message: the sending
+   shard already paid the wire costs ([Rdma.send_src] + flight delay),
+   so this only enqueues the request for the server's workers.  Sharded
+   runs are fault-free, hence no key/CRC machinery. *)
+let deliver t req = send_req t ~iv:None ~key:None ~tainted:None ~crc:None req
+
 let queue_length t = Mailbox.length t.inbox
 
 let shutdown t =

@@ -31,7 +31,46 @@ type t = {
   mutable live : int;
   mutable executed : int;
   rng : Rng.t;
+  (* Engine-local storage (see {!Local}): how process-global hooks
+     (fault injection, observers, counters) become per-shard state in
+     sharded runs without any cross-domain sharing. *)
+  locals : (int, Obj.t) Hashtbl.t;
 }
+
+(* The engine currently executing on this domain, set for the duration
+   of [run]/[run_until].  Domain-local, so every shard of a parallel
+   window sees its own engine.  This is deliberately not an effect:
+   it must also be readable from [exec_event]-adjacent code running
+   outside the effect handler (e.g. wakers). *)
+let current_slot : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Domain.DLS.get current_slot)
+
+let with_current t f =
+  let slot = Domain.DLS.get current_slot in
+  let prev = !slot in
+  slot := Some t;
+  Fun.protect ~finally:(fun () -> slot := prev) f
+
+module Local = struct
+  (* Typed keys into an engine's [locals] table, in the style of
+     [Domain.DLS]: the key is just an int; type safety comes from the
+     phantom parameter being fixed at [key ()] time and the table being
+     written only through [set]. *)
+  type 'a key = int
+
+  let next_key = Atomic.make 0
+  let key () = Atomic.fetch_and_add next_key 1
+
+  let get (t : t) (k : 'a key) : 'a option =
+    match Hashtbl.find_opt t.locals k with
+    | Some v -> Some (Obj.obj v)
+    | None -> None
+
+  let set (t : t) (k : 'a key) (v : 'a) = Hashtbl.replace t.locals k (Obj.repr v)
+  let remove (t : t) (k : 'a key) = Hashtbl.remove t.locals k
+end
 
 (* Process-wide tally across every engine, for wall-clock throughput
    reporting (events per real second) in the bench harness.  Atomic:
@@ -117,6 +156,7 @@ let create ?(seed = 42) () =
     live = 0;
     executed = 0;
     rng = Rng.create seed;
+    locals = Hashtbl.create 8;
   }
 
 let rng t = t.rng
@@ -267,6 +307,7 @@ let exec_event t time ev =
       else run_payload ev.payload
 
 let run ?deadline t =
+  with_current t @@ fun () ->
   t.stopped <- false;
   let running = ref true in
   while !running && not t.stopped do
@@ -287,6 +328,7 @@ let run ?deadline t =
    next pending event (the shard's contribution to the next global
    synchronization bound). *)
 let run_until t ~bound =
+  with_current t @@ fun () ->
   t.stopped <- false;
   let running = ref true in
   while !running && not t.stopped do
@@ -300,6 +342,14 @@ let run_until t ~bound =
   Heap.peek_key t.events
 
 let next_event_time t = Heap.peek_key t.events
+
+let fast_forward t ~upto =
+  let upto =
+    match Heap.peek_key t.events with
+    | Some ts -> min upto ts
+    | None -> upto
+  in
+  if upto > t.now then t.now <- upto
 
 let stop t = t.stopped <- true
 

@@ -108,6 +108,40 @@ val run_until : t -> bound:Time.t -> Time.t option
 val next_event_time : t -> Time.t option
 (** Timestamp of the earliest pending event, if any. *)
 
+val fast_forward : t -> upto:Time.t -> unit
+(** Advance the clock to [upto] without executing anything.  No effect
+    if [upto] is in the past; clamped to the earliest pending event so
+    no event is ever skipped.  The sharded runner ({!Sharded}) uses
+    this to ratchet an idle shard's clock to its conservative bound —
+    the null-message role in Chandy–Misra–Bryant — so the windows of
+    downstream shards keep widening. *)
+
+val current : unit -> t option
+(** The engine currently executing on {e this domain} ([Some] for the
+    duration of {!run}/{!run_until}, [None] outside).  Unlike the
+    process-context operations below this never raises: wakers and
+    library code can use it to find engine-local state ({!Local})
+    without being inside the effect handler. *)
+
+(** {1 Engine-local storage}
+
+    Typed per-engine key/value slots, in the style of [Domain.DLS].
+    This is how formerly process-global hooks (fault-injection hook,
+    lease/oplog observers, robustness counters) become per-shard state
+    in sharded runs: each shard's engine carries its own copy, written
+    and read only while that engine runs, so no state is shared across
+    domains. *)
+module Local : sig
+  type 'a key
+
+  val key : unit -> 'a key
+  (** A fresh key.  Allocate once at module init, not per use. *)
+
+  val get : t -> 'a key -> 'a option
+  val set : t -> 'a key -> 'a -> unit
+  val remove : t -> 'a key -> unit
+end
+
 (** {1 Process-context operations}
 
     The following functions must be called from inside a process (i.e.

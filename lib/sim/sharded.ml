@@ -8,36 +8,49 @@
      injects the messages into the destination engines in a canonical
      order (delivery time, src, dst, per-edge sequence);
    - each shard [j] may then execute every event strictly below
-     [min over incoming edges (src i) of (next_i + lookahead)] — any
+     [min over incoming edges e = (i -> j) of (promise_i + lookahead e)],
+     where a busy shard promises its next event time and an idle
+     shard's promise is lifted to the earliest instant anything could
+     wake it (shortest-path relaxation — see [refresh_promises]) — any
      message an upstream shard can still send arrives at or beyond that
      bound, so the window's events are final and no rollback is ever
-     needed.  A shard with no (live) upstream constraint runs to
-     completion.
+     needed.  A shard none of whose upstreams can ever send again runs
+     to completion; idle shards ratchet their clocks to their bound so
+     downstream windows keep widening.
+
+   Lookahead is per edge: a deployment partitioned per-node uses the
+   fabric latency of each link as that link's lookahead, so a
+   low-latency edge only narrows the windows of its own destination.
 
    Within a window the shards touch disjoint state, so they can run on
    any number of domains in any order with identical results: the
    [domains] argument of {!run} changes wall-clock behaviour only,
-   never simulation output.  Worker domains are spawned per window and
-   joined at the barrier; the join gives the coordinator's drain a
-   happens-before edge over every shard's sends, so edge outboxes need
-   no locking (single writer during the window, single reader at the
-   barrier). *)
+   never simulation output.  Worker domains are created once per [run]
+   and handed windows through a mutex/condvar barrier; the barrier
+   crossings give the coordinator's drain a happens-before edge over
+   every shard's sends, so edge outboxes need no locking (single writer
+   during the window, single reader at the barrier).  A persistent pool
+   matters: one full-scale deployment partitioned per node runs
+   millions of small windows, and a Domain.spawn/join pair per window
+   costs more than the window itself. *)
 
 type msg = { m_at : Time.t; m_seq : int; m_name : string; m_fn : unit -> unit }
 
 type edge = {
   e_src : int;
   e_dst : int;
+  e_lookahead : Time.t;
   mutable e_seq : int;
   mutable e_out : msg list; (* newest first; reversed at drain *)
 }
 
 type t = {
   shards : Engine.t array;
-  lookahead : Time.t;
+  lookahead : Time.t; (* default for edges that do not override *)
   edge_tbl : (int * int, edge) Hashtbl.t;
-  in_edges : int list array; (* per-dst sources, most recent first *)
+  in_edges : edge list array; (* per-dst incoming edges *)
   mutable windows : int;
+  mutable errs : (int * exn) list; (* shards that died during [run] *)
 }
 
 let create ?(lookahead = Time.ns 1) ?(seed = 42) ?seed_of ~shards () =
@@ -59,22 +72,25 @@ let create ?(lookahead = Time.ns 1) ?(seed = 42) ?seed_of ~shards () =
     edge_tbl = Hashtbl.create 16;
     in_edges = Array.make shards [];
     windows = 0;
+    errs = [];
   }
 
 let shard_count t = Array.length t.shards
 let engine t i = t.shards.(i)
 let lookahead t = t.lookahead
 let windows_run t = t.windows
+let errors t = List.sort (fun (a, _) (b, _) -> compare a b) t.errs
 
-let connect t ~src ~dst =
+let connect ?lookahead t ~src ~dst =
   let n = Array.length t.shards in
   if src < 0 || src >= n || dst < 0 || dst >= n then
     invalid_arg "Sharded.connect: shard index out of range";
   if src = dst then invalid_arg "Sharded.connect: self edge";
+  let la = max 1 (Option.value lookahead ~default:t.lookahead) in
   if not (Hashtbl.mem t.edge_tbl (src, dst)) then begin
-    Hashtbl.add t.edge_tbl (src, dst)
-      { e_src = src; e_dst = dst; e_seq = 0; e_out = [] };
-    t.in_edges.(dst) <- src :: t.in_edges.(dst)
+    let e = { e_src = src; e_dst = dst; e_lookahead = la; e_seq = 0; e_out = [] } in
+    Hashtbl.add t.edge_tbl (src, dst) e;
+    t.in_edges.(dst) <- e :: t.in_edges.(dst)
   end
 
 let spawn_root ?name t ~shard f = Engine.spawn_root ?name t.shards.(shard) f
@@ -85,7 +101,7 @@ let send t ~src ~dst ?(delay = 0) ~name fn =
     | Some e -> e
     | None -> invalid_arg "Sharded.send: edge not connected"
   in
-  let delay = max delay t.lookahead in
+  let delay = max delay edge.e_lookahead in
   let at = Engine.current_time t.shards.(src) + delay in
   edge.e_seq <- edge.e_seq + 1;
   edge.e_out <- { m_at = at; m_seq = edge.e_seq; m_name = name; m_fn = fn }
@@ -112,57 +128,208 @@ let drain t =
       Engine.spawn_root_at t.shards.(e.e_dst) ~at:m.m_at ~name:m.m_name m.m_fn)
     msgs
 
-let run ?(domains = 1) t =
+let run ?(domains = 1) ?deadline ?(keep_going = false) t =
   let n = Array.length t.shards in
   let domains = max 1 (min domains n) in
-  let continue = ref true in
-  while !continue do
+  t.errs <- [];
+  (* A shard whose window raised is dead: its engine state is
+     inconsistent, so it executes nothing further and stops
+     constraining nobody — it can also never send again.  The exception
+     is reported through {!errors} (and re-raised at the end unless
+     [keep_going]), while the other shards run to completion. *)
+  let dead = Array.make n false in
+  let shard_exn : exn option array = Array.make n None in
+  let nexts = Array.make n None in
+  let refresh_nexts () =
+    for j = 0 to n - 1 do
+      nexts.(j) <-
+        (if dead.(j) then None else Engine.next_event_time t.shards.(j))
+    done
+  in
+  (* [promises.(i)] is a lower bound on the timestamp of anything shard
+     [i] may still send.  A busy shard promises its next event time
+     (every send it makes carries at least one edge-lookahead on top of
+     the sending event's time).  An idle shard cannot send before it is
+     woken by someone else, so its promise is the earliest message that
+     could ever reach it — a shortest-path relaxation over the live
+     edges from the busy shards ([None] = unreachable: nothing can ever
+     wake it, so it constrains nobody).  Without this lift, two idle
+     shards facing each other would hold every window to one lookahead
+     of progress; with it, idle shards ride one lookahead behind the
+     activity — the null-message trick in Chandy–Misra–Bryant. *)
+  let promises = Array.make n None in
+  let bound_for j =
+    List.fold_left
+      (fun acc e ->
+        match promises.(e.e_src) with
+        | None -> acc
+        | Some ts -> (
+            let b = ts + e.e_lookahead in
+            match acc with None -> Some b | Some b0 -> Some (min b0 b)))
+      None t.in_edges.(j)
+  in
+  let refresh_promises () =
+    for j = 0 to n - 1 do
+      promises.(j) <- (if dead.(j) then None else nexts.(j))
+    done;
+    let relax () =
+      let changed = ref false in
+      for j = 0 to n - 1 do
+        if (not dead.(j)) && nexts.(j) = None then begin
+          match bound_for j with
+          | None -> ()
+          | Some b ->
+              (* The shard's clock is itself a sound floor: nothing it
+                 ever sends can predate where its clock already is. *)
+              let b = max b (Engine.current_time t.shards.(j)) in
+              (match promises.(j) with
+              | None ->
+                  promises.(j) <- Some b;
+                  changed := true
+              | Some p when b < p ->
+                  promises.(j) <- Some b;
+                  changed := true
+              | Some _ -> ())
+        end
+      done;
+      !changed
+    in
+    (* Monotone decreasing from infinity; paths have at most [n] hops,
+       so [n] all-shard rounds reach the fixpoint. *)
+    let rounds = ref 0 in
+    while relax () && !rounds < n do
+      incr rounds
+    done
+  in
+  let work j =
+    if not dead.(j) then
+      match nexts.(j) with
+      | None -> (
+          (* Idle: ratchet the clock to the conservative bound so the
+             promise keeps rising next window (the null message). *)
+          match bound_for j with
+          | None -> ()
+          | Some bound ->
+              let b =
+                match deadline with Some d -> min d bound | None -> bound
+              in
+              Engine.fast_forward t.shards.(j) ~upto:b)
+      | Some ts -> (
+          try
+            match deadline with
+            | Some d when ts > d ->
+                (* Nothing below the deadline remains: clamp the clock
+                   and discard, exactly like [Engine.run ~deadline]. *)
+                Engine.run ~deadline:d t.shards.(j)
+            | _ -> (
+                match bound_for j with
+                | None -> Engine.run ?deadline t.shards.(j)
+                | Some bound -> (
+                    match deadline with
+                    | Some d when d < bound ->
+                        (* No upstream can deliver below [bound], and
+                           the deadline cuts earlier: this shard is
+                           finished. *)
+                        Engine.run ~deadline:d t.shards.(j)
+                    | _ ->
+                        ignore
+                          (Engine.run_until t.shards.(j) ~bound
+                            : Time.t option)))
+          with e -> shard_exn.(j) <- Some e)
+  in
+  let after_window () =
+    for j = 0 to n - 1 do
+      match shard_exn.(j) with
+      | Some e when not dead.(j) ->
+          dead.(j) <- true;
+          t.errs <- (j, e) :: t.errs
+      | _ -> ()
+    done
+  in
+  let one_window work_all =
     drain t;
-    let nexts = Array.map Engine.next_event_time t.shards in
-    if Array.for_all Option.is_none nexts then continue := false
+    refresh_nexts ();
+    if Array.for_all Option.is_none nexts then false
     else begin
+      refresh_promises ();
       t.windows <- t.windows + 1;
-      (* Per-shard horizon from live upstream shards; [None] means no
-         constraint (run to completion this window). *)
-      let bound_for j =
-        List.fold_left
-          (fun acc src ->
-            match nexts.(src) with
-            | None -> acc
-            | Some ts -> (
-                let b = ts + t.lookahead in
-                match acc with
-                | None -> Some b
-                | Some b0 -> Some (min b0 b)))
-          None t.in_edges.(j)
-      in
-      let work j =
-        match nexts.(j) with
-        | None -> ()
-        | Some _ -> (
-            match bound_for j with
-            | None -> Engine.run t.shards.(j)
-            | Some bound -> ignore (Engine.run_until t.shards.(j) ~bound))
-      in
-      if domains = 1 then
-        for j = 0 to n - 1 do
-          work j
-        done
-      else begin
-        (* Round-robin shard-to-domain assignment; the layout is
-           irrelevant to results, only to load balance. *)
-        let chunk d =
-          let rec go j acc = if j >= n then List.rev acc
-            else go (j + domains) (j :: acc)
-          in
-          go d []
-        in
-        let workers =
-          Array.init (domains - 1) (fun d ->
-              Domain.spawn (fun () -> List.iter work (chunk (d + 1))))
-        in
-        List.iter work (chunk 0);
-        Array.iter Domain.join workers
-      end
+      work_all ();
+      after_window ();
+      true
     end
-  done
+  in
+  (if domains = 1 then
+     while
+       one_window (fun () ->
+           for j = 0 to n - 1 do
+             work j
+           done)
+     do
+       ()
+     done
+   else begin
+     (* Persistent worker pool: domains are created once and handed
+        windows through a generation counter under [mu].  Round-robin
+        shard-to-domain assignment; the layout is irrelevant to
+        results, only to load balance. *)
+     let chunk d =
+       let rec go j acc =
+         if j >= n then List.rev acc else go (j + domains) (j :: acc)
+       in
+       go d []
+     in
+     let mu = Mutex.create () in
+     let cv = Condition.create () in
+     let gen = ref 0 in
+     let done_count = ref 0 in
+     let quit = ref false in
+     let worker d () =
+       let mine = chunk d in
+       let seen = ref 0 in
+       let continue = ref true in
+       while !continue do
+         Mutex.lock mu;
+         while !gen = !seen && not !quit do
+           Condition.wait cv mu
+         done;
+         let q = !quit in
+         seen := !gen;
+         Mutex.unlock mu;
+         if q then continue := false
+         else begin
+           List.iter work mine;
+           Mutex.lock mu;
+           incr done_count;
+           Condition.broadcast cv;
+           Mutex.unlock mu
+         end
+       done
+     in
+     let workers =
+       Array.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+     in
+     let main_chunk = chunk 0 in
+     let work_all () =
+       Mutex.lock mu;
+       done_count := 0;
+       incr gen;
+       Condition.broadcast cv;
+       Mutex.unlock mu;
+       List.iter work main_chunk;
+       Mutex.lock mu;
+       while !done_count < domains - 1 do
+         Condition.wait cv mu
+       done;
+       Mutex.unlock mu
+     in
+     Fun.protect
+       ~finally:(fun () ->
+         Mutex.lock mu;
+         quit := true;
+         Condition.broadcast cv;
+         Mutex.unlock mu;
+         Array.iter Domain.join workers)
+       (fun () -> while one_window work_all do () done)
+   end);
+  if not keep_going then
+    match errors t with (_, e) :: _ -> raise e | [] -> ()

@@ -3,13 +3,17 @@
     several domains.
 
     Shards interact only through edges declared with {!connect}; a
-    cross-shard message ({!send}) is delivered at least {!lookahead}
-    after its send time.  That minimum latency is what makes the runner
-    conservative in the Chandy–Misra–Bryant sense: shard [j] may safely
-    execute every event below
-    [min over incoming edges (src i) of (next_i + lookahead)]
+    cross-shard message ({!send}) is delivered at least the edge's
+    lookahead after its send time.  That minimum latency is what makes
+    the runner conservative in the Chandy–Misra–Bryant sense: shard [j]
+    may safely execute every event below
+    [min over incoming edges e = (i -> j) of (next_i + lookahead e)]
     because nothing an upstream shard has yet to do can produce an
     earlier delivery.  No rollback, ever.
+
+    Lookahead is heterogeneous: each edge may carry its own bound
+    (e.g. the physical fabric latency of the link it models), so one
+    low-latency edge narrows only its own destination's windows.
 
     {b Determinism contract.}  For a fixed [(seed, shard count, edge
     set, process behaviour)], results are identical for {e every} value
@@ -20,9 +24,13 @@
 
     {b Sharing discipline.}  Processes on different shards must not
     share simulation state (mailboxes, ivars, bandwidth meters …);
-    everything cross-shard goes through {!send}.  Process-global fault
-    hooks ([Inject], lease observers) are not domain-safe: run
-    fault-injection scenarios with [domains = 1]. *)
+    everything cross-shard goes through {!send}.  Formerly
+    process-global hooks (the fault-injection hook, lease and oplog
+    observers, robustness counters) are {!Engine.Local} engine-local:
+    installed from inside a shard's process they bind to that shard
+    only, so independent fault-injection scenarios may run as parallel
+    shards.  One {e deployment} under fault injection still spans a
+    single shard: the injection hook is per-engine, not per-edge. *)
 
 type t
 
@@ -31,20 +39,25 @@ val create :
   unit -> t
 (** [create ~shards ()] builds [shards] engines with deterministic
     per-shard RNG seeds derived from [seed] ([seed_of] overrides the
-    derivation per shard index).  [lookahead] is the minimum
-    cross-shard delivery latency (default, and floor, one tick). *)
+    derivation per shard index).  [lookahead] is the default minimum
+    cross-shard delivery latency for edges that do not override it
+    (default, and floor, one tick). *)
 
 val shard_count : t -> int
 
 val engine : t -> int -> Engine.t
 (** The shard's private engine: spawn processes on it, read its clock.
-    Do not call its [run] directly — {!run} owns scheduling. *)
+    Do not call its [run] directly while {!run} drives scheduling;
+    running boot events to a bound {e before} {!run} (construction at
+    [t = 0]) is fine. *)
 
 val lookahead : t -> Time.t
 
-val connect : t -> src:int -> dst:int -> unit
-(** Declare the directed edge [src -> dst].  Idempotent.  Only declared
-    edges may carry messages, and only declared edges constrain the
+val connect : ?lookahead:Time.t -> t -> src:int -> dst:int -> unit
+(** Declare the directed edge [src -> dst].  Idempotent (the first
+    declaration's lookahead wins).  [lookahead] overrides the runner
+    default for this edge (floored at one tick).  Only declared edges
+    may carry messages, and only declared edges constrain the
     destination's execution window. *)
 
 val spawn_root : ?name:string -> t -> shard:int -> (unit -> unit) -> unit
@@ -55,13 +68,29 @@ val send :
   (unit -> unit) -> unit
 (** [send t ~src ~dst ~name fn] — called while shard [src] executes —
     schedules [fn] as a root process on shard [dst] at
-    [now src + max delay lookahead].  @raise Invalid_argument if the
-    edge was never {!connect}ed. *)
+    [now src + max delay (lookahead of the edge)].
+    @raise Invalid_argument if the edge was never {!connect}ed. *)
 
-val run : ?domains:int -> t -> unit
+val run : ?domains:int -> ?deadline:Time.t -> ?keep_going:bool -> t -> unit
 (** Drive every shard to completion.  [domains] (default 1, clamped to
     the shard count) is the number of OS domains executing each window;
-    see the determinism contract above. *)
+    see the determinism contract above.  Worker domains are persistent
+    for the whole run (one barrier crossing per window, not one domain
+    spawn).
+
+    [deadline] bounds every shard's clock exactly like
+    [Engine.run ~deadline]: events past it are discarded and the
+    shard's clock is left at the deadline.
+
+    A shard whose window raises is marked dead: it executes nothing
+    further, stops constraining its downstream shards, and its
+    exception is recorded in {!errors}.  Unless [keep_going] is set
+    (default false), the first such exception (lowest shard index) is
+    re-raised after all remaining shards finish. *)
+
+val errors : t -> (int * exn) list
+(** Shards that died during the last {!run}, sorted by shard index.
+    Empty on a clean run. *)
 
 val windows_run : t -> int
 (** Number of synchronization windows executed so far (diagnostics). *)

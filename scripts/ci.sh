@@ -12,18 +12,20 @@
 # with its own determinism re-check.
 # Finally the multicore smoke: the scaled figures executed over 4
 # domains (plus a multi-instance linefs_sim run whose per-instance
-# outputs must match byte-for-byte).  This checks correctness of the
-# parallel windows, not speed — the events/s trajectory is bench.sh's
-# job.  The fault-injection sweeps above stay single-domain on
-# purpose: process-global fault hooks are not domain-safe (see
-# lib/sim/sharded.mli).
+# outputs must match byte-for-byte, and a per-node sharded deployment
+# whose output must be byte-identical at 1 and 4 domains).  This
+# checks correctness of the parallel windows, not speed — the events/s
+# trajectory is bench.sh's job.  The fault-injection sweeps run over 4
+# domains too: the injection hook and observers are engine-local, so
+# independent scenarios batch as parallel shards (dst_sweep
+# cross-checks one batched fingerprint against a sequential run).
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest --force
-dune exec bin/dst_sweep.exe -- "${DST_SEEDS:-12}"
-dune exec bin/dst_sweep.exe -- --adversary "${ADVERSARY_SEEDS:-50}"
+dune exec bin/dst_sweep.exe -- "${DST_SEEDS:-12}" --domains 4
+dune exec bin/dst_sweep.exe -- --adversary "${ADVERSARY_SEEDS:-50}" --domains 4
 dune exec bin/litmus_sweep.exe -- \
   --differ-seeds "${LITMUS_SEEDS:-50}" \
   --litmus-seeds "${LITMUS_SEEDS:-50}" \
@@ -32,5 +34,20 @@ dune exec bin/litmus_sweep.exe -- --mutate --out "${LITMUS_OUT:-_litmus_reports}
 
 # ---- multicore smoke --------------------------------------------------
 dune exec bin/linefs_sim.exe -- --file-mb 16 --instances 4 --domains 4
+
+# Per-node sharded deployment: one scaled fig4-style cell, domains 1
+# vs 4, output byte-identical (clocks, throughput, event counters).
+dune exec bin/linefs_sim.exe -- --file-mb 16 --shard-deployment --domains 1 \
+  > _shard_smoke_d1.txt
+dune exec bin/linefs_sim.exe -- --file-mb 16 --shard-deployment --domains 4 \
+  > _shard_smoke_d4.txt
+cmp _shard_smoke_d1.txt _shard_smoke_d4.txt || {
+  echo "FAIL: sharded deployment output differs between 1 and 4 domains"
+  diff _shard_smoke_d1.txt _shard_smoke_d4.txt || true
+  exit 1
+}
+rm -f _shard_smoke_d1.txt _shard_smoke_d4.txt
+echo "sharded-deployment smoke: byte-identical at 1 and 4 domains"
+
 dune exec bench/wallclock.exe -- \
   --domains "${SMOKE_DOMAINS:-4}" --no-domain-probe -o _ci_wallclock.json

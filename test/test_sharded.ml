@@ -83,6 +83,144 @@ let test_send_requires_edge () =
   Sharded.run s
 
 (* ------------------------------------------------------------------ *)
+(* Per-edge lookahead                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two edges out of shard 0 with very different lookaheads: each edge
+   clamps only its own delays, and the delivery times are identical for
+   every domain count even though the slow edge dominates the fast
+   destination's windows. *)
+let star_times ~domains =
+  let s = Sharded.create ~lookahead:(Time.us 1) ~shards:3 () in
+  Sharded.connect s ~src:0 ~dst:1 ~lookahead:(Time.us 3);
+  Sharded.connect s ~src:0 ~dst:2 ~lookahead:(Time.ms 2);
+  let at = Array.make 2 None in
+  Sharded.spawn_root s ~shard:0 (fun () ->
+      (* Below-lookahead delays are clamped up to the edge's own
+         lookahead, never to another edge's. *)
+      Sharded.send s ~src:0 ~dst:1 ~delay:(Time.us 1) ~name:"fast" (fun () ->
+          at.(0) <- Some (Engine.now ()));
+      Sharded.send s ~src:0 ~dst:2 ~delay:(Time.us 1) ~name:"slow" (fun () ->
+          at.(1) <- Some (Engine.now ())));
+  Sharded.run ~domains s;
+  (at.(0), at.(1))
+
+let test_per_edge_lookahead () =
+  List.iter
+    (fun domains ->
+      let fast, slow = star_times ~domains in
+      Alcotest.(check (option int))
+        (Printf.sprintf "fast edge clamps to us 3 (domains=%d)" domains)
+        (Some (Time.us 3)) fast;
+      Alcotest.(check (option int))
+        (Printf.sprintf "slow edge clamps to ms 2 (domains=%d)" domains)
+        (Some (Time.ms 2)) slow)
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Deadline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_cuts_ping_pong () =
+  let delay = Time.us 10 in
+  let deadline = Time.us 35 in
+  let s = Sharded.create ~lookahead:(Time.us 1) ~shards:2 () in
+  Sharded.connect s ~src:0 ~dst:1;
+  Sharded.connect s ~src:1 ~dst:0;
+  let hits = ref [] in
+  let rec ping k () =
+    hits := (k, Engine.now ()) :: !hits;
+    Sharded.send s ~src:(k mod 2) ~dst:((k + 1) mod 2) ~delay ~name:"hop"
+      (ping (k + 1))
+  in
+  Sharded.spawn_root s ~shard:0 (ping 0);
+  Sharded.run ~deadline s;
+  (* Hops at 0, 10, 20, 30 us run; the 40 us hop is past the deadline. *)
+  Alcotest.(check int) "hops below deadline" 4 (List.length !hits);
+  List.iter
+    (fun (_, at) ->
+      Alcotest.(check bool) "hop below deadline" true (at <= deadline))
+    !hits;
+  for i = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d clock clamped" i)
+      true
+      (Engine.current_time (Sharded.engine s i) <= deadline)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Shard failure: errors / keep_going                                  *)
+(* ------------------------------------------------------------------ *)
+
+let boom = Failure "shard 1 exploded"
+
+let failing_runner () =
+  let s = Sharded.create ~shards:2 () in
+  let survivor_done = ref false in
+  Sharded.spawn_root s ~shard:0 (fun () ->
+      Engine.sleep (Time.ms 5);
+      survivor_done := true);
+  Sharded.spawn_root s ~shard:1 (fun () ->
+      Engine.sleep (Time.ms 1);
+      raise boom);
+  (s, survivor_done)
+
+let test_keep_going_captures_errors () =
+  let s, survivor_done = failing_runner () in
+  Sharded.run ~keep_going:true s;
+  Alcotest.(check bool) "survivor shard completed" true !survivor_done;
+  (* The engine wraps process exceptions with the process name. *)
+  match Sharded.errors s with
+  | [ (1, Engine.Process_failure (_, Failure m)) ] ->
+      Alcotest.(check string) "error message" "shard 1 exploded" m
+  | _ -> Alcotest.fail "expected exactly shard 1 in errors"
+
+let test_run_reraises_without_keep_going () =
+  let s, _ = failing_runner () in
+  match Sharded.run s with
+  | () -> Alcotest.fail "expected the shard error to re-raise"
+  | exception Engine.Process_failure (_, e) ->
+      Alcotest.(check bool) "original exception preserved" true (e == boom)
+
+(* ------------------------------------------------------------------ *)
+(* Idle shards must not stall a busy-polling peer                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression for the scheduler livelock: shard 0 busy-polls (always
+   has a next event) while waiting for a reply that shard 1 can only
+   produce after a cross-shard round trip; shard 1 is idle until the
+   request lands.  A bound computed only from busy shards' next events
+   returns no bound for shard 0 once shard 1 drains, and running shard
+   0 to completion then never returns.  The promise relaxation lifts
+   idle shard 1's promise to the earliest instant the request can wake
+   it, so shard 0's window opens exactly wide enough and the poll loop
+   terminates. *)
+let test_busy_poller_with_idle_peer () =
+  List.iter
+    (fun domains ->
+      let s = Sharded.create ~lookahead:(Time.us 5) ~shards:2 () in
+      Sharded.connect s ~src:0 ~dst:1;
+      Sharded.connect s ~src:1 ~dst:0;
+      let reply_at = ref None in
+      Sharded.spawn_root s ~shard:0 (fun () ->
+          let got = ref false in
+          Sharded.send s ~src:0 ~dst:1 ~name:"req" (fun () ->
+              Sharded.send s ~src:1 ~dst:0 ~name:"reply" (fun () ->
+                  got := true));
+          while not !got do
+            Engine.sleep (Time.us 1)
+          done;
+          reply_at := Some (Engine.now ()));
+      Sharded.run ~domains s;
+      (* Request lands at 5 us, reply at 10 us; the poll observes it on
+         the next 1 us tick. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "poll loop terminated (domains=%d)" domains)
+        true
+        (match !reply_at with Some at -> at >= Time.us 10 | None -> false))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
 (* Determinism property on a token ring                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -132,6 +270,18 @@ let () =
           tc "independent shards, one window" `Quick
             test_independent_shards_single_window;
           tc "send requires a connected edge" `Quick test_send_requires_edge;
+          tc "per-edge lookahead clamps per edge" `Quick
+            test_per_edge_lookahead;
+          tc "deadline cuts the exchange" `Quick test_deadline_cuts_ping_pong;
+          tc "busy poller with idle peer terminates" `Quick
+            test_busy_poller_with_idle_peer;
+        ] );
+      ( "errors",
+        [
+          tc "keep_going captures shard errors" `Quick
+            test_keep_going_captures_errors;
+          tc "run re-raises without keep_going" `Quick
+            test_run_reraises_without_keep_going;
         ] );
       ( "determinism",
         [
