@@ -494,8 +494,9 @@ let run_single_cell ~domains () =
       sys.Common.teardown ());
   let ev0 = Sim.Engine.global_events_executed () in
   let t0 = Unix.gettimeofday () in
-  (if domains > 1 then Common.with_parallel_gc else fun f -> f ())
-    (fun () -> Sim.Sharded.run ~domains sh);
+  (* Same GC regime at every domain count, so the speedup ratio
+     compares scheduling, not heap sizing. *)
+  Common.with_parallel_gc (fun () -> Sim.Sharded.run ~domains sh);
   let wall_s = Unix.gettimeofday () -. t0 in
   {
     c_domains = domains;
@@ -505,17 +506,32 @@ let run_single_cell ~domains () =
     c_wall = wall_s;
   }
 
+(* Each domain count is probed [cell_reps] times and keeps its best
+   wall clock — best-of-N on both sides of the ratio, so scheduler
+   noise doesn't masquerade as a speedup or a regression. *)
+let cell_reps = 3
+
 let run_single_cell_suite counts =
   Printf.printf
     "\n== intra-cell multicore: per-node sharded deployment (scaled fig4 \
      cell) ==\n%!";
-  let probes = List.map (fun d -> run_single_cell ~domains:d ()) counts in
+  let probes =
+    List.map
+      (fun d ->
+        let runs =
+          List.init cell_reps (fun _ -> run_single_cell ~domains:d ())
+        in
+        List.fold_left
+          (fun best p -> if p.c_wall < best.c_wall then p else best)
+          (List.hd runs) (List.tl runs))
+      counts
+  in
   List.iter
     (fun p ->
       Printf.printf
-        "  domains=%d: %.2f GB/s simulated, %d events, %.2fs wall, %.0f \
-         events/s\n%!"
-        p.c_domains p.c_tput p.c_events p.c_wall
+        "  domains=%d: %.2f GB/s simulated, %d events, %.2fs wall (best of \
+         %d), %.0f events/s\n%!"
+        p.c_domains p.c_tput p.c_events p.c_wall cell_reps
         (float_of_int p.c_events /. p.c_wall))
     probes;
   (match probes with
@@ -539,6 +555,166 @@ let run_single_cell_suite counts =
   probes
 
 (* ------------------------------------------------------------------ *)
+(* Rack-scale sweep: N-node racks of replica groups, cohort clients    *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput vs nodes vs cohort size vs domains, on sharded
+   {!Linefs.Rack} deployments (one shard per node, no cross-group
+   edges): the configuration where windows carry whole groups of
+   concurrent work, so domain parallelism has real events to spread.
+   Simulated results must be identical at every domain count. *)
+
+type sweep_probe = {
+  s_nodes : int;
+  s_groups : int;
+  s_cohort : int;
+  s_domains : int;
+  s_tput : float;
+  s_wire : int;
+  s_events : int;
+  s_wall : float;
+}
+
+let sweep_group_bytes = 128 * 1024 * 1024
+
+let run_rack_probe ~nodes ~group_size ~cohort ~domains () =
+  Common.current_scale := Common.scaled;
+  let sh = Sim.Sharded.create ~seed_of:(fun _ -> 42) ~shards:nodes () in
+  let rack =
+    Linefs.Rack.create ~sharding:(sh, 0) ~params:(Common.params ()) ~nodes
+      ~group_size ()
+  in
+  let collect =
+    Workloads.Rack_cohort.spawn ~sh ~rack ~cohort ~group_bytes:sweep_group_bytes
+      ~io_bytes:(16 * 1024) ()
+  in
+  let ev0 = Sim.Engine.global_events_executed () in
+  let t0 = Unix.gettimeofday () in
+  Common.with_parallel_gc (fun () -> Sim.Sharded.run ~domains sh);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let results = collect () in
+  let slowest =
+    Array.fold_left
+      (fun acc r -> max acc r.Workloads.Rack_cohort.elapsed)
+      0 results
+  in
+  let groups = Linefs.Rack.group_count rack in
+  {
+    s_nodes = nodes;
+    s_groups = groups;
+    s_cohort = cohort;
+    s_domains = domains;
+    s_tput = Common.gbps (sweep_group_bytes * groups) slowest;
+    s_wire = Linefs.Rack.replication_wire_bytes rack;
+    s_events = Sim.Engine.global_events_executed () - ev0;
+    s_wall = wall_s;
+  }
+
+(* One sweep entry: a (nodes, group_size, cohort) configuration probed
+   at each domain count, byte-identity asserted across them. *)
+let run_scale_sweep configs counts =
+  Printf.printf
+    "\n== rack-scale sweep: sharded N-node racks, cohort clients ==\n%!";
+  List.map
+    (fun (nodes, group_size, cohort) ->
+      let probes =
+        List.map
+          (fun d -> run_rack_probe ~nodes ~group_size ~cohort ~domains:d ())
+          counts
+      in
+      List.iter
+        (fun p ->
+          Printf.printf
+            "  nodes=%d groups=%d cohort=%d domains=%d: %.2f GB/s simulated, \
+             %d events, %.2fs wall, %.0f events/s\n%!"
+            p.s_nodes p.s_groups p.s_cohort p.s_domains p.s_tput p.s_events
+            p.s_wall
+            (float_of_int p.s_events /. p.s_wall))
+        probes;
+      (match probes with
+      | base :: rest ->
+          List.iter
+            (fun p ->
+              if
+                p.s_tput <> base.s_tput || p.s_wire <> base.s_wire
+                || p.s_events <> base.s_events
+              then begin
+                Printf.printf
+                  "FAIL: rack sweep (%d nodes, cohort %d) diverged at \
+                   domains=%d vs %d: tput %.9f/%.9f wire %d/%d events %d/%d\n%!"
+                  nodes cohort p.s_domains base.s_domains p.s_tput base.s_tput
+                  p.s_wire base.s_wire p.s_events base.s_events;
+                exit 1
+              end)
+            rest
+      | [] -> ());
+      probes)
+    configs
+
+let sweep_speedup probes_by_config =
+  List.fold_left
+    (fun acc probes ->
+      match probes with
+      | base :: rest when base.s_domains = 1 ->
+          let base_eps = float_of_int base.s_events /. base.s_wall in
+          List.fold_left
+            (fun acc p ->
+              max acc (float_of_int p.s_events /. p.s_wall /. base_eps))
+            acc rest
+      | _ -> acc)
+    0.0 probes_by_config
+
+(* ------------------------------------------------------------------ *)
+(* Gates                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every floor the harness (or CI) enforces is recorded in the JSON:
+   name, measured value, the floor it was held to, whether that floor
+   was relaxed for the machine (core count), and whether the gate was
+   evaluated at all in this run's mode.  CI refuses committed JSON
+   whose gates were skipped or failed, so a smoke-mode or
+   gates-sidestepped run can't masquerade as a real benchmark run. *)
+
+type gate = {
+  g_name : string;
+  g_evaluated : bool;
+  g_value : float;
+  g_floor : float;
+  g_relaxed : bool;
+  g_note : string;
+}
+
+let gate_pass g = g.g_value >= g.g_floor
+
+let skipped_gate name note =
+  {
+    g_name = name;
+    g_evaluated = false;
+    g_value = 0.0;
+    g_floor = 0.0;
+    g_relaxed = false;
+    g_note = note;
+  }
+
+let report_gates gates =
+  Printf.printf "\n== gates ==\n%!";
+  let failed = ref false in
+  List.iter
+    (fun g ->
+      if not g.g_evaluated then
+        Printf.printf "  %-26s SKIPPED (%s)\n%!" g.g_name g.g_note
+      else begin
+        let ok = gate_pass g in
+        if not ok then failed := true;
+        Printf.printf "  %-26s %6.2fx (floor %.2fx%s) %s\n%!" g.g_name g.g_value
+          g.g_floor
+          (if g.g_relaxed then ", relaxed: " ^ g.g_note else "")
+          (if ok then "ok" else "FAIL")
+      end)
+    gates;
+  not !failed
+
+(* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled; no deps)                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -553,12 +729,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~mode ~domains ~kernels ~geomean ~experiments ~cell_probes
-    =
+let write_json ~path ~mode ~domains ~cores ~kernels ~geomean ~experiments
+    ~cell_probes ~sweep ~gates =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string b (Printf.sprintf "  \"domains\": %d,\n" domains);
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
   Buffer.add_string b
     (Printf.sprintf "  \"data_path_geomean_speedup\": %.3f,\n" geomean);
   (match cell_probes with
@@ -593,6 +770,53 @@ let write_json ~path ~mode ~domains ~kernels ~geomean ~experiments ~cell_probes
       )
     kernels;
   Buffer.add_string b "  ],\n";
+  (match sweep with
+  | [] -> ()
+  | sweep ->
+      Buffer.add_string b "  \"scale_sweep\": [\n";
+      let flat = List.concat sweep in
+      List.iteri
+        (fun i p ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"nodes\": %d, \"groups\": %d, \"cohort\": %d, \
+                \"domains\": %d, \"tput_gbps\": %.3f, \"wire_bytes\": %d, \
+                \"events\": %d, \"wall_s\": %.2f, \"events_per_s\": %.0f}%s\n"
+               p.s_nodes p.s_groups p.s_cohort p.s_domains p.s_tput p.s_wire
+               p.s_events p.s_wall
+               (float_of_int p.s_events /. p.s_wall)
+               (if i = List.length flat - 1 then "" else ","))
+          )
+        flat;
+      Buffer.add_string b "  ],\n";
+      Buffer.add_string b
+        (Printf.sprintf "  \"scale_sweep_speedup\": %.3f,\n"
+           (sweep_speedup sweep)));
+  Buffer.add_string b "  \"gates\": {\n";
+  Buffer.add_string b (Printf.sprintf "    \"cores\": %d,\n" cores);
+  Buffer.add_string b (Printf.sprintf "    \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b "    \"results\": [\n";
+  List.iteri
+    (fun i g ->
+      (if not g.g_evaluated then
+         Buffer.add_string b
+           (Printf.sprintf
+              "      {\"name\": \"%s\", \"evaluated\": false, \"note\": \
+               \"%s\"}%s\n"
+              (json_escape g.g_name) (json_escape g.g_note)
+              (if i = List.length gates - 1 then "" else ","))
+       else
+         Buffer.add_string b
+           (Printf.sprintf
+              "      {\"name\": \"%s\", \"evaluated\": true, \"value\": %.3f, \
+               \"floor\": %.3f, \"relaxed\": %b, \"note\": \"%s\", \"pass\": \
+               %b}%s\n"
+              (json_escape g.g_name) g.g_value g.g_floor g.g_relaxed
+              (json_escape g.g_note) (gate_pass g)
+              (if i = List.length gates - 1 then "" else ","))))
+    gates;
+  Buffer.add_string b "    ]\n";
+  Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
     (fun i e ->
@@ -630,6 +854,9 @@ let write_json ~path ~mode ~domains ~kernels ~geomean ~experiments ~cell_probes
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* Wall clock for the sharded runner's inline-vs-parallel policy
+     (scheduling only — simulated results never depend on it). *)
+  Sim.Sharded.set_clock Unix.gettimeofday;
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
   let full = List.mem "--full" args in
@@ -694,10 +921,87 @@ let () =
     if smoke then []
     else run_single_cell_suite (if no_probe then [ 1; 4 ] else [ 1; 2; 4 ])
   in
-  write_json ~path ~mode ~domains ~kernels ~geomean ~experiments ~cell_probes;
-  if geomean < 3.0 then begin
-    Printf.printf
-      "WARNING: data-path geomean speedup %.2fx below the 3x target\n%!"
-      geomean;
+  let sweep =
+    if smoke then []
+    else
+      run_scale_sweep
+        [ (8, 4, 2); (8, 4, 8); (16, 4, 4); (24, 4, 4) ]
+        [ 1; 4 ]
+  in
+  let cores = Domain.recommended_domain_count () in
+  let cell_speedup =
+    match cell_probes with
+    | base :: (_ :: _ as rest) ->
+        let eps p = float_of_int p.c_events /. p.c_wall in
+        Some
+          (List.fold_left
+             (fun acc p -> max acc (eps p /. eps base))
+             0.0 rest)
+    | _ -> None
+  in
+  let gates =
+    [
+      {
+        g_name = "data_path_geomean";
+        g_evaluated = true;
+        g_value = geomean;
+        g_floor = 3.0;
+        g_relaxed = false;
+        g_note = "";
+      };
+      (match
+         List.find_opt
+           (fun e -> e.e_name = "fig4" && List.length e.eps_by_domains > 1)
+           experiments
+       with
+      | None -> skipped_gate "multi_domain_fig4" "no scaled fig4 domain probe"
+      | Some e ->
+          {
+            g_name = "multi_domain_fig4";
+            g_evaluated = true;
+            g_value = speedup_of e;
+            g_floor = (if cores > 1 then 1.10 else 0.20);
+            g_relaxed = cores <= 1;
+            g_note =
+              (if cores <= 1 then
+                 "single core: domains add barriers, no parallelism"
+               else "");
+          });
+      (match cell_speedup with
+      | None -> skipped_gate "single_cell_speedup" "no sharded-cell probe"
+      | Some v ->
+          {
+            g_name = "single_cell_speedup";
+            g_evaluated = true;
+            g_value = v;
+            g_floor =
+              (if cores >= 4 then 1.30 else if cores > 1 then 1.00 else 0.90);
+            g_relaxed = cores < 4;
+            g_note =
+              (if cores <= 1 then
+                 "single core: inline policy, expect ~1.0x"
+               else if cores < 4 then "fewer than 4 cores"
+               else "");
+          });
+      (match sweep with
+      | [] -> skipped_gate "scale_sweep_speedup" "no rack sweep in this mode"
+      | sweep ->
+          {
+            g_name = "scale_sweep_speedup";
+            g_evaluated = true;
+            g_value = sweep_speedup sweep;
+            g_floor = (if cores >= 4 then 1.50 else 0.90);
+            g_relaxed = cores < 4;
+            g_note =
+              (if cores < 4 then
+                 "fewer than 4 cores: inline policy, expect ~1.0x"
+               else "");
+          });
+    ]
+  in
+  write_json ~path ~mode ~domains ~cores ~kernels ~geomean ~experiments
+    ~cell_probes ~sweep ~gates;
+  if not (report_gates gates) then begin
+    Printf.printf "FAIL: a bench gate fell below its floor\n%!";
     exit 1
   end

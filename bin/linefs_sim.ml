@@ -137,16 +137,81 @@ let workload_body fmt (name, client_ops, node_of, total_dfs_cpu, teardown)
   stop_bg ();
   teardown ()
 
+(* Rack-scale run: [nodes] machines as independent replica groups of
+   [group_size] on one sharded runner (one shard per node, no
+   cross-group edges), each group driven by a cohort of [cohort]
+   logical users multiplexed over one LibFS.  Per-group output is
+   buffered and printed in group order, so stdout is byte-identical at
+   every domain count. *)
+let run_rack ~nodes ~group_size ~cohort ~file_mb ~io_kb ~domains params =
+  let sh = Sharded.create ~seed_of:(fun _ -> 42) ~shards:nodes () in
+  let rack = Rack.create ~sharding:(sh, 0) ~params ~nodes ~group_size () in
+  let g = Rack.group_count rack in
+  let group_bytes = file_mb * 1024 * 1024 / g in
+  let collect =
+    Workloads.Rack_cohort.spawn ~sh ~rack ~cohort ~group_bytes
+      ~io_bytes:(io_kb * 1024) ()
+  in
+  Sharded.run ~domains sh;
+  for i = 0 to Sharded.shard_count sh - 1 do
+    Counters.merge (Sharded.engine sh i)
+  done;
+  Sharded.counters_record sh;
+  let results = collect () in
+  Array.iteri
+    (fun grp r ->
+      let s = r.Workloads.Rack_cohort.totals in
+      Fmt.pr "group %d (dir %s): %d users, %d ops, %d MB written, %a@." grp
+        r.Workloads.Rack_cohort.dir cohort s.Cohort.ops_issued
+        (s.Cohort.bytes_written / 1024 / 1024)
+        Time.pp r.Workloads.Rack_cohort.elapsed)
+    results;
+  let slowest =
+    Array.fold_left
+      (fun acc r -> max acc r.Workloads.Rack_cohort.elapsed)
+      0 results
+  in
+  let written =
+    Array.fold_left
+      (fun acc r ->
+        acc + r.Workloads.Rack_cohort.totals.Cohort.bytes_written)
+      0 results
+  in
+  Fmt.pr "rack: %d nodes, %d groups of %d, %d MB total in %a: %.2f GB/s@."
+    nodes g group_size
+    (written / 1024 / 1024)
+    Time.pp slowest
+    (float_of_int written /. Time.to_sec_f slowest /. 1e9);
+  Fmt.pr "sharded deployment: %d node shards, %d windows@."
+    (Sharded.shard_count sh) (Sharded.windows_run sh);
+  let s = Sharded.stats sh in
+  Fmt.epr
+    "sharded sync: windows=%d parallel=%d barrier-waits=%d fast-forward=%d \
+     messages=%d batch-max=%d horizon-extended=%d@."
+    s.Sharded.windows s.Sharded.parallel_windows s.Sharded.barrier_waits
+    s.Sharded.fast_forwards s.Sharded.messages s.Sharded.batch_max
+    s.Sharded.extended_horizons
+
 (* Run [instances] identical copies of the benchmark, optionally spread
    over [domains].  Each instance's output is buffered and the buffers
    must agree byte-for-byte — a cheap end-to-end determinism smoke test
    riding along with every multi-instance run.  [instances = 1,
    domains = 1] keeps the historical single-engine path. *)
 let run_bench system workload clients file_mb io_kb log_mb files duration_ms
-    busy latency_mode instances domains shard_deployment =
+    busy latency_mode instances domains shard_deployment nodes group_size
+    cohort =
   let params =
     { Params.default with Params.log_bytes = log_mb * 1024 * 1024 }
   in
+  if nodes > 0 then begin
+    run_rack ~nodes ~group_size ~cohort ~file_mb ~io_kb ~domains params;
+    match Counters.all () with
+    | [] -> ()
+    | counters ->
+        Fmt.pr "events:@.";
+        List.iter (fun (name, n) -> Fmt.pr "  %-24s %d@." name n) counters
+  end
+  else begin
   let body ?sys fmt () =
     let sys =
       match sys with Some s -> s | None -> make_system system busy params
@@ -167,10 +232,21 @@ let run_bench system workload clients file_mb io_kb log_mb files duration_ms
     for i = 0 to Sharded.shard_count sh - 1 do
       Counters.merge (Sharded.engine sh i)
     done;
+    Sharded.counters_record sh;
     (* No domain count in this line: the output must stay byte-identical
        when only [--domains] changes. *)
     Fmt.pr "sharded deployment: %d node shards, %d windows@."
-      (Sharded.shard_count sh) (Sharded.windows_run sh)
+      (Sharded.shard_count sh) (Sharded.windows_run sh);
+    (* Cross-shard sync detail goes to stderr: [parallel] and
+       [barrier-waits] depend on the domain count and the machine, and
+       stdout must stay byte-identical when only [--domains] changes. *)
+    let s = Sharded.stats sh in
+    Fmt.epr
+      "sharded sync: windows=%d parallel=%d barrier-waits=%d \
+       fast-forward=%d messages=%d batch-max=%d horizon-extended=%d@."
+      s.Sharded.windows s.Sharded.parallel_windows s.Sharded.barrier_waits
+      s.Sharded.fast_forwards s.Sharded.messages s.Sharded.batch_max
+      s.Sharded.extended_horizons
   end
   else if instances <= 1 && domains <= 1 then begin
     let eng = Engine.create () in
@@ -208,11 +284,12 @@ let run_bench system workload clients file_mb io_kb log_mb files duration_ms
   (* Robustness event counters (retransmits, dedup hits, NACKed
      frames, scrub actions...) — all zero, and therefore silent, on a
      fault-free run; aggregated over all instances. *)
-  match Counters.all () with
+  (match Counters.all () with
   | [] -> ()
   | counters ->
       Fmt.pr "events:@.";
-      List.iter (fun (name, n) -> Fmt.pr "  %-24s %d@." name n) counters
+      List.iter (fun (name, n) -> Fmt.pr "  %-24s %d@." name n) counters)
+  end
 
 let cmd =
   let system =
@@ -283,11 +360,36 @@ let cmd =
              and run them over --domains domains. Output is byte-identical \
              at every domain count.")
   in
+  let nodes =
+    Arg.(
+      value & opt int 0
+      & info [ "nodes" ]
+          ~doc:
+            "Rack-scale run: $(docv) nodes as independent replica groups of \
+             --group-size on a sharded runner (one shard per node), each \
+             group driven by a --cohort of users. 0 disables."
+          ~docv:"N")
+  in
+  let group_size =
+    Arg.(
+      value & opt int 3
+      & info [ "group-size" ] ~doc:"Nodes per replica group (rack runs).")
+  in
+  let cohort =
+    Arg.(
+      value & opt int 1
+      & info [ "cohort" ]
+          ~doc:"Logical users per group, multiplexed over one LibFS.")
+  in
   Cmd.v
     (Cmd.info "linefs_sim" ~doc:"LineFS simulation workbench")
     Term.(
       const run_bench $ system $ workload $ clients $ file_mb $ io_kb $ log_mb
       $ files $ duration_ms $ busy $ latency $ instances $ domains
-      $ shard_deployment)
+      $ shard_deployment $ nodes $ group_size $ cohort)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  (* Wall clock for the sharded runner's inline-vs-parallel policy
+     (scheduling only — simulation results never depend on it). *)
+  Sharded.set_clock Unix.gettimeofday;
+  exit (Cmd.eval cmd)

@@ -1,0 +1,102 @@
+type user = {
+  uid : int;
+  mutable u_ops : int;
+  mutable u_written : int;
+  mutable u_read : int;
+  mutable u_fsyncs : int;
+}
+
+type stats = {
+  ops_issued : int;
+  bytes_written : int;
+  bytes_read : int;
+  fsyncs : int;
+}
+
+type t = { ops : Dfs_intf.ops; users : user array }
+
+let create ~ops ~users () =
+  if users < 1 then invalid_arg "Cohort.create: users must be >= 1";
+  {
+    ops;
+    users =
+      Array.init users (fun uid ->
+          { uid; u_ops = 0; u_written = 0; u_read = 0; u_fsyncs = 0 });
+  }
+
+let users t = Array.length t.users
+
+(* The returned record delegates every call to the shared driver
+   unchanged — same fd space, same log, same pipelines — and only adds
+   accounting, so an operation issued through a user view is
+   indistinguishable (to the file system) from one issued directly. *)
+let user_ops t uid =
+  let u = t.users.(uid) in
+  let o = t.ops in
+  {
+    Dfs_intf.sysname = o.Dfs_intf.sysname;
+    create =
+      (fun path ->
+        u.u_ops <- u.u_ops + 1;
+        o.Dfs_intf.create path);
+    open_file =
+      (fun path ->
+        u.u_ops <- u.u_ops + 1;
+        o.Dfs_intf.open_file path);
+    close = o.Dfs_intf.close;
+    write =
+      (fun fd ~pos data ->
+        u.u_ops <- u.u_ops + 1;
+        u.u_written <- u.u_written + Storage.Data.length data;
+        o.Dfs_intf.write fd ~pos data);
+    append =
+      (fun fd data ->
+        u.u_ops <- u.u_ops + 1;
+        u.u_written <- u.u_written + Storage.Data.length data;
+        o.Dfs_intf.append fd data);
+    read =
+      (fun fd ~pos ~len ->
+        u.u_ops <- u.u_ops + 1;
+        let d = o.Dfs_intf.read fd ~pos ~len in
+        u.u_read <- u.u_read + Storage.Data.length d;
+        d);
+    fsync =
+      (fun fd ->
+        u.u_ops <- u.u_ops + 1;
+        u.u_fsyncs <- u.u_fsyncs + 1;
+        o.Dfs_intf.fsync fd);
+    mkdir =
+      (fun path ->
+        u.u_ops <- u.u_ops + 1;
+        o.Dfs_intf.mkdir path);
+    unlink =
+      (fun path ->
+        u.u_ops <- u.u_ops + 1;
+        o.Dfs_intf.unlink path);
+    rename =
+      (fun a b ->
+        u.u_ops <- u.u_ops + 1;
+        o.Dfs_intf.rename a b);
+    file_size = o.Dfs_intf.file_size;
+  }
+
+let user_stats t uid =
+  let u = t.users.(uid) in
+  {
+    ops_issued = u.u_ops;
+    bytes_written = u.u_written;
+    bytes_read = u.u_read;
+    fsyncs = u.u_fsyncs;
+  }
+
+let totals t =
+  Array.fold_left
+    (fun acc u ->
+      {
+        ops_issued = acc.ops_issued + u.u_ops;
+        bytes_written = acc.bytes_written + u.u_written;
+        bytes_read = acc.bytes_read + u.u_read;
+        fsyncs = acc.fsyncs + u.u_fsyncs;
+      })
+    { ops_issued = 0; bytes_written = 0; bytes_read = 0; fsyncs = 0 }
+    t.users

@@ -1,0 +1,38 @@
+(** Aggregated client cohort: one LibFS driver standing in for K
+    logical clients.
+
+    Rack-scale experiments need many clients per node, but every extra
+    {!Libfs.t} costs a private log, a lease table and a pipeline set in
+    the simulation.  A cohort multiplexes K {e users} over one shared
+    {!Dfs_intf.ops} driver: each user gets an ops view that delegates
+    every call unchanged — same fd space, same log, same pipelines —
+    and accounts the call to that user.  An operation issued through a
+    user view is indistinguishable, to the file system, from one issued
+    directly on the driver, which is what the cohort-equivalence test
+    checks against K individual clients.
+
+    Users share the driver's fd space, so cohort workloads keep the
+    usual convention of per-user paths (e.g. [/dir/u3-data]) and
+    per-user fds.  Scheduling (round-robin or otherwise) is the
+    caller's loop; a cohort only routes and counts. *)
+
+type t
+
+val create : ops:Dfs_intf.ops -> users:int -> unit -> t
+(** [users] must be >= 1. *)
+
+val users : t -> int
+
+val user_ops : t -> int -> Dfs_intf.ops
+(** The ops view of user [uid] (0-based).  Delegation adds no simulated
+    time. *)
+
+type stats = {
+  ops_issued : int;
+  bytes_written : int;
+  bytes_read : int;
+  fsyncs : int;
+}
+
+val user_stats : t -> int -> stats
+val totals : t -> stats

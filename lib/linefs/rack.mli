@@ -1,0 +1,85 @@
+(** Rack-scale LineFS: N nodes as independent replication groups with a
+    sharded namespace.
+
+    A rack of [nodes] machines is organized as [nodes / group_size]
+    replica groups, each a full {!Deployment} chain (primary plus
+    replicas) exactly like the paper's 3-node cell.  Files are placed
+    across groups by their parent directory ({!place}), the way a
+    cluster manager assigns directories to replica groups: one
+    directory's files share a group, so leases and pipeline state stay
+    where the files live.
+
+    Groups are operationally independent — no replication, lease or
+    recovery traffic crosses a group boundary.  Under [sharding], group
+    [g] occupies the shard range
+    [base + g*group_size .. base + (g+1)*group_size - 1] and {e no
+    cross-group edges are declared}: decoupled groups advance
+    concurrently within each synchronization window, so the events
+    available per window grow with the rack instead of the window count
+    — this is what makes domain parallelism pay at rack scale.
+
+    Drive sharded racks group-locally: spawn each group's workload (and
+    {!attach} its clients) on that group's base shard
+    ({!shard_of_group}), working under directories owned by that group
+    ({!owned_dir}).  The {!router} — one fd space over per-group
+    clients — needs every group's client callable from one process, so
+    it is for single-engine racks (and cross-check tests). *)
+
+type t
+
+val create :
+  ?cfg:Hw.Config.t ->
+  ?params:Params.t ->
+  ?pipeline_parallelism:bool ->
+  ?kworker_mode:Kworker.copy_mode ->
+  ?dfs_prio:Hw.Cpu.prio ->
+  ?compression:bool ->
+  ?coalescing:bool ->
+  ?monitor:bool ->
+  ?apply_on_publish:bool ->
+  ?sharding:Sim.Sharded.t * int ->
+  nodes:int ->
+  group_size:int ->
+  unit ->
+  t
+(** [nodes] must be a positive multiple of [group_size].  Options are
+    forwarded to every group's {!Deployment.create}; [sharding:(sh,
+    base)] gives group [g] the base shard [base + g*group_size] (the
+    runner must have [nodes] shards from [base]).  Like
+    {!Deployment.create}, call from process context when unsharded and
+    from outside any engine when sharded. *)
+
+val group_count : t -> int
+val group_size : t -> int
+val node_count : t -> int
+val group : t -> int -> Deployment.t
+
+val shard_of_group : t -> int -> int
+(** Shard index of the group's primary (its workload home).  Raises
+    [Invalid_argument] when the rack is unsharded. *)
+
+val place : t -> string -> int
+(** Owning group of a path: a stable hash (FNV-1a) of its parent
+    directory, so placement is identical across runs, domain counts and
+    sharding modes. *)
+
+val owned_dir : t -> group:int -> salt:int -> string
+(** A directory path that {!place}s on [group] (deterministic probe).
+    Distinct [salt]s give distinct directories. *)
+
+val attach : t -> group:int -> id:int -> Libfs.t
+(** Attach a client on the group's primary ({!Deployment.add_client}).
+    Under [sharding], call from that group's shard. *)
+
+val router : t -> clients:Libfs.t array -> Dfs_intf.ops
+(** One fd space over per-group clients (element [g] attached to group
+    [g]), routing each call to the owning group.  [mkdir] broadcasts to
+    every group so ancestors resolve wherever files land; cross-group
+    [rename] fails with [Einval] (a data migration the namespace does
+    not model, like a cross-mount rename).  Single-engine racks only. *)
+
+val replication_wire_bytes : t -> int
+(** Post-compression replication bytes, summed over group primaries. *)
+
+val total_host_dfs_cpu : t -> Sim.Time.t
+(** DFS host-CPU busy time, summed over all nodes of all groups. *)

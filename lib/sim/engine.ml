@@ -341,6 +341,36 @@ let run_until t ~bound =
   done;
   Heap.peek_key t.events
 
+(* Like [run_until] but the bound is read through a reference before
+   every event, so code executed by the events themselves may tighten
+   it mid-window.  The sharded runner uses this for its adaptive
+   horizon: a shard that has sent nothing this window runs unbounded
+   by its own echo, and its first cross-shard send drops the bound to
+   the earliest instant a consequence of that send could return.
+   Execution is time-ordered, so every event already executed when the
+   bound drops is at or before the send time — never beyond the new
+   bound.  [deadline] behaves as in [run]: when the next event would
+   pass it, pending events are discarded and the clock is clamped. *)
+let run_until_dyn ?deadline t ~bound =
+  with_current t @@ fun () ->
+  t.stopped <- false;
+  let running = ref true in
+  while !running && not t.stopped do
+    if Heap.is_empty t.events then running := false
+    else begin
+      let time = Heap.top_key t.events in
+      if time >= !bound then running := false
+      else
+        match deadline with
+        | Some d when time > d ->
+            t.now <- d;
+            t.events <- Heap.create ();
+            running := false
+        | _ -> exec_event t time (Heap.pop_top t.events)
+    end
+  done;
+  Heap.peek_key t.events
+
 let next_event_time t = Heap.peek_key t.events
 
 let fast_forward t ~upto =

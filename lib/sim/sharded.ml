@@ -3,55 +3,139 @@
 
    Each shard owns a private {!Engine.t}; shards interact only through
    declared, latency-carrying edges.  Execution proceeds in windows:
+   between windows the coordinator drains every edge's buffer and
+   injects the messages into the destination engines in a canonical
+   order (delivery time, src, dst, per-edge sequence); within a window
+   each shard executes only events that nothing another shard has yet
+   to do could invalidate, so no rollback is ever needed.
 
-   - between windows the coordinator drains every edge's outbox and
-     injects the messages into the destination engines in a canonical
-     order (delivery time, src, dst, per-edge sequence);
-   - each shard [j] may then execute every event strictly below
-     [min over incoming edges e = (i -> j) of (promise_i + lookahead e)],
-     where a busy shard promises its next event time and an idle
-     shard's promise is lifted to the earliest instant anything could
-     wake it (shortest-path relaxation — see [refresh_promises]) — any
-     message an upstream shard can still send arrives at or beyond that
-     bound, so the window's events are final and no rollback is ever
-     needed.  A shard none of whose upstreams can ever send again runs
-     to completion; idle shards ratchet their clocks to their bound so
-     downstream windows keep widening.
+   The window bound is where this runner differs from the textbook
+   scheme.  Shard [j]'s horizon has two parts:
 
-   Lookahead is per edge: a deployment partitioned per-node uses the
-   fabric latency of each link as that link's lookahead, so a
-   low-latency edge only narrows the windows of its own destination.
+   - a {e static} part, computed at the barrier: the earliest instant
+     any {e other} busy shard could cause a delivery at [j] —
+     [min over busy b <> j of (next_b + dist b j)], where [dist] is the
+     all-pairs shortest-path distance over edge lookaheads (idle shards
+     are pure relays: woken at [t], the soonest they can forward is
+     [t + lookahead] per hop, which is exactly what the path distance
+     sums).  A shard no other busy shard can reach runs unconstrained
+     by them.
+
+   - an {e adaptive self} part, discovered while the window runs: the
+     only other thing that can deliver to [j] is an echo of [j]'s own
+     output, and until [j] actually sends something no such echo
+     exists.  So [j] starts the window bounded by the static part
+     alone — often infinity — and its first cross-shard send at
+     delivery time [a] on edge [j -> k] drops the bound to
+     [a + dist k j] (the soonest any consequence can bounce back).
+     Execution is time-ordered, so every event already executed when
+     the bound drops is at or before the send time, never beyond the
+     new bound.  This is the promise-based horizon extension: a busy
+     shard facing only quiescent peers runs until its own traffic —
+     not a wall-clock lookahead window — closes the horizon, so the
+     barrier rate scales with cross-shard {e messages} rather than
+     with elapsed virtual time over lookahead.
+
+   Idle shards still play the null-message role: their clocks ratchet
+   to the static bound each window so a later wake-up cannot deliver
+   into their past.
 
    Within a window the shards touch disjoint state, so they can run on
    any number of domains in any order with identical results: the
    [domains] argument of {!run} changes wall-clock behaviour only,
-   never simulation output.  Worker domains are created once per [run]
-   and handed windows through a mutex/condvar barrier; the barrier
-   crossings give the coordinator's drain a happens-before edge over
-   every shard's sends, so edge outboxes need no locking (single writer
-   during the window, single reader at the barrier).  A persistent pool
-   matters: one full-scale deployment partitioned per node runs
-   millions of small windows, and a Domain.spawn/join pair per window
-   costs more than the window itself. *)
+   never simulation output.  Worker domains are created lazily (first
+   window that wants them) and persist for the whole run; each round
+   hands out the runnable shards through an atomic claim index and is
+   summarized by a single atomic pending counter — workers park on a
+   condition variable between rounds instead of polling, and windows
+   whose estimated work would not amortize a barrier run inline on the
+   coordinator without waking anyone. *)
 
-type msg = { m_at : Time.t; m_seq : int; m_name : string; m_fn : unit -> unit }
+(* Infinity sentinel for times/distances; small enough that sums of two
+   never overflow. *)
+let inf = max_int / 4
 
 type edge = {
   e_src : int;
   e_dst : int;
   e_lookahead : Time.t;
-  mutable e_seq : int;
-  mutable e_out : msg list; (* newest first; reversed at drain *)
+  mutable e_ret : Time.t;
+      (* dist(dst -> src): soonest an echo of a message on this edge can
+         come back, measured from the message's delivery time.  [inf]
+         when no return path exists.  Refreshed with the distance
+         matrix. *)
+  (* Reusable coalescing buffer: all same-window messages on this edge,
+     in send order (the per-edge sequence is the index).  Parallel
+     arrays, grown geometrically, never shrunk — steady-state drains
+     allocate nothing. *)
+  mutable e_cnt : int;
+  mutable e_at : Time.t array;
+  mutable e_name : string array;
+  mutable e_fn : (unit -> unit) array;
+  mutable e_dirty : bool; (* queued on its source shard's dirty list *)
+  mutable e_msgs : int; (* lifetime messages (observability) *)
+}
+
+type shard_st = {
+  s_bound : Time.t ref;
+      (* The shard's current window bound, read by [Engine.run_until_dyn]
+         before every event and lowered by [send] when an echo horizon
+         appears.  Written only by the domain executing the shard (and
+         by the coordinator between windows, across the round barrier). *)
+  mutable s_dirty : edge list; (* out-edges holding buffered messages *)
+}
+
+type stats = {
+  windows : int;
+  parallel_windows : int;
+  barrier_waits : int;
+  fast_forwards : int;
+  messages : int;
+  batch_max : int;
+  extended_horizons : int;
 }
 
 type t = {
   shards : Engine.t array;
   lookahead : Time.t; (* default for edges that do not override *)
   edge_tbl : (int * int, edge) Hashtbl.t;
-  in_edges : edge list array; (* per-dst incoming edges *)
+  st : shard_st array;
+  mutable dist : Time.t array array; (* all-pairs lookahead distances *)
+  mutable paths_stale : bool;
+  (* Reusable drain gather buffers (parallel arrays). *)
+  mutable g_at : Time.t array;
+  mutable g_edge : edge array;
+  mutable g_idx : int array;
   mutable windows : int;
+  mutable parallel_windows : int;
+  mutable barrier_waits : int;
+  mutable fast_forwards : int;
+  mutable messages : int;
+  mutable batch_max : int;
+  mutable extended_horizons : int;
   mutable errs : (int * exn) list; (* shards that died during [run] *)
 }
+
+(* Wall clock for the inline-vs-parallel work estimate (policy only —
+   never part of simulation results).  [Sys.time] by default so the sim
+   library keeps its no-unix rule; harnesses install a real-time clock
+   via {!set_clock}. *)
+let wall_clock = ref Sys.time
+let set_clock f = wall_clock := f
+
+let dummy_edge =
+  {
+    e_src = -1;
+    e_dst = -1;
+    e_lookahead = 1;
+    e_ret = inf;
+    e_cnt = 0;
+    e_at = [||];
+    e_name = [||];
+    e_fn = [||];
+    e_dirty = false;
+    e_msgs = 0;
+  }
 
 let create ?(lookahead = Time.ns 1) ?(seed = 42) ?seed_of ~shards () =
   if shards <= 0 then invalid_arg "Sharded.create: shards must be positive";
@@ -70,8 +154,19 @@ let create ?(lookahead = Time.ns 1) ?(seed = 42) ?seed_of ~shards () =
     shards = Array.init shards (fun i -> Engine.create ~seed:(seed_of i) ());
     lookahead;
     edge_tbl = Hashtbl.create 16;
-    in_edges = Array.make shards [];
+    st = Array.init shards (fun _ -> { s_bound = ref inf; s_dirty = [] });
+    dist = [||];
+    paths_stale = true;
+    g_at = [||];
+    g_edge = [||];
+    g_idx = [||];
     windows = 0;
+    parallel_windows = 0;
+    barrier_waits = 0;
+    fast_forwards = 0;
+    messages = 0;
+    batch_max = 0;
+    extended_horizons = 0;
     errs = [];
   }
 
@@ -81,6 +176,35 @@ let lookahead t = t.lookahead
 let windows_run t = t.windows
 let errors t = List.sort (fun (a, _) (b, _) -> compare a b) t.errs
 
+let stats t =
+  {
+    windows = t.windows;
+    parallel_windows = t.parallel_windows;
+    barrier_waits = t.barrier_waits;
+    fast_forwards = t.fast_forwards;
+    messages = t.messages;
+    batch_max = t.batch_max;
+    extended_horizons = t.extended_horizons;
+  }
+
+let edge_messages t =
+  Hashtbl.fold
+    (fun k e acc -> if e.e_msgs > 0 then (k, e.e_msgs) :: acc else acc)
+    t.edge_tbl []
+  |> List.sort compare
+
+let counters_record t =
+  (* Only the domain-layout-independent subset goes to the global
+     counter table: these values are identical at every [?domains], so
+     printing them cannot break byte-identity checks across domain
+     counts.  Parallel-window / barrier-wait tallies stay in {!stats}. *)
+  if t.windows > 0 then begin
+    Counters.add "sharded.windows" t.windows;
+    Counters.add "sharded.fast-forward" t.fast_forwards;
+    Counters.add "sharded.messages" t.messages;
+    Counters.add "sharded.horizon-extended" t.extended_horizons
+  end
+
 let connect ?lookahead t ~src ~dst =
   let n = Array.length t.shards in
   if src < 0 || src >= n || dst < 0 || dst >= n then
@@ -88,12 +212,68 @@ let connect ?lookahead t ~src ~dst =
   if src = dst then invalid_arg "Sharded.connect: self edge";
   let la = max 1 (Option.value lookahead ~default:t.lookahead) in
   if not (Hashtbl.mem t.edge_tbl (src, dst)) then begin
-    let e = { e_src = src; e_dst = dst; e_lookahead = la; e_seq = 0; e_out = [] } in
+    let e =
+      {
+        e_src = src;
+        e_dst = dst;
+        e_lookahead = la;
+        e_ret = inf;
+        e_cnt = 0;
+        e_at = [||];
+        e_name = [||];
+        e_fn = [||];
+        e_dirty = false;
+        e_msgs = 0;
+      }
+    in
     Hashtbl.add t.edge_tbl (src, dst) e;
-    t.in_edges.(dst) <- e :: t.in_edges.(dst)
+    t.paths_stale <- true
   end
 
+(* All-pairs shortest lookahead distances (Floyd–Warshall; shard counts
+   are small).  [dist.(i).(j)] bounds from below how long any chain of
+   cross-shard messages from [i] takes to reach [j]: a relay woken at
+   [t] forwards no earlier than [t + lookahead] per hop.  Dead shards
+   are kept as relays — they never forward, so real paths are only
+   longer than these distances, which keeps every bound conservative. *)
+let refresh_paths t =
+  let n = Array.length t.shards in
+  let d = Array.make_matrix n n inf in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0
+  done;
+  Hashtbl.iter
+    (fun _ e ->
+      if e.e_lookahead < d.(e.e_src).(e.e_dst) then
+        d.(e.e_src).(e.e_dst) <- e.e_lookahead)
+    t.edge_tbl;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = d.(i).(k) in
+      if dik < inf then
+        for j = 0 to n - 1 do
+          let v = dik + d.(k).(j) in
+          if v < d.(i).(j) then d.(i).(j) <- v
+        done
+    done
+  done;
+  Hashtbl.iter (fun _ e -> e.e_ret <- d.(e.e_dst).(e.e_src)) t.edge_tbl;
+  t.dist <- d;
+  t.paths_stale <- false
+
 let spawn_root ?name t ~shard f = Engine.spawn_root ?name t.shards.(shard) f
+
+let grow_edge e =
+  let cap = max 8 (2 * Array.length e.e_at) in
+  let at = Array.make cap 0 in
+  let name = Array.make cap "" in
+  let fn = Array.make cap ignore in
+  Array.blit e.e_at 0 at 0 e.e_cnt;
+  Array.blit e.e_name 0 name 0 e.e_cnt;
+  Array.blit e.e_fn 0 fn 0 e.e_cnt;
+  e.e_at <- at;
+  e.e_name <- name;
+  e.e_fn <- fn
 
 let send t ~src ~dst ?(delay = 0) ~name fn =
   let edge =
@@ -103,139 +283,151 @@ let send t ~src ~dst ?(delay = 0) ~name fn =
   in
   let delay = max delay edge.e_lookahead in
   let at = Engine.current_time t.shards.(src) + delay in
-  edge.e_seq <- edge.e_seq + 1;
-  edge.e_out <- { m_at = at; m_seq = edge.e_seq; m_name = name; m_fn = fn }
-                :: edge.e_out
+  if edge.e_cnt >= Array.length edge.e_at then grow_edge edge;
+  let k = edge.e_cnt in
+  edge.e_at.(k) <- at;
+  edge.e_name.(k) <- name;
+  edge.e_fn.(k) <- fn;
+  edge.e_cnt <- k + 1;
+  let st = t.st.(src) in
+  if not edge.e_dirty then begin
+    edge.e_dirty <- true;
+    st.s_dirty <- edge :: st.s_dirty
+  end;
+  (* Adaptive-horizon echo bound: nothing this message causes can come
+     back to [src] before [at + dist (dst -> src)].  Tighten the
+     sender's window bound if that is sooner than what it is currently
+     running under (only the domain executing [src] ever calls this,
+     so the plain ref is race-free). *)
+  if edge.e_ret < inf then begin
+    let back = at + edge.e_ret in
+    if back < !(st.s_bound) then st.s_bound := back
+  end
 
-(* Canonical injection order; all components are deterministic, so the
-   merged stream is identical for every domain layout. *)
-let msg_order (e1, m1) (e2, m2) =
-  if m1.m_at <> m2.m_at then compare m1.m_at m2.m_at
-  else if e1.e_src <> e2.e_src then compare e1.e_src e2.e_src
-  else if e1.e_dst <> e2.e_dst then compare e1.e_dst e2.e_dst
-  else compare m1.m_seq m2.m_seq
-
+(* Drain every dirty edge into the destination engines, in the
+   canonical order (delivery time, src, dst, per-edge sequence).  The
+   gather walks sources in index order and each source's dirty edges in
+   destination order, so gather position already encodes the
+   (src, dst, seq) tiebreak — a stable sort by delivery time alone
+   reproduces the canonical order exactly.  Buffers are reused across
+   windows; small batches (the common case) sort in place with zero
+   allocation. *)
 let drain t =
-  let pending = ref [] in
-  Hashtbl.iter
-    (fun _ e ->
-      List.iter (fun m -> pending := (e, m) :: !pending) (List.rev e.e_out);
-      e.e_out <- [])
-    t.edge_tbl;
-  let msgs = List.sort msg_order !pending in
-  List.iter
-    (fun (e, m) ->
-      Engine.spawn_root_at t.shards.(e.e_dst) ~at:m.m_at ~name:m.m_name m.m_fn)
-    msgs
+  let n = Array.length t.shards in
+  (* Gather. *)
+  let cnt = ref 0 in
+  let push at e k =
+    if !cnt >= Array.length t.g_at then begin
+      let cap = max 64 (2 * Array.length t.g_at) in
+      let at' = Array.make cap 0 in
+      let ed' = Array.make cap dummy_edge in
+      let ix' = Array.make cap 0 in
+      Array.blit t.g_at 0 at' 0 !cnt;
+      Array.blit t.g_edge 0 ed' 0 !cnt;
+      Array.blit t.g_idx 0 ix' 0 !cnt;
+      t.g_at <- at';
+      t.g_edge <- ed';
+      t.g_idx <- ix'
+    end;
+    t.g_at.(!cnt) <- at;
+    t.g_edge.(!cnt) <- e;
+    t.g_idx.(!cnt) <- k;
+    incr cnt
+  in
+  for src = 0 to n - 1 do
+    let st = t.st.(src) in
+    match st.s_dirty with
+    | [] -> ()
+    | dirty ->
+        st.s_dirty <- [];
+        let dirty =
+          List.sort (fun a b -> compare a.e_dst b.e_dst) dirty
+        in
+        List.iter
+          (fun e ->
+            for k = 0 to e.e_cnt - 1 do
+              push e.e_at.(k) e k
+            done;
+            e.e_msgs <- e.e_msgs + e.e_cnt;
+            e.e_dirty <- false)
+          dirty
+  done;
+  let k = !cnt in
+  if k > 0 then begin
+    t.messages <- t.messages + k;
+    if k > t.batch_max then t.batch_max <- k;
+    (* Stable sort by delivery time (gather order breaks ties). *)
+    if k <= 48 then
+      for i = 1 to k - 1 do
+        let at = t.g_at.(i) and ed = t.g_edge.(i) and ix = t.g_idx.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && t.g_at.(!j) > at do
+          t.g_at.(!j + 1) <- t.g_at.(!j);
+          t.g_edge.(!j + 1) <- t.g_edge.(!j);
+          t.g_idx.(!j + 1) <- t.g_idx.(!j);
+          decr j
+        done;
+        t.g_at.(!j + 1) <- at;
+        t.g_edge.(!j + 1) <- ed;
+        t.g_idx.(!j + 1) <- ix
+      done
+    else begin
+      let perm = Array.init k (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          let c = compare t.g_at.(a) t.g_at.(b) in
+          if c <> 0 then c else compare a b)
+        perm;
+      let at' = Array.map (fun i -> t.g_at.(i)) perm in
+      let ed' = Array.map (fun i -> t.g_edge.(i)) perm in
+      let ix' = Array.map (fun i -> t.g_idx.(i)) perm in
+      Array.blit at' 0 t.g_at 0 k;
+      Array.blit ed' 0 t.g_edge 0 k;
+      Array.blit ix' 0 t.g_idx 0 k
+    end;
+    (* Inject, then release the buffered closures. *)
+    for i = 0 to k - 1 do
+      let e = t.g_edge.(i) and ix = t.g_idx.(i) in
+      Engine.spawn_root_at t.shards.(e.e_dst) ~at:t.g_at.(i)
+        ~name:e.e_name.(ix) e.e_fn.(ix)
+    done;
+    for i = 0 to k - 1 do
+      let e = t.g_edge.(i) in
+      if e.e_cnt > 0 then begin
+        Array.fill e.e_name 0 e.e_cnt "";
+        Array.fill e.e_fn 0 e.e_cnt ignore;
+        e.e_cnt <- 0
+      end;
+      t.g_edge.(i) <- dummy_edge
+    done
+  end
 
-let run ?(domains = 1) ?deadline ?(keep_going = false) t =
+let run ?(domains = 1) ?deadline ?(keep_going = false) ?(grain = 96) t =
   let n = Array.length t.shards in
   let domains = max 1 (min domains n) in
+  if t.paths_stale then refresh_paths t;
   t.errs <- [];
   (* A shard whose window raised is dead: its engine state is
-     inconsistent, so it executes nothing further and stops
-     constraining nobody — it can also never send again.  The exception
-     is reported through {!errors} (and re-raised at the end unless
-     [keep_going]), while the other shards run to completion. *)
+     inconsistent, so it executes nothing further and can never send
+     again.  The exception is reported through {!errors} (and re-raised
+     at the end unless [keep_going]), while the other shards run to
+     completion. *)
   let dead = Array.make n false in
   let shard_exn : exn option array = Array.make n None in
-  let nexts = Array.make n None in
-  let refresh_nexts () =
-    for j = 0 to n - 1 do
-      nexts.(j) <-
-        (if dead.(j) then None else Engine.next_event_time t.shards.(j))
-    done
-  in
-  (* [promises.(i)] is a lower bound on the timestamp of anything shard
-     [i] may still send.  A busy shard promises its next event time
-     (every send it makes carries at least one edge-lookahead on top of
-     the sending event's time).  An idle shard cannot send before it is
-     woken by someone else, so its promise is the earliest message that
-     could ever reach it — a shortest-path relaxation over the live
-     edges from the busy shards ([None] = unreachable: nothing can ever
-     wake it, so it constrains nobody).  Without this lift, two idle
-     shards facing each other would hold every window to one lookahead
-     of progress; with it, idle shards ride one lookahead behind the
-     activity — the null-message trick in Chandy–Misra–Bryant. *)
-  let promises = Array.make n None in
-  let bound_for j =
-    List.fold_left
-      (fun acc e ->
-        match promises.(e.e_src) with
-        | None -> acc
-        | Some ts -> (
-            let b = ts + e.e_lookahead in
-            match acc with None -> Some b | Some b0 -> Some (min b0 b)))
-      None t.in_edges.(j)
-  in
-  let refresh_promises () =
-    for j = 0 to n - 1 do
-      promises.(j) <- (if dead.(j) then None else nexts.(j))
-    done;
-    let relax () =
-      let changed = ref false in
-      for j = 0 to n - 1 do
-        if (not dead.(j)) && nexts.(j) = None then begin
-          match bound_for j with
-          | None -> ()
-          | Some b ->
-              (* The shard's clock is itself a sound floor: nothing it
-                 ever sends can predate where its clock already is. *)
-              let b = max b (Engine.current_time t.shards.(j)) in
-              (match promises.(j) with
-              | None ->
-                  promises.(j) <- Some b;
-                  changed := true
-              | Some p when b < p ->
-                  promises.(j) <- Some b;
-                  changed := true
-              | Some _ -> ())
-        end
-      done;
-      !changed
-    in
-    (* Monotone decreasing from infinity; paths have at most [n] hops,
-       so [n] all-shard rounds reach the fixpoint. *)
-    let rounds = ref 0 in
-    while relax () && !rounds < n do
-      incr rounds
-    done
-  in
+  let nexts = Array.make n inf in
   let work j =
-    if not dead.(j) then
-      match nexts.(j) with
-      | None -> (
-          (* Idle: ratchet the clock to the conservative bound so the
-             promise keeps rising next window (the null message). *)
-          match bound_for j with
-          | None -> ()
-          | Some bound ->
-              let b =
-                match deadline with Some d -> min d bound | None -> bound
-              in
-              Engine.fast_forward t.shards.(j) ~upto:b)
-      | Some ts -> (
-          try
-            match deadline with
-            | Some d when ts > d ->
-                (* Nothing below the deadline remains: clamp the clock
-                   and discard, exactly like [Engine.run ~deadline]. *)
-                Engine.run ~deadline:d t.shards.(j)
-            | _ -> (
-                match bound_for j with
-                | None -> Engine.run ?deadline t.shards.(j)
-                | Some bound -> (
-                    match deadline with
-                    | Some d when d < bound ->
-                        (* No upstream can deliver below [bound], and
-                           the deadline cuts earlier: this shard is
-                           finished. *)
-                        Engine.run ~deadline:d t.shards.(j)
-                    | _ ->
-                        ignore
-                          (Engine.run_until t.shards.(j) ~bound
-                            : Time.t option)))
-          with e -> shard_exn.(j) <- Some e)
+    try
+      match deadline with
+      | Some d when nexts.(j) > d ->
+          (* Nothing below the deadline remains: clamp the clock and
+             discard, exactly like [Engine.run ~deadline]. *)
+          Engine.run ~deadline:d t.shards.(j)
+      | _ ->
+          ignore
+            (Engine.run_until_dyn ?deadline t.shards.(j)
+               ~bound:t.st.(j).s_bound
+              : Time.t option)
+    with e -> shard_exn.(j) <- Some e
   in
   let after_window () =
     for j = 0 to n - 1 do
@@ -246,90 +438,199 @@ let run ?(domains = 1) ?deadline ?(keep_going = false) t =
       | _ -> ()
     done
   in
-  let one_window work_all =
-    drain t;
-    refresh_nexts ();
-    if Array.for_all Option.is_none nexts then false
-    else begin
-      refresh_promises ();
-      t.windows <- t.windows + 1;
-      work_all ();
-      after_window ();
-      true
-    end
+  (* Lazily created persistent worker pool.  A round is published as:
+     runnable set + bounds (plain writes), then a generation bump under
+     the mutex (broadcast wakes parked workers).  Workers pull shard
+     indices through the atomic claim counter and the last finisher —
+     tracked by the single atomic pending counter, the round summary —
+     signals the coordinator.  Windows below the [grain] work estimate
+     never touch any of this: the coordinator runs them inline. *)
+  let runnable = Array.make n 0 in
+  let runnable_cnt = ref 0 in
+  let claim = Atomic.make 0 in
+  let pending = Atomic.make 0 in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let gen = ref 0 in
+  let quit = ref false in
+  let pool : unit Domain.t array ref = ref [||] in
+  let worker () =
+    let seen = ref 0 in
+    let continue = ref true in
+    while !continue do
+      Mutex.lock mu;
+      while !gen = !seen && not !quit do
+        Condition.wait cv mu
+      done;
+      let q = !quit in
+      seen := !gen;
+      Mutex.unlock mu;
+      if q then continue := false
+      else begin
+        let more = ref true in
+        while !more do
+          let i = Atomic.fetch_and_add claim 1 in
+          if i >= !runnable_cnt then more := false
+          else begin
+            work runnable.(i);
+            if Atomic.fetch_and_add pending (-1) = 1 then begin
+              Mutex.lock mu;
+              Condition.broadcast cv;
+              Mutex.unlock mu
+            end
+          end
+        done
+      end
+    done
   in
-  (if domains = 1 then
-     while
-       one_window (fun () ->
-           for j = 0 to n - 1 do
-             work j
-           done)
-     do
-       ()
-     done
-   else begin
-     (* Persistent worker pool: domains are created once and handed
-        windows through a generation counter under [mu].  Round-robin
-        shard-to-domain assignment; the layout is irrelevant to
-        results, only to load balance. *)
-     let chunk d =
-       let rec go j acc =
-         if j >= n then List.rev acc else go (j + domains) (j :: acc)
-       in
-       go d []
-     in
-     let mu = Mutex.create () in
-     let cv = Condition.create () in
-     let gen = ref 0 in
-     let done_count = ref 0 in
-     let quit = ref false in
-     let worker d () =
-       let mine = chunk d in
-       let seen = ref 0 in
-       let continue = ref true in
-       while !continue do
-         Mutex.lock mu;
-         while !gen = !seen && not !quit do
-           Condition.wait cv mu
-         done;
-         let q = !quit in
-         seen := !gen;
-         Mutex.unlock mu;
-         if q then continue := false
-         else begin
-           List.iter work mine;
-           Mutex.lock mu;
-           incr done_count;
-           Condition.broadcast cv;
-           Mutex.unlock mu
-         end
-       done
-     in
-     let workers =
-       Array.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
-     in
-     let main_chunk = chunk 0 in
-     let work_all () =
-       Mutex.lock mu;
-       done_count := 0;
-       incr gen;
-       Condition.broadcast cv;
-       Mutex.unlock mu;
-       List.iter work main_chunk;
-       Mutex.lock mu;
-       while !done_count < domains - 1 do
-         Condition.wait cv mu
-       done;
-       Mutex.unlock mu
-     in
-     Fun.protect
-       ~finally:(fun () ->
-         Mutex.lock mu;
-         quit := true;
-         Condition.broadcast cv;
-         Mutex.unlock mu;
-         Array.iter Domain.join workers)
-       (fun () -> while one_window work_all do () done)
-   end);
+  let ensure_pool () =
+    if Array.length !pool = 0 then
+      pool := Array.init (domains - 1) (fun _ -> Domain.spawn worker)
+  in
+  let run_round () =
+    ensure_pool ();
+    t.parallel_windows <- t.parallel_windows + 1;
+    Atomic.set claim 0;
+    Atomic.set pending !runnable_cnt;
+    Mutex.lock mu;
+    incr gen;
+    Condition.broadcast cv;
+    Mutex.unlock mu;
+    let more = ref true in
+    while !more do
+      let i = Atomic.fetch_and_add claim 1 in
+      if i >= !runnable_cnt then more := false
+      else begin
+        work runnable.(i);
+        ignore (Atomic.fetch_and_add pending (-1) : int)
+      end
+    done;
+    Mutex.lock mu;
+    while Atomic.get pending > 0 do
+      t.barrier_waits <- t.barrier_waits + 1;
+      Condition.wait cv mu
+    done;
+    Mutex.unlock mu
+  in
+  (* Inline-vs-parallel policy: a window goes to the pool only when its
+     predicted work would amortize a barrier crossing.  Two exponential
+     moving averages predict the next window from the last ones — the
+     event count per window (cheap, exact, catches sustained load) and
+     the wall seconds per window (2 clock reads per window, catches
+     few-events-but-expensive regimes).  Both are wall-clock heuristics
+     only: they decide where a window runs, never what it computes. *)
+  let ema_events = ref 0. in
+  let ema_wall = ref 0. in
+  let wall_grain = 40e-6 in
+  (* [grain <= 0] forces every multi-shard window onto the pool (test
+     hook for the barrier path).  Otherwise a machine that reports a
+     single core can never amortize waking a worker, whatever
+     [?domains] says, so such hosts keep the pure inline path — and
+     skip the per-window clock reads with it. *)
+  let force_parallel = grain <= 0 in
+  let can_parallel =
+    domains > 1 && (force_parallel || Domain.recommended_domain_count () > 1)
+  in
+  let events_of_runnable () =
+    let s = ref 0 in
+    for i = 0 to !runnable_cnt - 1 do
+      s := !s + Engine.events_executed t.shards.(runnable.(i))
+    done;
+    !s
+  in
+  let finished = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if Array.length !pool > 0 then begin
+        Mutex.lock mu;
+        quit := true;
+        Condition.broadcast cv;
+        Mutex.unlock mu;
+        Array.iter Domain.join !pool
+      end)
+    (fun () ->
+      while not !finished do
+        drain t;
+        let busy = ref 0 in
+        for j = 0 to n - 1 do
+          nexts.(j) <-
+            (if dead.(j) then inf
+             else
+               match Engine.next_event_time t.shards.(j) with
+               | Some ts -> ts
+               | None -> inf);
+          if nexts.(j) < inf then incr busy
+        done;
+        if !busy = 0 then finished := true
+        else begin
+          t.windows <- t.windows + 1;
+          (* Static bounds: earliest any *other* busy shard could cause
+             a delivery here.  Idle reachable shards ratchet their
+             clocks to it (the null message); busy shards below it are
+             runnable. *)
+          runnable_cnt := 0;
+          for j = 0 to n - 1 do
+            if not dead.(j) then begin
+              let static = ref inf in
+              for b = 0 to n - 1 do
+                if b <> j && nexts.(b) < inf && not dead.(b) then begin
+                  let v = nexts.(b) + t.dist.(b).(j) in
+                  if v < !static then static := v
+                end
+              done;
+              if nexts.(j) < inf then begin
+                (* Busy: runnable unless its whole window is empty. *)
+                let past_deadline =
+                  match deadline with Some d -> nexts.(j) > d | None -> false
+                in
+                if nexts.(j) < !static || past_deadline then begin
+                  if !static >= inf then
+                    t.extended_horizons <- t.extended_horizons + 1;
+                  t.st.(j).s_bound := !static;
+                  runnable.(!runnable_cnt) <- j;
+                  incr runnable_cnt
+                end
+              end
+              else if !static < inf then begin
+                (* Idle: ratchet the clock to the conservative bound so
+                   a later wake-up cannot land in this shard's past. *)
+                let upto =
+                  match deadline with
+                  | Some d -> min d !static
+                  | None -> !static
+                in
+                Engine.fast_forward t.shards.(j) ~upto;
+                t.fast_forwards <- t.fast_forwards + 1
+              end
+            end
+          done;
+          (* The shard holding the globally minimal next event is always
+             below every static bound, so every window makes progress. *)
+          assert (!runnable_cnt > 0);
+          if not can_parallel then
+            for i = 0 to !runnable_cnt - 1 do
+              work runnable.(i)
+            done
+          else begin
+            let ev0 = events_of_runnable () in
+            let w0 = !wall_clock () in
+            if
+              force_parallel
+              || !runnable_cnt > 1
+                 && (!ema_events >= float_of_int grain
+                    || !ema_wall >= wall_grain)
+            then run_round ()
+            else
+              for i = 0 to !runnable_cnt - 1 do
+                work runnable.(i)
+              done;
+            let dw = !wall_clock () -. w0 in
+            let de = float_of_int (events_of_runnable () - ev0) in
+            ema_events := (0.75 *. !ema_events) +. (0.25 *. de);
+            ema_wall := (0.75 *. !ema_wall) +. (0.25 *. dw)
+          end;
+          after_window ()
+        end
+      done);
   if not keep_going then
     match errors t with (_, e) :: _ -> raise e | [] -> ()

@@ -5,11 +5,18 @@
     Shards interact only through edges declared with {!connect}; a
     cross-shard message ({!send}) is delivered at least the edge's
     lookahead after its send time.  That minimum latency is what makes
-    the runner conservative in the Chandy–Misra–Bryant sense: shard [j]
-    may safely execute every event below
-    [min over incoming edges e = (i -> j) of (next_i + lookahead e)]
-    because nothing an upstream shard has yet to do can produce an
-    earlier delivery.  No rollback, ever.
+    the runner conservative in the Chandy–Misra–Bryant sense: a shard
+    only executes events that nothing another shard has yet to do could
+    invalidate.  No rollback, ever.
+
+    Shard [j]'s window bound combines a {e static} horizon — the
+    earliest instant any other busy shard could cause a delivery at
+    [j], over all-pairs shortest-path lookahead distances — with an
+    {e adaptive} one: until [j] sends something cross-shard, no echo of
+    its own output exists, so it runs unbounded by itself; its first
+    send at delivery time [a] on edge [j -> k] closes the horizon at
+    [a + dist k j].  Barriers therefore track cross-shard traffic, not
+    elapsed virtual time over the lookahead.
 
     Lookahead is heterogeneous: each edge may carry its own bound
     (e.g. the physical fabric latency of the link it models), so one
@@ -20,7 +27,9 @@
     of [?domains] — the domain count affects which OS threads execute a
     window, never what the window computes.  Cross-shard messages are
     injected between windows in the canonical order (delivery time,
-    src, dst, per-edge sequence).
+    src, dst, per-edge sequence).  Every window bound above is a
+    function of engine states and the static edge set alone, so the
+    window structure itself is also identical at every domain count.
 
     {b Sharing discipline.}  Processes on different shards must not
     share simulation state (mailboxes, ivars, bandwidth meters …);
@@ -68,15 +77,30 @@ val send :
   (unit -> unit) -> unit
 (** [send t ~src ~dst ~name fn] — called while shard [src] executes —
     schedules [fn] as a root process on shard [dst] at
-    [now src + max delay (lookahead of the edge)].
+    [now src + max delay (lookahead of the edge)].  Same-window
+    messages on one edge coalesce into a single reusable buffer
+    drained at the next barrier; the send may also tighten the calling
+    shard's window bound (see the adaptive horizon above).
     @raise Invalid_argument if the edge was never {!connect}ed. *)
 
-val run : ?domains:int -> ?deadline:Time.t -> ?keep_going:bool -> t -> unit
+val run :
+  ?domains:int -> ?deadline:Time.t -> ?keep_going:bool -> ?grain:int ->
+  t -> unit
 (** Drive every shard to completion.  [domains] (default 1, clamped to
-    the shard count) is the number of OS domains executing each window;
-    see the determinism contract above.  Worker domains are persistent
-    for the whole run (one barrier crossing per window, not one domain
-    spawn).
+    the shard count) is the number of OS domains available to execute
+    windows; see the determinism contract above.  Worker domains are
+    created lazily on the first window that engages them and persist
+    for the whole run.
+
+    [grain] (events, default 96) is the inline threshold: a window
+    whose predicted work — exponential moving averages of events per
+    window and of wall seconds per window (see {!set_clock}) — would
+    not amortize a barrier crossing runs on the coordinator without
+    waking any worker.  On a host reporting a single core
+    ([Domain.recommended_domain_count () = 1]) the pool is never
+    engaged, whatever [domains] says.  [grain <= 0] forces every
+    multi-shard window onto the pool — a test hook for the barrier
+    path.  The prediction influences scheduling only, never results.
 
     [deadline] bounds every shard's clock exactly like
     [Engine.run ~deadline]: events past it are discarded and the
@@ -94,3 +118,42 @@ val errors : t -> (int * exn) list
 
 val windows_run : t -> int
 (** Number of synchronization windows executed so far (diagnostics). *)
+
+(** {1 Cross-shard sync observability} *)
+
+type stats = {
+  windows : int;  (** synchronization windows executed *)
+  parallel_windows : int;  (** windows that engaged the worker pool *)
+  barrier_waits : int;
+      (** coordinator condition-variable waits at round barriers *)
+  fast_forwards : int;
+      (** idle-shard clock ratchets (the null messages) *)
+  messages : int;  (** cross-shard messages drained *)
+  batch_max : int;  (** largest single-barrier coalesced batch *)
+  extended_horizons : int;
+      (** busy-shard windows run beyond every static promise (adaptive
+          horizon in effect) *)
+}
+
+val stats : t -> stats
+(** Cumulative over the runner's lifetime.  [windows], [fast_forwards],
+    [messages], [batch_max] and [extended_horizons] are identical at
+    every domain count; [parallel_windows] and [barrier_waits] depend
+    on [?domains], [?grain] and the machine. *)
+
+val edge_messages : t -> ((int * int) * int) list
+(** Lifetime messages per (src, dst) edge, sorted; edges that never
+    carried a message are omitted. *)
+
+val counters_record : t -> unit
+(** Record the domain-layout-independent subset of {!stats}
+    ([sharded.windows], [sharded.fast-forward], [sharded.messages],
+    [sharded.horizon-extended]) into the global {!Counters} table.
+    Explicit opt-in for harnesses; never called by {!run} itself, so
+    fingerprint tests comparing sharded and unsharded counter totals
+    are unaffected. *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the wall clock used by the inline-vs-parallel policy
+    (e.g. [Unix.gettimeofday]); the default is [Sys.time].  The sim
+    library itself takes no unix dependency. *)

@@ -1,0 +1,71 @@
+open Sim
+open Linefs
+
+type group_result = {
+  dir : string;
+  elapsed : Time.t;
+  totals : Cohort.stats;
+}
+
+(* The per-group cohort body: runs as a process on the group's primary
+   (its base shard when the rack is sharded).  Round-robin over users —
+   one IO each per round, the cohort's stand-in for [cohort]
+   interleaved clients.  Each user writes a window of its own synthetic
+   stream, so file content is a pure function of (group, user,
+   offset). *)
+let group_body ~rack ~grp ~cohort ~group_bytes ~io_bytes out () =
+  let per_user = group_bytes / cohort in
+  let cli = Rack.attach rack ~group:grp ~id:(grp + 1) in
+  let coh = Cohort.create ~ops:(Libfs.ops cli) ~users:cohort () in
+  let uops = Array.init cohort (Cohort.user_ops coh) in
+  let dir = Rack.owned_dir rack ~group:grp ~salt:0 in
+  uops.(0).Dfs_intf.mkdir dir;
+  let t0 = Engine.now () in
+  let fds =
+    Array.init cohort (fun u ->
+        uops.(u).Dfs_intf.create (Printf.sprintf "%s/u%d" dir u))
+  in
+  let streams =
+    Array.init cohort (fun u ->
+        Storage.Data.synthetic ~seed:((grp * 1009) + u) ~len:per_user)
+  in
+  for r = 0 to (per_user / io_bytes) - 1 do
+    for u = 0 to cohort - 1 do
+      uops.(u).Dfs_intf.append fds.(u)
+        (Storage.Data.sub streams.(u) ~pos:(r * io_bytes) ~len:io_bytes)
+    done
+  done;
+  Array.iteri
+    (fun u fd ->
+      uops.(u).Dfs_intf.fsync fd;
+      uops.(u).Dfs_intf.close fd)
+    fds;
+  Deployment.flush_all (Rack.group rack grp);
+  out.(grp) <-
+    Some { dir; elapsed = Engine.now () - t0; totals = Cohort.totals coh }
+
+let collector out () =
+  Array.map
+    (function
+      | Some r -> r
+      | None -> failwith "rack_cohort: a group's cohort did not finish")
+    out
+
+let spawn ~sh ~rack ~cohort ~group_bytes ~io_bytes () =
+  let g = Rack.group_count rack in
+  let out : group_result option array = Array.make g None in
+  for grp = 0 to g - 1 do
+    Sharded.spawn_root ~name:"rack.cohort" sh
+      ~shard:(Rack.shard_of_group rack grp)
+      (group_body ~rack ~grp ~cohort ~group_bytes ~io_bytes out)
+  done;
+  collector out
+
+let spawn_on ~eng ~rack ~cohort ~group_bytes ~io_bytes () =
+  let g = Rack.group_count rack in
+  let out : group_result option array = Array.make g None in
+  for grp = 0 to g - 1 do
+    Engine.spawn_root ~name:"rack.cohort" eng
+      (group_body ~rack ~grp ~cohort ~group_bytes ~io_bytes out)
+  done;
+  collector out

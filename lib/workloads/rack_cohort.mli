@@ -1,0 +1,45 @@
+(** Rack-scale cohort workload: one sequential-write cohort per replica
+    group of a sharded {!Linefs.Rack}.
+
+    Each group gets one LibFS client on its primary, wrapped in a
+    {!Linefs.Cohort} of K users; the users write their own files (in a
+    directory the group owns) round-robin, one IO per user per round —
+    K interleaved clients driven by a single LibFS.  Content is a pure
+    function of (group, user, offset), so runs are comparable across
+    node counts, cohort sizes and domain counts. *)
+
+open Sim
+open Linefs
+
+type group_result = {
+  dir : string;  (** group-owned working directory *)
+  elapsed : Time.t;  (** virtual time from first create to flush *)
+  totals : Cohort.stats;
+}
+
+val spawn :
+  sh:Sharded.t ->
+  rack:Rack.t ->
+  cohort:int ->
+  group_bytes:int ->
+  io_bytes:int ->
+  unit ->
+  unit ->
+  group_result array
+(** [spawn ~sh ~rack ~cohort ~group_bytes ~io_bytes () ] spawns one
+    cohort writer per group on that group's base shard (call before
+    [Sharded.run sh]) and returns a collector to call after the run.
+    [group_bytes] is split evenly over the cohort's users. *)
+
+val spawn_on :
+  eng:Engine.t ->
+  rack:Rack.t ->
+  cohort:int ->
+  group_bytes:int ->
+  io_bytes:int ->
+  unit ->
+  unit ->
+  group_result array
+(** Same workload on an {e unsharded} rack: every group's cohort is a
+    root process of the one engine [eng].  The sharded-vs-unsharded
+    equivalence tests compare the two. *)

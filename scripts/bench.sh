@@ -3,31 +3,28 @@
 #
 # Runs the perf-trajectory harness (bench/wallclock.exe) and writes
 # BENCH_wallclock.json: per-kernel new-vs-legacy wall times and
-# speedups, plus wall time / GC pressure / engine events-per-second
-# for the measured experiments (including an events/s-by-domain-count
-# probe of the scaled figures).  The harness exits nonzero if the
-# data-path geometric-mean speedup drops below 3x.
+# speedups, wall time / GC pressure / engine events-per-second for the
+# measured experiments (with an events/s-by-domain-count probe of the
+# scaled figures), the intra-cell sharded-deployment probe, and the
+# rack-scale sweep (throughput vs nodes vs cohort size vs domains over
+# sharded Linefs.Rack deployments).
 #
-# After the harness, this script gates on two multi-domain
-# trajectories:
-#
-#  - batch parallelism: scaled fig4 (independent cells spread over
-#    domains) must beat one domain on a multicore machine.  The batch
-#    harness now sizes the minor heap for parallel allocation (OCaml
-#    5's minor collections stop every domain), so the floor is 1.10x.
-#  - intra-cell parallelism: one deployment sharded per node
-#    (single_cell_speedup in the JSON) must reach 1.30x at 4 domains
-#    on a machine with >= 4 cores.
-#
-# On a single core there is no parallelism to win and the domain
-# barriers are pure overhead, so both bounds relax to a 0.20x sanity
-# floor — that still catches pathological synchronization (e.g. a
-# livelocking window barrier) without demanding speedup physics can't
-# deliver.  The simulated-result identity across domain counts is
-# asserted inside the harness itself, not here.
+# Gating now lives inside the harness itself: every floor it enforces
+# — data-path geomean, multi-domain fig4, intra-cell speedup,
+# rack-sweep speedup — is recorded in the JSON's "gates" object with
+# the measured value, the floor applied, whether the floor was relaxed
+# for the machine's core count, and whether the gate was evaluated in
+# this run's mode.  The harness exits nonzero if any evaluated gate
+# falls below its floor.  Speedup floors are core-count-aware: on a
+# single core there is no parallelism to win (the sharded runner's
+# inline policy makes extra domains free, so the floor is a ~1.0x
+# no-regression bound rather than a real speedup).  CI separately
+# refuses committed JSON whose gates were skipped or failed
+# (scripts/ci.sh), so a smoke-mode run can't be passed off as a real
+# benchmark run.
 #
 # Usage:
-#   scripts/bench.sh             # kernels + scaled fig4/fig9
+#   scripts/bench.sh             # kernels + scaled fig4/fig9 + sweeps
 #   scripts/bench.sh --smoke     # kernels only, small sizes (CI)
 #   scripts/bench.sh --full      # adds paper-scale fig4/fig9 (slow!)
 #   scripts/bench.sh ... -o FILE # output path
@@ -44,53 +41,8 @@ done
 dune build bench/wallclock.exe
 dune exec bench/wallclock.exe -- "$@"
 
-# ---- multi-domain gate ------------------------------------------------
-fig4=$(grep '"name": "fig4", "scale": "scaled' "$out" 2>/dev/null || true)
-speedup=$(printf '%s' "$fig4" \
-  | sed -n 's/.*"multi_domain_speedup": \([0-9.]*\).*/\1/p')
-
-if [ -z "$speedup" ]; then
-  echo "multi-domain gate: no scaled fig4 probe in $out, skipping"
-  exit 0
-fi
-
-cores=$(nproc 2>/dev/null || echo 1)
-if [ "$cores" -gt 1 ]; then
-  floor=1.10
-else
-  floor=0.20
-  echo "multi-domain gate: single core, relaxed floor $floor" \
-       "(extra domains cost stop-the-world GC with no parallelism to pay it)"
-fi
-
-echo "multi-domain gate: fig4 best-multi-domain/single-domain = ${speedup}x" \
-     "(floor ${floor}x, ${cores} core(s))"
-awk -v s="$speedup" -v f="$floor" 'BEGIN { exit !(s + 0 >= f + 0) }' || {
-  echo "FAIL: multi-domain fig4 events/s dropped to ${speedup}x of" \
-       "single-domain (floor ${floor}x)"
-  exit 1
-}
-
-# ---- intra-cell (sharded deployment) gate -----------------------------
-cell=$(sed -n 's/.*"single_cell_speedup": \([0-9.]*\).*/\1/p' "$out")
-if [ -z "$cell" ]; then
-  echo "single-cell gate: no sharded-cell probe in $out, skipping"
-  exit 0
-fi
-
-if [ "$cores" -ge 4 ]; then
-  cfloor=1.30
-elif [ "$cores" -gt 1 ]; then
-  cfloor=1.00
-else
-  cfloor=0.20
-  echo "single-cell gate: single core, relaxed floor $cfloor"
-fi
-
-echo "single-cell gate: sharded-deployment best-multi-domain/single-domain" \
-     "= ${cell}x (floor ${cfloor}x, ${cores} core(s))"
-awk -v s="$cell" -v f="$cfloor" 'BEGIN { exit !(s + 0 >= f + 0) }' || {
-  echo "FAIL: per-node sharded deployment events/s dropped to ${cell}x of" \
-       "single-domain (floor ${cfloor}x)"
-  exit 1
-}
+# The harness already gated and exited nonzero on failure; echo the
+# recorded gate lines for the log.
+echo
+echo "gates recorded in $out:"
+sed -n '/"gates"/,/]/p' "$out" | grep '"name"' || true

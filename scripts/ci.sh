@@ -13,9 +13,14 @@
 # Finally the multicore smoke: the scaled figures executed over 4
 # domains (plus a multi-instance linefs_sim run whose per-instance
 # outputs must match byte-for-byte, and a per-node sharded deployment
-# whose output must be byte-identical at 1 and 4 domains).  This
-# checks correctness of the parallel windows, not speed — the events/s
-# trajectory is bench.sh's job.  The fault-injection sweeps run over 4
+# whose output must be byte-identical at 1 and 4 domains), and the
+# scale smoke: an 8-node rack of replica groups with cohort clients,
+# byte-identical at 1 and 4 domains with the cross-shard message
+# coalescer demonstrably batching.  These check correctness of the
+# parallel windows, not speed — the events/s trajectory is bench.sh's
+# job.  The committed BENCH_wallclock.json is validated up front: it
+# must carry the harness's gates object with every gate evaluated and
+# above its recorded floor.  The fault-injection sweeps run over 4
 # domains too: the injection hook and observers are engine-local, so
 # independent scenarios batch as parallel shards (dst_sweep
 # cross-checks one batched fingerprint against a sequential run).
@@ -31,6 +36,33 @@ dune exec bin/litmus_sweep.exe -- \
   --litmus-seeds "${LITMUS_SEEDS:-50}" \
   --out "${LITMUS_OUT:-_litmus_reports}"
 dune exec bin/litmus_sweep.exe -- --mutate --out "${LITMUS_OUT:-_litmus_reports}"
+
+# ---- committed bench JSON gate ----------------------------------------
+# BENCH_wallclock.json is a committed artifact: refuse one produced by
+# a smoke-mode run, with gates skipped, or with any gate below its
+# floor.  The harness records exactly which gates it evaluated and at
+# what (core-count-aware) floor, so this is a pure consistency check —
+# no re-measurement.
+grep -q '"gates"' BENCH_wallclock.json || {
+  echo "FAIL: committed BENCH_wallclock.json has no gates object" \
+       "(regenerate with scripts/bench.sh)"
+  exit 1
+}
+grep -q '"mode": "smoke"' BENCH_wallclock.json && {
+  echo "FAIL: committed BENCH_wallclock.json came from a smoke run"
+  exit 1
+}
+grep -q '"evaluated": false' BENCH_wallclock.json && {
+  echo "FAIL: committed BENCH_wallclock.json has skipped gates:"
+  grep '"evaluated": false' BENCH_wallclock.json
+  exit 1
+}
+grep -q '"pass": false' BENCH_wallclock.json && {
+  echo "FAIL: committed BENCH_wallclock.json has gates below floor:"
+  grep '"pass": false' BENCH_wallclock.json
+  exit 1
+}
+echo "committed-bench gate: all gates evaluated and above floor"
 
 # ---- multicore smoke --------------------------------------------------
 dune exec bin/linefs_sim.exe -- --file-mb 16 --instances 4 --domains 4
@@ -49,5 +81,30 @@ cmp _shard_smoke_d1.txt _shard_smoke_d4.txt || {
 rm -f _shard_smoke_d1.txt _shard_smoke_d4.txt
 echo "sharded-deployment smoke: byte-identical at 1 and 4 domains"
 
+# ---- scale smoke ------------------------------------------------------
+# Rack-scale path: an 8-node rack (2 replica groups of 4) driven by
+# 2-user cohorts, domains 1 vs 4, stdout byte-identical.  The cohort
+# round-robin also drives the cross-shard message coalescer with
+# multi-message batches (batch-max >= 2 on stderr).
+dune exec bin/linefs_sim.exe -- --nodes 8 --group-size 4 --cohort 2 \
+  --file-mb 64 --domains 1 > _scale_smoke_d1.txt 2> _scale_smoke_d1.err
+dune exec bin/linefs_sim.exe -- --nodes 8 --group-size 4 --cohort 2 \
+  --file-mb 64 --domains 4 > _scale_smoke_d4.txt 2> _scale_smoke_d4.err
+cmp _scale_smoke_d1.txt _scale_smoke_d4.txt || {
+  echo "FAIL: rack output differs between 1 and 4 domains"
+  diff _scale_smoke_d1.txt _scale_smoke_d4.txt || true
+  exit 1
+}
+grep -q 'batch-max=\([2-9]\|[0-9][0-9]\)' _scale_smoke_d1.err || {
+  echo "FAIL: scale smoke never coalesced a multi-message batch:"
+  cat _scale_smoke_d1.err
+  exit 1
+}
+rm -f _scale_smoke_d1.txt _scale_smoke_d4.txt \
+      _scale_smoke_d1.err _scale_smoke_d4.err
+echo "scale smoke: 8-node rack byte-identical at 1 and 4 domains," \
+     "coalescing exercised"
+
 dune exec bench/wallclock.exe -- \
   --domains "${SMOKE_DOMAINS:-4}" --no-domain-probe -o _ci_wallclock.json
+rm -f _ci_wallclock.json

@@ -221,6 +221,116 @@ let test_busy_poller_with_idle_peer () =
     [ 1; 2 ]
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive horizon: windows track traffic, not lookahead ticks        *)
+(* ------------------------------------------------------------------ *)
+
+(* A ping-pong with delays far above the lookahead.  Static windows
+   would need [delay / lookahead] barriers per hop; the adaptive bound
+   extends each side's window to the echo of its own send, so the
+   runner takes roughly one window per hop regardless of the ratio. *)
+let test_adaptive_horizon_window_count () =
+  let rounds = 5 in
+  let delay = Time.ms 1 in
+  (* 1000x the lookahead *)
+  let _, _, windows = ping_pong ~rounds ~delay ~domains:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "one window per hop, not per lookahead tick (%d)" windows)
+    true
+    (windows <= (2 * rounds) + 4)
+
+let test_stats_and_fast_forward () =
+  let delay = Time.us 7 in
+  let s = Sharded.create ~lookahead:(Time.us 1) ~shards:2 () in
+  Sharded.connect s ~src:0 ~dst:1;
+  Sharded.connect s ~src:1 ~dst:0;
+  let rec ping k () =
+    if k < 6 then Sharded.send s ~src:(k mod 2) ~dst:((k + 1) mod 2) ~delay
+        ~name:"hop" (ping (k + 1))
+  in
+  Sharded.spawn_root s ~shard:0 (ping 0);
+  Sharded.run s;
+  let st = Sharded.stats s in
+  Alcotest.(check int) "messages" 6 st.Sharded.messages;
+  Alcotest.(check int) "windows counted" (Sharded.windows_run s)
+    st.Sharded.windows;
+  Alcotest.(check bool) "fast-forwards ratcheted the idle side" true
+    (st.Sharded.fast_forwards > 0);
+  Alcotest.(check bool) "no parallel windows at domains=1" true
+    (st.Sharded.parallel_windows = 0);
+  Alcotest.(check int) "edge traffic symmetric"
+    (List.assoc (0, 1) (Sharded.edge_messages s))
+    (List.assoc (1, 0) (Sharded.edge_messages s))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard coalescing: same-window messages batch, order holds     *)
+(* ------------------------------------------------------------------ *)
+
+let burst_trace ~domains =
+  let s = Sharded.create ~lookahead:(Time.us 5) ~shards:2 () in
+  Sharded.connect s ~src:0 ~dst:1;
+  let got = ref [] in
+  Sharded.spawn_root s ~shard:0 (fun () ->
+      (* Ten same-window sends on one edge: one coalesced batch.  Equal
+         delivery times must drain in send order (per-edge sequence
+         breaks the tie); staggered ones in time order. *)
+      for i = 0 to 9 do
+        let delay = Time.us (5 + (3 * (i mod 3))) in
+        Sharded.send s ~src:0 ~dst:1 ~delay ~name:"burst" (fun () ->
+            got := (i, Engine.now ()) :: !got)
+      done);
+  Sharded.run ~domains s;
+  (List.rev !got, Sharded.stats s)
+
+let test_coalesced_batch_order () =
+  let trace, st = burst_trace ~domains:1 in
+  Alcotest.(check int) "all messages delivered" 10 (List.length trace);
+  Alcotest.(check int) "messages counted" 10 st.Sharded.messages;
+  Alcotest.(check bool)
+    (Printf.sprintf "burst coalesced into one batch (max %d)"
+       st.Sharded.batch_max)
+    true
+    (st.Sharded.batch_max = 10);
+  (* Delivery must be sorted by (time, then send order). *)
+  let rec sorted = function
+    | (i1, t1) :: ((i2, t2) :: _ as rest) ->
+        (t1 < t2 || (t1 = t2 && i1 < i2)) && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "canonical drain order" true (sorted trace);
+  Alcotest.(check bool) "domain-independent" true
+    (trace = fst (burst_trace ~domains:2))
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool: grain 0 forces every multi-shard window parallel       *)
+(* ------------------------------------------------------------------ *)
+
+(* The inline policy would keep this tiny exchange on the coordinator;
+   [grain:0] forces the pool up, covering the barrier path (claim
+   counter, pending counter, parking) even on a single-core machine —
+   with, per the contract, identical results. *)
+let test_forced_parallel_pool () =
+  let delay = Time.us 3 in
+  let reference = ping_pong ~rounds:5 ~delay ~domains:1 in
+  let s = Sharded.create ~lookahead:(Time.us 1) ~shards:2 () in
+  Sharded.connect s ~src:0 ~dst:1;
+  Sharded.connect s ~src:1 ~dst:0;
+  let trace0 = ref [] and trace1 = ref [] in
+  let rec ping k () =
+    trace0 := (k, Engine.now ()) :: !trace0;
+    if k < 5 then Sharded.send s ~src:0 ~dst:1 ~delay ~name:"pong" (pong k)
+  and pong k () =
+    trace1 := (k, Engine.now ()) :: !trace1;
+    Sharded.send s ~src:1 ~dst:0 ~delay ~name:"ping" (ping (k + 1))
+  in
+  Sharded.spawn_root s ~shard:0 (ping 0);
+  Sharded.run ~domains:2 ~grain:0 s;
+  let got = (List.rev !trace0, List.rev !trace1, Sharded.windows_run s) in
+  Alcotest.(check bool) "forced-parallel results identical" true
+    (got = reference);
+  Alcotest.(check bool) "pool actually engaged" true
+    ((Sharded.stats s).Sharded.parallel_windows > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism property on a token ring                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -275,6 +385,13 @@ let () =
           tc "deadline cuts the exchange" `Quick test_deadline_cuts_ping_pong;
           tc "busy poller with idle peer terminates" `Quick
             test_busy_poller_with_idle_peer;
+          tc "adaptive horizon: one window per hop" `Quick
+            test_adaptive_horizon_window_count;
+          tc "sync stats and fast-forward counts" `Quick
+            test_stats_and_fast_forward;
+          tc "same-window burst coalesces in order" `Quick
+            test_coalesced_batch_order;
+          tc "grain 0 forces the worker pool" `Quick test_forced_parallel_pool;
         ] );
       ( "errors",
         [
